@@ -1,0 +1,91 @@
+// explorefault is the command-line front end of the discovery framework:
+// it trains the RL agent against a chosen cipher and round (optionally
+// behind the duplication countermeasure) and prints the converged fault
+// pattern, the verified fault models, and the training census.
+//
+// Examples:
+//
+//	go run ./cmd/explorefault -cipher gift64 -round 25 -episodes 1000
+//	go run ./cmd/explorefault -cipher aes128 -round 8 -episodes 2000
+//	go run ./cmd/explorefault -cipher aes128 -round 9 -protected
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	explorefault "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	cipher := flag.String("cipher", "gift64", "target cipher: "+fmt.Sprint(explorefault.Ciphers()))
+	round := flag.Int("round", 25, "fault-injection round (1-based)")
+	episodes := flag.Int("episodes", 1000, "training episode budget")
+	protected := flag.Bool("protected", false, "evaluate the duplication countermeasure (ciphertext-only t-test)")
+	samples := flag.Int("samples", 512, "t-test samples per reward evaluation")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	keyHex := flag.String("key", "", "cipher key in hex (default: random from seed)")
+	verbose := flag.Bool("v", false, "print training progress")
+	flag.Parse()
+
+	var key []byte
+	if *keyHex != "" {
+		var err error
+		if key, err = hex.DecodeString(*keyHex); err != nil {
+			log.Fatalf("bad -key: %v", err)
+		}
+	}
+
+	cfg := explorefault.DiscoverConfig{
+		Cipher:    *cipher,
+		Key:       key,
+		Round:     *round,
+		Protected: *protected,
+		Episodes:  *episodes,
+		Samples:   *samples,
+		Seed:      *seed,
+	}
+	if *verbose {
+		cfg.Progress = func(p explorefault.Progress) {
+			if p.Episodes%100 < 8 {
+				fmt.Fprintf(os.Stderr,
+					"episode %5d: exploitable %.2f, avg bits %5.1f, best %3d, entropy %.2f\n",
+					p.Episodes, p.AvgLeaky, p.AvgBits, p.BestLeakyN, p.Entropy)
+			}
+		}
+	}
+
+	start := time.Now()
+	res, err := explorefault.Discover(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("cipher: %s, round %d, protected=%v, key %x\n", *cipher, *round, *protected, res.Key)
+	fmt.Printf("trained %d episodes in %s (%.0f episodes/min, %.0f steps/min)\n\n",
+		res.Episodes, time.Since(start).Round(time.Second), res.EpisodesPerMin, res.StepsPerMin)
+	fmt.Printf("converged pattern: %s\n", res.Converged.String())
+	fmt.Printf("  leakage t = %.1f, exploitable = %v\n\n", res.ConvergedT, res.ConvergedLeaky)
+
+	if len(res.Models) > 0 {
+		tb := report.NewTable("verified fault models", "model", "t statistic")
+		for _, m := range res.Models {
+			tb.AddRow(m.String(), fmt.Sprintf("%.1f", m.T))
+		}
+		tb.Render(os.Stdout)
+	}
+
+	tb := report.NewTable("training census (per 1000-episode window)",
+		"episodes", "exploitable", "1-bit", "multi-bit", "avg bits")
+	for _, b := range res.Buckets {
+		tb.AddRow(fmt.Sprintf("%d-%d", b.StartEpisode, b.EndEpisode),
+			b.LeakyEpisodes, b.SingleBitModels, b.MultiBitModels,
+			fmt.Sprintf("%.1f", b.AvgBitsSelected))
+	}
+	tb.Render(os.Stdout)
+}

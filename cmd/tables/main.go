@@ -1,0 +1,70 @@
+// tables regenerates the tables and figures of the paper's evaluation
+// section (plus this reproduction's ablations) as terminal output.
+//
+// Usage:
+//
+//	go run ./cmd/tables                 # everything, full budgets
+//	go run ./cmd/tables -quick          # everything, reduced budgets
+//	go run ./cmd/tables -only I,V,fig3  # a subset
+//
+// Experiment names: I, II, III, IV, V (tables), fig3, fig4, fig5
+// (figures), keyrecovery, grouping, agent, observation (ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced experiment budgets")
+	seed := flag.Uint64("seed", 2023, "experiment seed")
+	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
+	flag.Parse()
+
+	opt := harness.Options{Seed: *seed, Quick: *quick, Out: os.Stdout}
+
+	type experiment struct {
+		name string
+		run  func(harness.Options) error
+	}
+	experiments := []experiment{
+		{"I", func(o harness.Options) error { _, err := harness.TableI(o); return err }},
+		{"II", func(o harness.Options) error { _, err := harness.TableII(o); return err }},
+		{"fig3", func(o harness.Options) error { _, err := harness.Figure3(o); return err }},
+		{"III", func(o harness.Options) error { _, err := harness.TableIII(o); return err }},
+		{"fig4", func(o harness.Options) error { _, err := harness.Figure4(o); return err }},
+		{"fig5", func(o harness.Options) error { _, err := harness.Figure5(o); return err }},
+		{"IV", func(o harness.Options) error { _, err := harness.TableIV(o); return err }},
+		{"V", func(o harness.Options) error { _, err := harness.TableV(o); return err }},
+		{"keyrecovery", func(o harness.Options) error { _, err := harness.KeyRecovery(o); return err }},
+		{"grouping", func(o harness.Options) error { _, err := harness.AblationGrouping(o); return err }},
+		{"agent", func(o harness.Options) error { _, err := harness.AblationAgent(o); return err }},
+		{"observation", func(o harness.Options) error { _, err := harness.AblationObservation(o); return err }},
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+
+	for _, e := range experiments {
+		if len(selected) > 0 && !selected[e.name] {
+			continue
+		}
+		fmt.Printf("== experiment %s (seed %d, quick=%v) ==\n", e.name, *seed, *quick)
+		start := time.Now()
+		if err := e.run(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %s)\n\n", e.name, time.Since(start).Round(time.Second))
+	}
+}

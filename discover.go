@@ -1,0 +1,331 @@
+package explorefault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/abstraction"
+	"repro/internal/bitvec"
+	"repro/internal/countermeasure"
+	"repro/internal/explore"
+	"repro/internal/prng"
+	"repro/internal/rl/ppo"
+)
+
+// DiscoverConfig tunes a discovery session. Zero values select paper
+// defaults scaled to a single-machine budget.
+type DiscoverConfig struct {
+	// Cipher names the target ("aes128", "gift64", "gift128",
+	// "present80").
+	Cipher string
+	// Key is the cipher key; nil draws a random key from Seed.
+	Key []byte
+	// Round is the fault-injection round (1-based). The paper explores
+	// the last three rounds of AES (most interesting: 8) and round 25
+	// of GIFT-64.
+	Round int
+	// Protected evaluates the duplication countermeasure of §IV-C: the
+	// action space doubles (bits of both redundant branches) and the
+	// t-test runs on released ciphertexts only.
+	Protected bool
+	// Episodes is the total training budget (default 5000, Fig. 4's
+	// span; the tests and examples use far less).
+	Episodes int
+	// NumEnvs is the number of vectorized environments (default 8).
+	NumEnvs int
+	// Samples is the t-test sample count per reward evaluation
+	// (default 512 during training; offline verification always uses
+	// 2048).
+	Samples int
+	// Seed drives every random choice; identical configs with the same
+	// seed reproduce the same run.
+	Seed uint64
+	// LinearReward selects Equation (1)'s reward n instead of e^n
+	// (the Fig. 3 ablation).
+	LinearReward bool
+	// RewardAtEachStep evaluates the t-test at every step instead of
+	// once per episode (the Table II ablation; ~T times slower).
+	RewardAtEachStep bool
+	// EpisodeLen overrides T (0 = number of state bits, the paper's
+	// choice).
+	EpisodeLen int
+	// Agent overrides PPO hyperparameters (zero fields keep defaults:
+	// lr 1e-3, 4 epochs, entropy 1e-3, bootstrap spike, exploration
+	// floor 1/T).
+	Agent ppo.Config
+	// SkipHarvest skips the abstraction/extension pipeline (used by
+	// benches that only need training-rate numbers).
+	SkipHarvest bool
+	// MaxHarvest bounds how many raw log patterns are abstracted
+	// (default 24).
+	MaxHarvest int
+	// Progress, if non-nil, receives training summaries.
+	Progress func(Progress)
+}
+
+// Progress re-exports the session progress record.
+type Progress = explore.Progress
+
+// TrainingBucket summarizes a window of episodes (Fig. 4 / Table V view).
+type TrainingBucket struct {
+	StartEpisode, EndEpisode int
+	LeakyEpisodes            int
+	AvgBitsSelected          float64
+	MaxLeakyBits             int
+	// SingleBitModels counts leaky episodes whose pattern is one bit;
+	// MultiBitModels those with two or more; DiagonalContained the
+	// multi-bit ones confined to a single AES diagonal (zero for other
+	// ciphers). These feed Fig. 4's per-window model census.
+	SingleBitModels   int
+	MultiBitModels    int
+	DiagonalContained int
+}
+
+// PatternFrequency counts how often a leaky pattern appeared in training.
+type PatternFrequency struct {
+	Pattern Pattern
+	Count   int
+}
+
+// DiscoveryResult is the outcome of Discover.
+type DiscoveryResult struct {
+	// Converged is the fault pattern read out from the trained policy,
+	// with its leakage statistic.
+	Converged      Pattern
+	ConvergedT     float64
+	ConvergedLeaky bool
+	// Models are the abstracted, offline-verified fault models harvested
+	// from the converged policy and the training log, extended across
+	// the cipher's structural symmetries and deduplicated (§III-F).
+	Models []Model
+	// Buckets summarizes training in windows of 1000 episodes (Fig. 4).
+	Buckets []TrainingBucket
+	// FirstWindowPatterns are the distinct leaky patterns of the first
+	// 1000 episodes with frequencies (Table V).
+	FirstWindowPatterns []PatternFrequency
+	// Episodes, Duration, EpisodesPerMin and StepsPerMin are the
+	// training-rate figures (Table II, Table IV).
+	Episodes       int
+	Duration       time.Duration
+	EpisodesPerMin float64
+	StepsPerMin    float64
+	// Key is the cipher key used (relevant when it was drawn randomly).
+	Key []byte
+}
+
+// Discover runs an RL fault-model discovery session: train PPO on the
+// bit-selection MDP, read out the converged pattern, and harvest verified
+// fault models (§III). It is the paper's headline entry point.
+func Discover(cfg DiscoverConfig) (*DiscoveryResult, error) {
+	if cfg.Round == 0 {
+		return nil, fmt.Errorf("explorefault: DiscoverConfig.Round is required")
+	}
+	if cfg.Samples == 0 {
+		cfg.Samples = 512
+	}
+	if cfg.MaxHarvest == 0 {
+		cfg.MaxHarvest = 24
+	}
+	info, err := LookupCipher(cfg.Cipher)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Round < 1 || cfg.Round > info.Rounds {
+		return nil, fmt.Errorf("explorefault: round %d out of range 1..%d for %s",
+			cfg.Round, info.Rounds, cfg.Cipher)
+	}
+
+	// Fix the key up front so that all envs attack the same instance.
+	keyRng := prng.New(cfg.Seed ^ 0x5eed)
+	_, key, err := newKeyedCipher(cfg.Cipher, cfg.Key, keyRng)
+	if err != nil {
+		return nil, err
+	}
+
+	var factory explore.OracleFactory
+	if cfg.Protected {
+		factory = func(rng *prng.Source) (explore.Oracle, error) {
+			c, _, err := newKeyedCipher(cfg.Cipher, key, rng)
+			if err != nil {
+				return nil, err
+			}
+			return countermeasure.NewOracle(c, countermeasure.OracleConfig{
+				Round:   cfg.Round,
+				Samples: cfg.Samples,
+			}, rng.Split())
+		}
+	} else {
+		factory = assessorOracleFactory(cfg.Cipher, key, cfg.Round, cfg.Samples)
+	}
+
+	agentCfg := cfg.Agent
+	if agentCfg.LearningRate == 0 {
+		agentCfg.LearningRate = 1e-3
+	}
+	if agentCfg.Epochs == 0 {
+		agentCfg.Epochs = 4
+	}
+	if agentCfg.EntropyCoef == 0 {
+		agentCfg.EntropyCoef = 1e-3
+	}
+	envCfg := explore.EnvConfig{EpisodeLen: cfg.EpisodeLen}
+	if cfg.LinearReward {
+		envCfg.Shape = explore.Linear
+	}
+	if cfg.RewardAtEachStep {
+		envCfg.Timing = explore.EachStep
+	}
+	sess, err := explore.NewSession(factory, explore.SessionConfig{
+		NumEnvs:  cfg.NumEnvs,
+		Episodes: cfg.Episodes,
+		Env:      envCfg,
+		Agent:    agentCfg,
+		Seed:     cfg.Seed,
+		Progress: cfg.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := sess.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DiscoveryResult{
+		Converged:      out.Converged,
+		ConvergedT:     out.ConvergedT,
+		ConvergedLeaky: out.ConvergedLeaky,
+		Episodes:       out.Episodes,
+		Duration:       out.Duration,
+		EpisodesPerMin: out.EpisodesPerMin,
+		StepsPerMin:    out.StepsPerMin,
+		Key:            key,
+	}
+	isAES := cfg.Cipher == "aes128"
+	records := out.Log.Records()
+	for _, b := range out.Log.Buckets(1000) {
+		tb := TrainingBucket{
+			StartEpisode:    b.Start,
+			EndEpisode:      b.End,
+			LeakyEpisodes:   b.LeakyCount,
+			AvgBitsSelected: b.AvgDistinct,
+			MaxLeakyBits:    b.MaxDistinct,
+		}
+		for _, r := range records[b.Start:b.End] {
+			if !r.Leaky {
+				continue
+			}
+			if r.Distinct == 1 {
+				tb.SingleBitModels++
+				continue
+			}
+			tb.MultiBitModels++
+			if isAES && diagonalContained(r.Pattern) {
+				tb.DiagonalContained++
+			}
+		}
+		res.Buckets = append(res.Buckets, tb)
+	}
+	for _, pc := range out.Log.PatternCounts(1000) {
+		res.FirstWindowPatterns = append(res.FirstWindowPatterns, PatternFrequency{
+			Pattern: pc.Pattern, Count: pc.Count,
+		})
+	}
+	if cfg.SkipHarvest || cfg.Protected {
+		// Protected mode's doubled patterns have no byte/nibble
+		// abstraction; the converged per-branch bits are the result.
+		return res, nil
+	}
+
+	res.Models, err = harvestModels(cfg, key, out)
+	return res, err
+}
+
+// diagonalContained reports whether the bytes touched by a 128-bit
+// pattern all lie on one AES diagonal (and there are at least two bits).
+func diagonalContained(p Pattern) bool {
+	bytes := p.Groups(8)
+	if p.Count() < 2 {
+		return false
+	}
+	diag := func(b int) int { return ((b%4-b/4)%4 + 4) % 4 }
+	d := diag(bytes[0])
+	for _, b := range bytes[1:] {
+		if diag(b) != d {
+			return false
+		}
+	}
+	return true
+}
+
+// harvestModels runs the §III-F pipeline on the session outcome: collect
+// candidate raw patterns (converged + the most frequent and largest leaky
+// training patterns), abstract to group granularity with a high-sample
+// offline verifier, extend by structural symmetry, deduplicate.
+func harvestModels(cfg DiscoverConfig, key []byte, out *explore.Outcome) ([]Model, error) {
+	verifierFactory := assessorOracleFactory(cfg.Cipher, key, cfg.Round, 2048)
+	verifier, err := verifierFactory(prng.New(cfg.Seed ^ 0xfeed))
+	if err != nil {
+		return nil, err
+	}
+	info, err := LookupCipher(cfg.Cipher)
+	if err != nil {
+		return nil, err
+	}
+
+	var candidates []bitvec.Vector
+	seen := map[string]bool{}
+	add := func(p bitvec.Vector) {
+		if k := p.String(); !seen[k] {
+			seen[k] = true
+			candidates = append(candidates, p)
+		}
+	}
+	if out.ConvergedLeaky {
+		add(out.Converged)
+	}
+	// Most frequent leaky patterns from the whole log...
+	counts := out.Log.PatternCounts(0)
+	for i := 0; i < len(counts) && i < cfg.MaxHarvest/3; i++ {
+		add(counts[i].Pattern)
+	}
+	// ...the largest leaky patterns (they carry the multi-group
+	// structure the frequent small ones miss)...
+	leaky := out.Log.Leaky(0)
+	sort.Slice(leaky, func(i, j int) bool { return leaky[i].Distinct > leaky[j].Distinct })
+	for i := 0; i < len(leaky) && i < cfg.MaxHarvest/3; i++ {
+		add(leaky[i].Pattern)
+	}
+	// ...and the smallest multi-bit ones, whose widenings yield the
+	// single-nibble/byte models of Table III.
+	sort.Slice(leaky, func(i, j int) bool { return leaky[i].Distinct < leaky[j].Distinct })
+	small := 0
+	for _, r := range leaky {
+		if r.Distinct < 2 {
+			continue
+		}
+		add(r.Pattern)
+		small++
+		if small >= cfg.MaxHarvest/3 {
+			break
+		}
+	}
+
+	models, err := abstraction.Harvest(verifier, candidates, abstraction.HarvestConfig{
+		MaxPatterns:    cfg.MaxHarvest,
+		ExtendSymmetry: true,
+		IsAES:          cfg.Cipher == "aes128",
+		GroupBits:      info.GroupBits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(models, func(i, j int) bool {
+		if models[i].Class != models[j].Class {
+			return models[i].Class < models[j].Class
+		}
+		return models[i].Pattern.Count() > models[j].Pattern.Count()
+	})
+	return models, nil
+}

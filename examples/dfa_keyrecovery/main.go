@@ -1,0 +1,63 @@
+// dfa_keyrecovery demonstrates the key-recovery verification layer: the
+// Piret–Quisquater differential fault attack recovering the full AES-128
+// key from a handful of byte faults, and the nibble-wise guess-and-filter
+// attack recovering GIFT-64 round keys 27/28 for both a prior-work model
+// (single nibble) and the paper's newly discovered model
+// {8, 9, 10, 11, 12, 14}.
+//
+// Run with:
+//
+//	go run ./examples/dfa_keyrecovery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	explorefault "repro"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2024, "experiment seed")
+	pairs := flag.Int("pairs", 256, "faulty encryptions for the GIFT attack")
+	flag.Parse()
+
+	fmt.Println("== AES-128: Piret–Quisquater DFA (byte fault at round 9) ==")
+	kr, err := explorefault.VerifyKeyRecovery(explorefault.Pattern{}, explorefault.VerifyConfig{
+		Cipher: "aes128", Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(kr)
+
+	for _, tc := range []struct {
+		name    string
+		nibbles []int
+	}{
+		{"single nibble (prior work)", []int{5}},
+		{"new model {8,9,10,11,12,14} (paper §IV-D)", []int{8, 9, 10, 11, 12, 14}},
+	} {
+		fmt.Printf("\n== GIFT-64: DFA with %s at round 25 ==\n", tc.name)
+		pattern := explorefault.PatternFromGroups(64, 4, tc.nibbles...)
+		kr, err := explorefault.VerifyKeyRecovery(pattern, explorefault.VerifyConfig{
+			Cipher: "gift64", Round: 25, Pairs: *pairs, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(kr)
+	}
+
+	fmt.Println("\nnote: the remaining GIFT key bits require a second fault at round 23")
+	fmt.Println("(per the paper), which this attack does not target.")
+}
+
+func printResult(kr *explorefault.KeyRecovery) {
+	fmt.Printf("  recovered key bits : %d / %d\n", kr.RecoveredBits, kr.TotalKeyBits)
+	fmt.Printf("  faulty encryptions : %d\n", kr.FaultsUsed)
+	fmt.Printf("  offline complexity : ~2^%.1f\n", kr.OfflineLog2)
+	fmt.Printf("  verified correct   : %v\n", kr.Correct)
+	fmt.Printf("  detail             : %s\n", kr.Notes)
+}

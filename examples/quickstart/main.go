@@ -1,0 +1,66 @@
+// Quickstart: discover exploitable fault models for GIFT-64 with a small
+// training budget, print the converged pattern and the verified fault
+// models, and show how a single model is re-checked with the standalone
+// leakage oracle.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	explorefault "repro"
+)
+
+func main() {
+	episodes := flag.Int("episodes", 400, "training episode budget")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	fmt.Println("ExploreFault quickstart: GIFT-64, fault injection at round 25")
+	fmt.Printf("training for %d episodes (seed %d)...\n\n", *episodes, *seed)
+
+	res, err := explorefault.Discover(explorefault.DiscoverConfig{
+		Cipher:   "gift64",
+		Round:    25,
+		Episodes: *episodes,
+		Seed:     *seed,
+		Progress: func(p explorefault.Progress) {
+			if p.Episodes%200 < 8 {
+				fmt.Printf("  episode %4d: leaky fraction %.2f, avg bits %.1f, best leaky pattern %d bits\n",
+					p.Episodes, p.AvgLeaky, p.AvgBits, p.BestLeakyN)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nconverged pattern: %s (t = %.1f, exploitable = %v)\n",
+		res.Converged.String(), res.ConvergedT, res.ConvergedLeaky)
+	fmt.Printf("training rate: %.0f episodes/min, %.0f steps/min\n\n",
+		res.EpisodesPerMin, res.StepsPerMin)
+
+	fmt.Printf("verified fault models (%d):\n", len(res.Models))
+	for _, m := range res.Models {
+		fmt.Printf("  %-40s t = %8.1f\n", m.String(), m.T)
+	}
+
+	// Re-check one model with the standalone oracle at a higher sample
+	// count, the way a certification flow would.
+	if len(res.Models) > 0 {
+		m := res.Models[0]
+		a, err := explorefault.Assess(m.Pattern, explorefault.AssessConfig{
+			Cipher: "gift64", Key: res.Key, Round: 25, Samples: 4096, Seed: *seed + 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nindependent re-assessment of %s: t = %.1f at order %d (%s), exploitable = %v\n",
+			m.String(), a.T, a.Order, a.Point, a.Leaky)
+	}
+}

@@ -1,0 +1,185 @@
+package explorefault_test
+
+import (
+	"testing"
+
+	explorefault "repro"
+)
+
+func TestPatternHelpers(t *testing.T) {
+	p := explorefault.PatternFromGroups(128, 8, 2, 7, 8, 13)
+	if p.Count() != 32 {
+		t.Errorf("diagonal pattern has %d bits, want 32", p.Count())
+	}
+	q := explorefault.PatternFromBits(64, 3, 40)
+	if !q.Bit(3) || !q.Bit(40) || q.Count() != 2 {
+		t.Error("PatternFromBits wrong")
+	}
+	e := explorefault.NewPattern(64)
+	if !e.IsZero() || e.Len() != 64 {
+		t.Error("NewPattern wrong")
+	}
+}
+
+func TestCipherRegistry(t *testing.T) {
+	names := explorefault.Ciphers()
+	want := map[string]bool{"aes128": true, "gift64": true, "gift128": true, "present80": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing ciphers: %v (have %v)", want, names)
+	}
+	info, err := explorefault.LookupCipher("gift64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rounds != 28 || info.BlockBytes != 8 || info.GroupBits != 4 {
+		t.Errorf("gift64 info wrong: %+v", info)
+	}
+	if _, err := explorefault.LookupCipher("des"); err == nil {
+		t.Error("LookupCipher accepted unknown cipher")
+	}
+}
+
+func TestAssessTableIContrast(t *testing.T) {
+	// Public-API version of Table I: AES byte fault at round 8 is
+	// invisible at order 1 and obvious at order 2.
+	byteFault := explorefault.PatternFromGroups(128, 8, 0)
+	o1, err := explorefault.Assess(byteFault, explorefault.AssessConfig{
+		Cipher: "aes128", Round: 8, FixedOrder: 1, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := explorefault.Assess(byteFault, explorefault.AssessConfig{
+		Cipher: "aes128", Round: 8, FixedOrder: 2, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Leaky {
+		t.Errorf("first-order t = %.2f classified leaky", o1.T)
+	}
+	if !o2.Leaky || o2.Order != 2 {
+		t.Errorf("second-order t = %.2f (order %d), want leaky at order 2", o2.T, o2.Order)
+	}
+	if o2.Threshold != 4.5 {
+		t.Errorf("threshold = %v", o2.Threshold)
+	}
+}
+
+func TestAssessValidation(t *testing.T) {
+	p := explorefault.PatternFromBits(128, 0)
+	if _, err := explorefault.Assess(p, explorefault.AssessConfig{Cipher: "nope", Round: 8}); err == nil {
+		t.Error("accepted unknown cipher")
+	}
+	if _, err := explorefault.Assess(p, explorefault.AssessConfig{
+		Cipher: "aes128", Round: 8, Key: make([]byte, 5),
+	}); err == nil {
+		t.Error("accepted wrong key length")
+	}
+}
+
+func TestDiscoverGIFTSmallBudget(t *testing.T) {
+	// A miniature end-to-end discovery on GIFT-64: tiny budget, but the
+	// session must produce a leaky converged pattern and verified
+	// nibble models.
+	res, err := explorefault.Discover(explorefault.DiscoverConfig{
+		Cipher:     "gift64",
+		Round:      25,
+		Episodes:   160,
+		NumEnvs:    4,
+		Samples:    256,
+		MaxHarvest: 6,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ConvergedLeaky {
+		t.Fatal("tiny GIFT session failed to converge to a leaky pattern")
+	}
+	if len(res.Models) == 0 {
+		t.Fatal("no fault models harvested")
+	}
+	for _, m := range res.Models {
+		if !m.Verified {
+			t.Errorf("unverified model in results: %v", m)
+		}
+		if m.T <= 4.5 && m.Class != explorefault.RawPattern {
+			t.Errorf("model %v has t = %.2f <= threshold", m, m.T)
+		}
+	}
+	if len(res.Buckets) == 0 {
+		t.Error("no training buckets")
+	}
+	if res.Episodes < 160 {
+		t.Errorf("ran %d episodes", res.Episodes)
+	}
+	if res.EpisodesPerMin <= 0 || res.StepsPerMin <= 0 {
+		t.Error("training-rate figures missing")
+	}
+	if len(res.Key) != 16 {
+		t.Error("key not reported")
+	}
+}
+
+func TestDiscoverValidation(t *testing.T) {
+	if _, err := explorefault.Discover(explorefault.DiscoverConfig{Cipher: "gift64"}); err == nil {
+		t.Error("accepted missing round")
+	}
+	if _, err := explorefault.Discover(explorefault.DiscoverConfig{Cipher: "gift64", Round: 99}); err == nil {
+		t.Error("accepted out-of-range round")
+	}
+	if _, err := explorefault.Discover(explorefault.DiscoverConfig{Cipher: "nope", Round: 1}); err == nil {
+		t.Error("accepted unknown cipher")
+	}
+}
+
+func TestVerifyKeyRecoveryAES(t *testing.T) {
+	res, err := explorefault.VerifyKeyRecovery(explorefault.Pattern{}, explorefault.VerifyConfig{
+		Cipher: "aes128", Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct || res.RecoveredBits != 128 {
+		t.Errorf("AES PQ: %d bits, correct=%v (%s)", res.RecoveredBits, res.Correct, res.Notes)
+	}
+}
+
+func TestVerifyKeyRecoveryGIFTNewModel(t *testing.T) {
+	pattern := explorefault.PatternFromGroups(64, 4, 8, 9, 10, 11, 12, 14)
+	res, err := explorefault.VerifyKeyRecovery(pattern, explorefault.VerifyConfig{
+		Cipher: "gift64", Round: 25, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("GIFT DFA returned incorrect bits (%s)", res.Notes)
+	}
+	if res.RecoveredBits < 40 {
+		t.Errorf("recovered %d bits (%s)", res.RecoveredBits, res.Notes)
+	}
+}
+
+func TestVerifyKeyRecoveryUnknownCipher(t *testing.T) {
+	if _, err := explorefault.VerifyKeyRecovery(explorefault.Pattern{}, explorefault.VerifyConfig{
+		Cipher: "present80",
+	}); err == nil {
+		t.Error("accepted cipher without an attack")
+	}
+}
+
+func TestPropagate(t *testing.T) {
+	pattern := explorefault.PatternFromGroups(128, 8, 2, 7, 8, 13)
+	prof, err := explorefault.Propagate(pattern, "aes128", nil, 8, 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.DistinguisherRound < 9 {
+		t.Errorf("distinguisher round = %d, want >= 9", prof.DistinguisherRound)
+	}
+}

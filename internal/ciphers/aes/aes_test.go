@@ -1,0 +1,351 @@
+package aes
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ciphers"
+	"repro/internal/prng"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+func TestSBoxKnownValues(t *testing.T) {
+	// Spot checks against FIPS-197 Figure 7.
+	cases := map[byte]byte{
+		0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0x10: 0xca,
+		0xff: 0x16, 0x9a: 0xb8, 0xc0: 0xba, 0x30: 0x04,
+	}
+	for in, want := range cases {
+		if got := SBox(in); got != want {
+			t.Errorf("SBox(%#02x) = %#02x, want %#02x", in, got, want)
+		}
+	}
+}
+
+func TestSBoxInverse(t *testing.T) {
+	seen := map[byte]bool{}
+	for i := 0; i < 256; i++ {
+		s := SBox(byte(i))
+		if seen[s] {
+			t.Fatalf("S-box not a bijection: duplicate output %#02x", s)
+		}
+		seen[s] = true
+		if InvSBox(s) != byte(i) {
+			t.Fatalf("InvSBox(SBox(%#02x)) = %#02x", i, InvSBox(s))
+		}
+	}
+}
+
+func TestMulGF(t *testing.T) {
+	// FIPS-197 §4.2 example: {57} · {83} = {c1}.
+	if got := MulGF(0x57, 0x83); got != 0xc1 {
+		t.Errorf("MulGF(0x57,0x83) = %#02x, want 0xc1", got)
+	}
+	// Multiplication by 1 is identity; by 0 is zero.
+	for i := 0; i < 256; i++ {
+		if MulGF(byte(i), 1) != byte(i) || MulGF(byte(i), 0) != 0 {
+			t.Fatalf("MulGF identity/zero failed at %d", i)
+		}
+	}
+}
+
+func TestMulGFProperties(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		// Commutativity and distributivity over XOR.
+		return MulGF(a, b) == MulGF(b, a) &&
+			MulGF(a, b^c) == MulGF(a, b)^MulGF(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIPS197AppendixB(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := unhex(t, "3243f6a8885a308d313198a2e0370734")
+	want := unhex(t, "3925841d02dc09fbdc118597196a0b32")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.Encrypt(got, pt, nil, nil)
+	if !bytes.Equal(got, want) {
+		t.Errorf("ciphertext = %x, want %x", got, want)
+	}
+}
+
+func TestFIPS197AppendixC1(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := unhex(t, "00112233445566778899aabbccddeeff")
+	want := unhex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.Encrypt(got, pt, nil, nil)
+	if !bytes.Equal(got, want) {
+		t.Errorf("ciphertext = %x, want %x", got, want)
+	}
+}
+
+func TestKeyExpansionFirstAndLast(t *testing.T) {
+	// FIPS-197 Appendix A.1 key expansion for 2b7e...4f3c.
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := c.RoundKey(0)
+	if !bytes.Equal(k0[:], key) {
+		t.Errorf("round key 0 = %x, want original key", k0)
+	}
+	k10 := c.RoundKey(10)
+	want := unhex(t, "d014f9a8c9ee2589e13f0cc8b6630ca6")
+	if !bytes.Equal(k10[:], want) {
+		t.Errorf("round key 10 = %x, want %x", k10, want)
+	}
+}
+
+func TestNewRejectsBadKeyLength(t *testing.T) {
+	for _, n := range []int{0, 15, 17, 24, 32} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New accepted %d-byte key", n)
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	src := prng.New(31)
+	key := make([]byte, 16)
+	pt := make([]byte, 16)
+	got := make([]byte, 16)
+	ct := make([]byte, 16)
+	for trial := 0; trial < 50; trial++ {
+		src.Fill(key)
+		src.Fill(pt)
+		c, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Encrypt(ct, pt, nil, nil)
+		c.Decrypt(got, ct)
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("decrypt(encrypt(pt)) != pt for key %x", key)
+		}
+	}
+}
+
+func TestTraceConsistency(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := unhex(t, "00112233445566778899aabbccddeeff")
+	c, _ := New(key)
+	trace := ciphers.NewTrace(c)
+	ct := make([]byte, 16)
+	c.Encrypt(ct, pt, nil, trace)
+
+	if !bytes.Equal(trace.Ciphertext, ct) {
+		t.Error("trace ciphertext differs from output")
+	}
+	// Round-1 input is plaintext XOR whitening key (FIPS-197 C.1
+	// round[1].istart = 00102030405060708090a0b0c0d0e0f0).
+	want := unhex(t, "00102030405060708090a0b0c0d0e0f0")
+	if !bytes.Equal(trace.Inputs[0], want) {
+		t.Errorf("round 1 input = %x, want %x", trace.Inputs[0], want)
+	}
+	// Round-2 input from the same appendix: round[2].istart.
+	want2 := unhex(t, "89d810e8855ace682d1843d8cb128fe4")
+	if !bytes.Equal(trace.Inputs[1], want2) {
+		t.Errorf("round 2 input = %x, want %x", trace.Inputs[1], want2)
+	}
+	// PostSub of round 1 = SubBytes(round-1 input): round[1].s_box.
+	wantSub := unhex(t, "63cab7040953d051cd60e0e7ba70e18c")
+	if !bytes.Equal(trace.PostSub[0], wantSub) {
+		t.Errorf("round 1 post-sub = %x, want %x", trace.PostSub[0], wantSub)
+	}
+}
+
+func TestFaultInjectionChangesCiphertext(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := unhex(t, "3243f6a8885a308d313198a2e0370734")
+	c, _ := New(key)
+	clean := make([]byte, 16)
+	c.Encrypt(clean, pt, nil, nil)
+
+	mask := make([]byte, 16)
+	mask[2] = 0xff
+	faulty := make([]byte, 16)
+	for r := 1; r <= NumRounds; r++ {
+		c.Encrypt(faulty, pt, &ciphers.Fault{Round: r, Mask: mask}, nil)
+		if bytes.Equal(faulty, clean) {
+			t.Errorf("round-%d fault did not change ciphertext", r)
+		}
+	}
+}
+
+func TestFaultVisibleInTrace(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := unhex(t, "3243f6a8885a308d313198a2e0370734")
+	c, _ := New(key)
+	cleanTr := ciphers.NewTrace(c)
+	faultTr := ciphers.NewTrace(c)
+	out := make([]byte, 16)
+	c.Encrypt(out, pt, nil, cleanTr)
+
+	mask := make([]byte, 16)
+	mask[5] = 0x01
+	c.Encrypt(out, pt, &ciphers.Fault{Round: 8, Mask: mask}, faultTr)
+
+	// Rounds before the fault are identical; the fault-round input
+	// differs by exactly the mask.
+	for r := 1; r < 8; r++ {
+		if !bytes.Equal(cleanTr.Inputs[r-1], faultTr.Inputs[r-1]) {
+			t.Errorf("round %d input differs before injection", r)
+		}
+	}
+	diff := make([]byte, 16)
+	for i := range diff {
+		diff[i] = cleanTr.Inputs[7][i] ^ faultTr.Inputs[7][i]
+	}
+	if !bytes.Equal(diff, mask) {
+		t.Errorf("round-8 input differential = %x, want mask %x", diff, mask)
+	}
+}
+
+func TestSingleByteFaultDiffusion(t *testing.T) {
+	// A byte fault at round 8 must corrupt exactly one column at the
+	// round-9 input and the full state at the round-10 input (Fig. 1).
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := unhex(t, "00112233445566778899aabbccddeeff")
+	c, _ := New(key)
+	cleanTr := ciphers.NewTrace(c)
+	faultTr := ciphers.NewTrace(c)
+	out := make([]byte, 16)
+	c.Encrypt(out, pt, nil, cleanTr)
+
+	mask := make([]byte, 16)
+	mask[0] = 0x2a // fault byte 0 (diagonal 0)
+	c.Encrypt(out, pt, &ciphers.Fault{Round: 8, Mask: mask}, faultTr)
+
+	faultyBytes9 := 0
+	for i := 0; i < 16; i++ {
+		if cleanTr.Inputs[8][i] != faultTr.Inputs[8][i] {
+			faultyBytes9++
+			// Byte 0 is on diagonal 0; ShiftRows sends diagonal 0 to
+			// column 0, so corruption lives in bytes 0..3.
+			if i >= 4 {
+				t.Errorf("round-9 corruption outside column 0 at byte %d", i)
+			}
+		}
+	}
+	if faultyBytes9 != 4 {
+		t.Errorf("round-9 input has %d faulty bytes, want 4", faultyBytes9)
+	}
+	faultyBytes10 := 0
+	for i := 0; i < 16; i++ {
+		if cleanTr.Inputs[9][i] != faultTr.Inputs[9][i] {
+			faultyBytes10++
+		}
+	}
+	if faultyBytes10 != 16 {
+		t.Errorf("round-10 input has %d faulty bytes, want 16", faultyBytes10)
+	}
+}
+
+func TestDiagonalDefinitions(t *testing.T) {
+	want := map[int][4]int{
+		0: {0, 5, 10, 15},
+		1: {1, 6, 11, 12},
+		2: {2, 7, 8, 13},
+		3: {3, 4, 9, 14},
+	}
+	for d, w := range want {
+		if got := Diagonal(d); got != w {
+			t.Errorf("Diagonal(%d) = %v, want %v", d, got, w)
+		}
+		for _, b := range w {
+			if DiagonalOf(b) != d {
+				t.Errorf("DiagonalOf(%d) = %d, want %d", b, DiagonalOf(b), d)
+			}
+		}
+	}
+}
+
+func TestDiagonalMapsToColumnUnderShiftRows(t *testing.T) {
+	for d := 0; d < 4; d++ {
+		cols := map[int]bool{}
+		for _, b := range Diagonal(d) {
+			cols[ShiftRowsIndex(b)/4] = true
+		}
+		if len(cols) != 1 {
+			t.Errorf("diagonal %d maps to %d columns under ShiftRows, want 1", d, len(cols))
+		}
+	}
+}
+
+func TestShiftRowsIndexMatchesImplementation(t *testing.T) {
+	var s [16]byte
+	for i := range s {
+		s[i] = byte(i)
+	}
+	shiftRows(&s)
+	for i := 0; i < 16; i++ {
+		if s[ShiftRowsIndex(i)] != byte(i) {
+			t.Errorf("byte %d: ShiftRowsIndex says %d, state disagrees", i, ShiftRowsIndex(i))
+		}
+	}
+}
+
+func TestMixColumnsInverse(t *testing.T) {
+	f := func(in [16]byte) bool {
+		s := in
+		mixColumns(&s)
+		invMixColumns(&s)
+		return s == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistryIntegration(t *testing.T) {
+	c, err := ciphers.New("aes128", make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "aes128" || c.BlockBytes() != 16 || c.Rounds() != 10 || c.GroupBits() != 8 {
+		t.Errorf("registry metadata wrong: %s %d %d %d", c.Name(), c.BlockBytes(), c.Rounds(), c.GroupBits())
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c, _ := New(make([]byte, 16))
+	pt := make([]byte, 16)
+	ct := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(ct, pt, nil, nil)
+	}
+}
+
+func BenchmarkEncryptWithTrace(b *testing.B) {
+	c, _ := New(make([]byte, 16))
+	pt := make([]byte, 16)
+	ct := make([]byte, 16)
+	tr := ciphers.NewTrace(c)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(ct, pt, nil, tr)
+	}
+}

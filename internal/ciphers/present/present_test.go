@@ -1,0 +1,148 @@
+package present
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/ciphers"
+	"repro/internal/prng"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// Official test vectors from the PRESENT paper (CHES 2007, Appendix).
+func TestPresentVectors(t *testing.T) {
+	cases := []struct{ key, pt, ct string }{
+		{"00000000000000000000", "0000000000000000", "5579c1387b228445"},
+		{"ffffffffffffffffffff", "0000000000000000", "e72c46c0f5945049"},
+		{"00000000000000000000", "ffffffffffffffff", "a112ffc72f68417b"},
+		{"ffffffffffffffffffff", "ffffffffffffffff", "3333dcd3213210d2"},
+	}
+	for _, tc := range cases {
+		c, err := New(unhex(t, tc.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8)
+		c.Encrypt(got, unhex(t, tc.pt), nil, nil)
+		if want := unhex(t, tc.ct); !bytes.Equal(got, want) {
+			t.Errorf("key %s pt %s: ct = %x, want %x", tc.key, tc.pt, got, want)
+		}
+	}
+}
+
+func TestSBoxBijection(t *testing.T) {
+	seen := map[byte]bool{}
+	for i := byte(0); i < 16; i++ {
+		s := SBox(i)
+		if seen[s] {
+			t.Fatalf("S-box not a bijection at %d", i)
+		}
+		seen[s] = true
+		if InvSBox(s) != i {
+			t.Fatalf("InvSBox(SBox(%d)) = %d", i, InvSBox(s))
+		}
+	}
+	if SBox(0) != 0xc || SBox(0xf) != 0x2 {
+		t.Error("S-box endpoints disagree with the specification")
+	}
+}
+
+func TestPermKnownValues(t *testing.T) {
+	// P(i) = 16i mod 63 with P(63) = 63.
+	want := map[int]int{0: 0, 1: 16, 2: 32, 3: 48, 4: 1, 62: 47, 63: 63}
+	for i, p := range want {
+		if got := Perm(i); got != p {
+			t.Errorf("Perm(%d) = %d, want %d", i, got, p)
+		}
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		if seen[Perm(i)] {
+			t.Fatalf("permutation not a bijection at %d", i)
+		}
+		seen[Perm(i)] = true
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	src := prng.New(55)
+	key := make([]byte, 10)
+	pt := make([]byte, 8)
+	ct := make([]byte, 8)
+	got := make([]byte, 8)
+	for trial := 0; trial < 50; trial++ {
+		src.Fill(key)
+		src.Fill(pt)
+		c, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Encrypt(ct, pt, nil, nil)
+		c.Decrypt(got, ct)
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("decrypt(encrypt(pt)) != pt for key %x", key)
+		}
+	}
+}
+
+func TestNewRejectsBadKeyLength(t *testing.T) {
+	for _, n := range []int{0, 8, 16} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New accepted %d-byte key", n)
+		}
+	}
+}
+
+func TestFaultTraceSemantics(t *testing.T) {
+	c, _ := New(unhex(t, "00000000000000000000"))
+	pt := unhex(t, "0123456789abcdef")
+	cleanTr := ciphers.NewTrace(c)
+	faultTr := ciphers.NewTrace(c)
+	out := make([]byte, 8)
+	c.Encrypt(out, pt, nil, cleanTr)
+
+	mask := make([]byte, 8)
+	mask[3] = 0xf0 // nibble 7
+	c.Encrypt(out, pt, &ciphers.Fault{Round: 29, Mask: mask}, faultTr)
+	for r := 1; r < 29; r++ {
+		if !bytes.Equal(cleanTr.Inputs[r-1], faultTr.Inputs[r-1]) {
+			t.Errorf("round %d input differs before injection", r)
+		}
+	}
+	diff := make([]byte, 8)
+	for i := range diff {
+		diff[i] = cleanTr.Inputs[28][i] ^ faultTr.Inputs[28][i]
+	}
+	if !bytes.Equal(diff, mask) {
+		t.Errorf("round-29 input differential = %x, want mask %x", diff, mask)
+	}
+}
+
+func TestRegistryIntegration(t *testing.T) {
+	c, err := ciphers.New("present80", make([]byte, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds() != 31 || c.GroupBits() != 4 || c.BlockBytes() != 8 {
+		t.Error("wrong registry metadata for present80")
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c, _ := New(make([]byte, 10))
+	pt := make([]byte, 8)
+	ct := make([]byte, 8)
+	b.SetBytes(8)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(ct, pt, nil, nil)
+	}
+}

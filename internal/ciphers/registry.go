@@ -1,0 +1,76 @@
+package ciphers
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Constructor builds a cipher instance from a key. Implementations return
+// an error for wrong key lengths.
+type Constructor func(key []byte) (Cipher, error)
+
+// Info describes a registered cipher family.
+type Info struct {
+	Name       string
+	BlockBytes int
+	KeyBytes   int
+	Rounds     int
+	GroupBits  int
+	New        Constructor
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Info{}
+)
+
+// Register makes a cipher family available by name. It panics on duplicate
+// registration, which indicates a programming error.
+func Register(info Info) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if info.New == nil {
+		panic("ciphers: Register with nil constructor")
+	}
+	if _, dup := registry[info.Name]; dup {
+		panic(fmt.Sprintf("ciphers: duplicate registration of %q", info.Name))
+	}
+	registry[info.Name] = info
+}
+
+// Lookup returns the registration for name.
+func Lookup(name string) (Info, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	info, ok := registry[name]
+	if !ok {
+		return Info{}, fmt.Errorf("ciphers: unknown cipher %q (registered: %v)", name, namesLocked())
+	}
+	return info, nil
+}
+
+// New constructs a registered cipher by name.
+func New(name string, key []byte) (Cipher, error) {
+	info, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return info.New(key)
+}
+
+// Names lists the registered cipher names in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,253 @@
+// Package simon implements the SIMON family members Simon64/128 (64-bit
+// block, 128-bit key, 44 rounds) and Simon32/64 (32-bit block, 64-bit
+// key, 32 rounds) at trace level (Beaulieu et al., "The SIMON and SPECK
+// lightweight block ciphers", DAC 2015).
+//
+// SIMON is the paper's motivating example of structural diversity: it is
+// a Feistel cipher with AND/rotate round functions, so fault models
+// discovered for SPN ciphers (AES diagonals, GIFT nibbles) do not carry
+// over, while the ExploreFault pipeline applies unchanged. The package
+// follows the repository-wide trace conventions: state bit i is bit i%8
+// of byte i/8, where the state is y||x with x the high (left) word as in
+// the SIMON specification; "PostSub" records the state after the round's
+// non-linear function is applied, which for a Feistel round is the state
+// right after the Feistel swap.
+package simon
+
+import (
+	"fmt"
+
+	"repro/internal/ciphers"
+)
+
+// Variant selects a SIMON family member.
+type Variant int
+
+const (
+	// Simon64_128: 64-bit block, 128-bit key, 44 rounds.
+	Simon64_128 Variant = iota
+	// Simon32_64: 32-bit block, 64-bit key, 32 rounds.
+	Simon32_64
+)
+
+// z-sequences used by the key schedules (z3 for Simon64/128, z0 for
+// Simon32/64), from the SIMON specification.
+var (
+	z0 = mustBits("11111010001001010110000111001101111101000100101011000011100110")
+	z3 = mustBits("11011011101011000110010111100000010010001010011100110100001111")
+)
+
+func mustBits(s string) []byte {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		if c != '0' && c != '1' {
+			panic("simon: bad z-sequence literal")
+		}
+		out[i] = byte(c - '0')
+	}
+	return out
+}
+
+// Cipher is a keyed SIMON instance.
+type Cipher struct {
+	variant   Variant
+	wordBits  uint
+	rounds    int
+	roundKeys []uint32
+}
+
+// New creates a SIMON instance for the given variant.
+func New(v Variant, key []byte) (*Cipher, error) {
+	c := &Cipher{variant: v}
+	var keyWords int
+	var z []byte
+	switch v {
+	case Simon64_128:
+		c.wordBits, c.rounds, keyWords, z = 32, 44, 4, z3
+	case Simon32_64:
+		c.wordBits, c.rounds, keyWords, z = 16, 32, 4, z0
+	default:
+		return nil, fmt.Errorf("simon: unknown variant %d", v)
+	}
+	wantKey := keyWords * int(c.wordBits) / 8
+	if len(key) != wantKey {
+		return nil, fmt.Errorf("simon: key must be %d bytes, got %d", wantKey, len(key))
+	}
+	c.expandKey(key, keyWords, z)
+	return c, nil
+}
+
+// New64 creates a Simon64/128 instance (the default in this repository).
+func New64(key []byte) (*Cipher, error) { return New(Simon64_128, key) }
+
+// New32 creates a Simon32/64 instance.
+func New32(key []byte) (*Cipher, error) { return New(Simon32_64, key) }
+
+func (c *Cipher) mask() uint32 {
+	if c.wordBits == 32 {
+		return 0xffffffff
+	}
+	return uint32(1)<<c.wordBits - 1
+}
+
+func (c *Cipher) rotl(x uint32, r uint) uint32 {
+	return (x<<r | x>>(c.wordBits-r)) & c.mask()
+}
+
+func (c *Cipher) rotr(x uint32, r uint) uint32 {
+	return (x>>r | x<<(c.wordBits-r)) & c.mask()
+}
+
+// expandKey computes the round keys. The key is given in spec big-endian
+// order: key[0..] holds k[m-1] first.
+func (c *Cipher) expandKey(key []byte, m int, z []byte) {
+	bytesPerWord := int(c.wordBits) / 8
+	k := make([]uint32, c.rounds)
+	// k[0] is the LAST word of the byte string.
+	for i := 0; i < m; i++ {
+		var w uint32
+		off := (m - 1 - i) * bytesPerWord
+		for j := 0; j < bytesPerWord; j++ {
+			w = w<<8 | uint32(key[off+j])
+		}
+		k[i] = w
+	}
+	cconst := c.mask() ^ 3 // 2^n - 4
+	for i := m; i < c.rounds; i++ {
+		tmp := c.rotr(k[i-1], 3)
+		if m == 4 {
+			tmp ^= k[i-3]
+		}
+		tmp ^= c.rotr(tmp, 1)
+		k[i] = k[i-m] ^ tmp ^ uint32(z[(i-m)%62]) ^ cconst
+	}
+	c.roundKeys = k
+}
+
+// RoundKey returns the round key of round r (1-based), exported for the
+// DFA-style analyses and tests.
+func (c *Cipher) RoundKey(r int) uint32 {
+	if r < 1 || r > c.rounds {
+		panic("simon: round key index out of range")
+	}
+	return c.roundKeys[r-1]
+}
+
+// Name implements ciphers.Cipher.
+func (c *Cipher) Name() string {
+	if c.variant == Simon64_128 {
+		return "simon64"
+	}
+	return "simon32"
+}
+
+// BlockBytes implements ciphers.Cipher.
+func (c *Cipher) BlockBytes() int { return 2 * int(c.wordBits) / 8 }
+
+// Rounds implements ciphers.Cipher.
+func (c *Cipher) Rounds() int { return c.rounds }
+
+// GroupBits implements ciphers.Cipher. SIMON has no S-boxes; bytes are
+// the natural grouping for differential statistics.
+func (c *Cipher) GroupBits() int { return 8 }
+
+// f is the SIMON round function.
+func (c *Cipher) f(x uint32) uint32 {
+	return (c.rotl(x, 1)&c.rotl(x, 8) ^ c.rotl(x, 2)) & c.mask()
+}
+
+// state mapping: the spec block is x||y (x left/high). We store the
+// 2n-bit state with y in bits [0, n) and x in bits [n, 2n), so state bit
+// i of the repository convention is bit i of y for i < n.
+
+func (c *Cipher) loadBE(src []byte) (x, y uint32) {
+	bytesPerWord := int(c.wordBits) / 8
+	for j := 0; j < bytesPerWord; j++ {
+		x = x<<8 | uint32(src[j])
+		y = y<<8 | uint32(src[bytesPerWord+j])
+	}
+	return x, y
+}
+
+func (c *Cipher) storeBE(dst []byte, x, y uint32) {
+	bytesPerWord := int(c.wordBits) / 8
+	for j := bytesPerWord - 1; j >= 0; j-- {
+		dst[j] = byte(x)
+		dst[bytesPerWord+j] = byte(y)
+		x >>= 8
+		y >>= 8
+	}
+}
+
+func (c *Cipher) storeLE(dst []byte, x, y uint32) {
+	bytesPerWord := int(c.wordBits) / 8
+	for j := 0; j < bytesPerWord; j++ {
+		dst[j] = byte(y >> (8 * uint(j)))
+		dst[bytesPerWord+j] = byte(x >> (8 * uint(j)))
+	}
+}
+
+func (c *Cipher) maskLE(mask []byte) (x, y uint32) {
+	bytesPerWord := int(c.wordBits) / 8
+	for j := 0; j < bytesPerWord; j++ {
+		y |= uint32(mask[j]) << (8 * uint(j))
+		x |= uint32(mask[bytesPerWord+j]) << (8 * uint(j))
+	}
+	return x, y
+}
+
+// Encrypt implements ciphers.Cipher.
+func (c *Cipher) Encrypt(dst, src []byte, fault *ciphers.Fault, trace *ciphers.Trace) {
+	fault.Validate(c)
+	x, y := c.loadBE(src)
+	for r := 1; r <= c.rounds; r++ {
+		if fault != nil && fault.Round == r {
+			fx, fy := c.maskLE(fault.Mask)
+			x ^= fx
+			y ^= fy
+		}
+		if trace != nil {
+			c.storeLE(trace.Inputs[r-1], x, y)
+		}
+		x, y = y^c.f(x)^c.roundKeys[r-1], x
+		if trace != nil {
+			c.storeLE(trace.PostSub[r-1], x, y)
+		}
+	}
+	c.storeBE(dst, x, y)
+	if trace != nil {
+		c.storeLE(trace.Ciphertext, x, y)
+	}
+}
+
+// Decrypt inverts Encrypt.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	x, y := c.loadBE(src)
+	for r := c.rounds; r >= 1; r-- {
+		x, y = y, x^c.f(y)^c.roundKeys[r-1]
+	}
+	c.storeBE(dst, x, y)
+}
+
+func init() {
+	ciphers.Register(ciphers.Info{
+		Name:       "simon64",
+		BlockBytes: 8,
+		KeyBytes:   16,
+		Rounds:     44,
+		GroupBits:  8,
+		New: func(key []byte) (ciphers.Cipher, error) {
+			return New(Simon64_128, key)
+		},
+	})
+	ciphers.Register(ciphers.Info{
+		Name:       "simon32",
+		BlockBytes: 4,
+		KeyBytes:   8,
+		Rounds:     32,
+		GroupBits:  8,
+		New: func(key []byte) (ciphers.Cipher, error) {
+			return New(Simon32_64, key)
+		},
+	})
+}

@@ -1,0 +1,209 @@
+package simon
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/ciphers"
+	"repro/internal/prng"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// Official test vectors from the SIMON and SPECK specification.
+func TestSimon64_128Vector(t *testing.T) {
+	c, err := New64(unhex(t, "1b1a1918131211100b0a090803020100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	c.Encrypt(got, unhex(t, "656b696c20646e75"), nil, nil)
+	if want := unhex(t, "44c8fc20b9dfa07a"); !bytes.Equal(got, want) {
+		t.Errorf("ciphertext = %x, want %x", got, want)
+	}
+}
+
+func TestSimon32_64Vector(t *testing.T) {
+	c, err := New32(unhex(t, "1918111009080100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	c.Encrypt(got, unhex(t, "65656877"), nil, nil)
+	if want := unhex(t, "c69be9bb"); !bytes.Equal(got, want) {
+		t.Errorf("ciphertext = %x, want %x", got, want)
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	src := prng.New(41)
+	for _, v := range []Variant{Simon64_128, Simon32_64} {
+		keyLen := 16
+		if v == Simon32_64 {
+			keyLen = 8
+		}
+		key := make([]byte, keyLen)
+		for trial := 0; trial < 50; trial++ {
+			src.Fill(key)
+			c, err := New(v, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt := make([]byte, c.BlockBytes())
+			ct := make([]byte, c.BlockBytes())
+			got := make([]byte, c.BlockBytes())
+			src.Fill(pt)
+			c.Encrypt(ct, pt, nil, nil)
+			c.Decrypt(got, ct)
+			if !bytes.Equal(got, pt) {
+				t.Fatalf("%s: decrypt(encrypt(pt)) != pt", c.Name())
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New64(make([]byte, 8)); err == nil {
+		t.Error("New64 accepted 8-byte key")
+	}
+	if _, err := New32(make([]byte, 16)); err == nil {
+		t.Error("New32 accepted 16-byte key")
+	}
+	if _, err := New(Variant(7), make([]byte, 16)); err == nil {
+		t.Error("New accepted unknown variant")
+	}
+}
+
+func TestFaultTraceSemantics(t *testing.T) {
+	c, _ := New64(unhex(t, "1b1a1918131211100b0a090803020100"))
+	pt := unhex(t, "0123456789abcdef")
+	cleanTr := ciphers.NewTrace(c)
+	faultTr := ciphers.NewTrace(c)
+	out := make([]byte, 8)
+	c.Encrypt(out, pt, nil, cleanTr)
+
+	mask := make([]byte, 8)
+	mask[1] = 0x80 // bit 15 (word y)
+	mask[5] = 0x01 // bit 40 (word x)
+	c.Encrypt(out, pt, &ciphers.Fault{Round: 40, Mask: mask}, faultTr)
+	for r := 1; r < 40; r++ {
+		if !bytes.Equal(cleanTr.Inputs[r-1], faultTr.Inputs[r-1]) {
+			t.Errorf("round %d input differs before injection", r)
+		}
+	}
+	diff := make([]byte, 8)
+	for i := range diff {
+		diff[i] = cleanTr.Inputs[39][i] ^ faultTr.Inputs[39][i]
+	}
+	if !bytes.Equal(diff, mask) {
+		t.Errorf("round-40 input differential = %x, want mask %x", diff, mask)
+	}
+}
+
+func TestFeistelSlowDiffusion(t *testing.T) {
+	// A fault in the right (y) word does not touch the left word until
+	// the next swap: one round later the differential is confined to
+	// the x word. This Feistel property distinguishes SIMON from the
+	// SPN ciphers in this repository.
+	c, _ := New64(make([]byte, 16))
+	pt := unhex(t, "00112233aabbccdd")
+	cleanTr := ciphers.NewTrace(c)
+	faultTr := ciphers.NewTrace(c)
+	out := make([]byte, 8)
+	c.Encrypt(out, pt, nil, cleanTr)
+	mask := make([]byte, 8)
+	mask[0] = 0x01 // bit 0 = bit 0 of y
+	c.Encrypt(out, pt, &ciphers.Fault{Round: 20, Mask: mask}, faultTr)
+	// Round-21 input: y fault moved to x (swap), with no other change.
+	diff := make([]byte, 8)
+	for i := range diff {
+		diff[i] = cleanTr.Inputs[20][i] ^ faultTr.Inputs[20][i]
+	}
+	for i := 0; i < 4; i++ {
+		if diff[i] != 0 {
+			t.Errorf("y word corrupted one round after a y-only fault: %x", diff)
+			break
+		}
+	}
+	if diff[4] != 0x01 || diff[5] != 0 || diff[6] != 0 || diff[7] != 0 {
+		t.Errorf("x word differential = %x, want the swapped single bit", diff[4:])
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	src := prng.New(43)
+	key := make([]byte, 16)
+	src.Fill(key)
+	c, _ := New64(key)
+	pt := make([]byte, 8)
+	ct0 := make([]byte, 8)
+	ct1 := make([]byte, 8)
+	total := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		src.Fill(pt)
+		c.Encrypt(ct0, pt, nil, nil)
+		pt[src.Intn(8)] ^= 1 << uint(src.Intn(8))
+		c.Encrypt(ct1, pt, nil, nil)
+		for j := 0; j < 8; j++ {
+			b := ct0[j] ^ ct1[j]
+			for b != 0 {
+				total++
+				b &= b - 1
+			}
+		}
+	}
+	avg := float64(total) / trials
+	if avg < 64*0.4 || avg > 64*0.6 {
+		t.Errorf("avalanche: avg %.1f flipped bits of 64", avg)
+	}
+}
+
+func TestRegistryIntegration(t *testing.T) {
+	c, err := ciphers.New("simon64", make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds() != 44 || c.BlockBytes() != 8 {
+		t.Error("simon64 registry metadata wrong")
+	}
+	c32, err := ciphers.New("simon32", make([]byte, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c32.Rounds() != 32 || c32.BlockBytes() != 4 {
+		t.Error("simon32 registry metadata wrong")
+	}
+}
+
+func TestRoundKeyAccessor(t *testing.T) {
+	c, _ := New64(unhex(t, "1b1a1918131211100b0a090803020100"))
+	// k[0] is the last key word in spec byte order.
+	if got := c.RoundKey(1); got != 0x03020100 {
+		t.Errorf("round key 1 = %08x, want 03020100", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RoundKey(0) did not panic")
+		}
+	}()
+	c.RoundKey(0)
+}
+
+func BenchmarkEncryptSimon64(b *testing.B) {
+	c, _ := New64(make([]byte, 16))
+	pt := make([]byte, 8)
+	ct := make([]byte, 8)
+	b.SetBytes(8)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(ct, pt, nil, nil)
+	}
+}

@@ -1,0 +1,195 @@
+package speck
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/ciphers"
+	"repro/internal/prng"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// Official test vectors from the SIMON and SPECK specification.
+func TestSpeck64_128Vector(t *testing.T) {
+	c, err := New64(unhex(t, "1b1a1918131211100b0a090803020100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	c.Encrypt(got, unhex(t, "3b7265747475432d"), nil, nil)
+	if want := unhex(t, "8c6fa548454e028b"); !bytes.Equal(got, want) {
+		t.Errorf("ciphertext = %x, want %x", got, want)
+	}
+}
+
+func TestSpeck32_64Vector(t *testing.T) {
+	c, err := New32(unhex(t, "1918111009080100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	c.Encrypt(got, unhex(t, "6574694c"), nil, nil)
+	if want := unhex(t, "a86842f2"); !bytes.Equal(got, want) {
+		t.Errorf("ciphertext = %x, want %x", got, want)
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	src := prng.New(61)
+	for _, v := range []Variant{Speck64_128, Speck32_64} {
+		keyLen := 16
+		if v == Speck32_64 {
+			keyLen = 8
+		}
+		key := make([]byte, keyLen)
+		for trial := 0; trial < 50; trial++ {
+			src.Fill(key)
+			c, err := New(v, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt := make([]byte, c.BlockBytes())
+			ct := make([]byte, c.BlockBytes())
+			got := make([]byte, c.BlockBytes())
+			src.Fill(pt)
+			c.Encrypt(ct, pt, nil, nil)
+			c.Decrypt(got, ct)
+			if !bytes.Equal(got, pt) {
+				t.Fatalf("%s: decrypt(encrypt(pt)) != pt", c.Name())
+			}
+		}
+	}
+}
+
+func TestInvRoundFunc(t *testing.T) {
+	src := prng.New(62)
+	c, _ := New64(make([]byte, 16))
+	for trial := 0; trial < 200; trial++ {
+		x, y, k := src.Uint32(), src.Uint32(), src.Uint32()
+		fx, fy := c.roundFunc(x, y, k)
+		gx, gy := c.invRoundFunc(fx, fy, k)
+		if gx != x || gy != y {
+			t.Fatalf("round inversion failed for %08x %08x", x, y)
+		}
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New64(make([]byte, 8)); err == nil {
+		t.Error("New64 accepted 8-byte key")
+	}
+	if _, err := New(Variant(5), make([]byte, 16)); err == nil {
+		t.Error("New accepted unknown variant")
+	}
+}
+
+func TestFaultTraceSemantics(t *testing.T) {
+	c, _ := New64(unhex(t, "1b1a1918131211100b0a090803020100"))
+	pt := unhex(t, "0123456789abcdef")
+	cleanTr := ciphers.NewTrace(c)
+	faultTr := ciphers.NewTrace(c)
+	out := make([]byte, 8)
+	c.Encrypt(out, pt, nil, cleanTr)
+	mask := make([]byte, 8)
+	mask[2] = 0x40 // bit 22 (y word)
+	c.Encrypt(out, pt, &ciphers.Fault{Round: 24, Mask: mask}, faultTr)
+	for r := 1; r < 24; r++ {
+		if !bytes.Equal(cleanTr.Inputs[r-1], faultTr.Inputs[r-1]) {
+			t.Errorf("round %d input differs before injection", r)
+		}
+	}
+	diff := make([]byte, 8)
+	for i := range diff {
+		diff[i] = cleanTr.Inputs[23][i] ^ faultTr.Inputs[23][i]
+	}
+	if !bytes.Equal(diff, mask) {
+		t.Errorf("round-24 input differential = %x, want %x", diff, mask)
+	}
+}
+
+func TestCarryChainDiffusion(t *testing.T) {
+	// ARX-specific: a low-bit fault in x propagates upward through the
+	// modular addition's carry chain, so the one-round differential is
+	// typically wider than one bit but confined to x-derived positions.
+	c, _ := New64(make([]byte, 16))
+	pt := unhex(t, "00112233aabbccdd")
+	cleanTr := ciphers.NewTrace(c)
+	faultTr := ciphers.NewTrace(c)
+	out := make([]byte, 8)
+	c.Encrypt(out, pt, nil, cleanTr)
+	mask := make([]byte, 8)
+	mask[4] = 0x01 // bit 32 = bit 0 of x
+	c.Encrypt(out, pt, &ciphers.Fault{Round: 10, Mask: mask}, faultTr)
+	diffBits := 0
+	for i := 0; i < 8; i++ {
+		b := cleanTr.Inputs[10][i] ^ faultTr.Inputs[10][i]
+		for b != 0 {
+			diffBits++
+			b &= b - 1
+		}
+	}
+	if diffBits < 2 {
+		t.Errorf("one-round differential has %d bits; the carry chain and the y-XOR should spread a single x bit", diffBits)
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	src := prng.New(63)
+	key := make([]byte, 16)
+	src.Fill(key)
+	c, _ := New64(key)
+	pt := make([]byte, 8)
+	ct0 := make([]byte, 8)
+	ct1 := make([]byte, 8)
+	total := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		src.Fill(pt)
+		c.Encrypt(ct0, pt, nil, nil)
+		pt[src.Intn(8)] ^= 1 << uint(src.Intn(8))
+		c.Encrypt(ct1, pt, nil, nil)
+		for j := 0; j < 8; j++ {
+			b := ct0[j] ^ ct1[j]
+			for b != 0 {
+				total++
+				b &= b - 1
+			}
+		}
+	}
+	avg := float64(total) / trials
+	if avg < 64*0.4 || avg > 64*0.6 {
+		t.Errorf("avalanche: avg %.1f flipped bits of 64", avg)
+	}
+}
+
+func TestRegistryIntegration(t *testing.T) {
+	c, err := ciphers.New("speck64", make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds() != 27 || c.BlockBytes() != 8 || c.GroupBits() != 8 {
+		t.Error("speck64 registry metadata wrong")
+	}
+	if _, err := ciphers.New("speck32", make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncryptSpeck64(b *testing.B) {
+	c, _ := New64(make([]byte, 16))
+	pt := make([]byte, 8)
+	ct := make([]byte, 8)
+	b.SetBytes(8)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(ct, pt, nil, nil)
+	}
+}

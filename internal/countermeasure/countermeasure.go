@@ -1,0 +1,222 @@
+// Package countermeasure implements the duplication-based fault-attack
+// countermeasure evaluated in §IV-C of the paper, and the protected-cipher
+// leakage oracle that drives the RL agent against it.
+//
+// The countermeasure runs the cipher twice ("computational branches") and
+// compares the two ciphertexts. On a mismatch the fault is considered
+// detected and the output is muted: a random string of ciphertext length
+// is returned instead (§III-G). An adversary therefore only learns
+// something when both branches are corrupted *identically* — which is why
+// the agent of Table IV converges to the same single bit (76) in both
+// branches: a deterministic single-bit flip is the one fault that is
+// reliably equal across branches.
+//
+// The protected oracle exposes a doubled action space: pattern bits
+// [0, T) select branch-1 state bits, [T, 2T) branch-2 bits, giving the
+// episode length of 256 reported in Table IV for AES.
+package countermeasure
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/ciphers"
+	"repro/internal/fault"
+	"repro/internal/prng"
+	"repro/internal/stats"
+)
+
+// Protected wraps a keyed cipher with the duplication countermeasure.
+type Protected struct {
+	cipher ciphers.Cipher
+	rng    *prng.Source
+	out1   []byte
+	out2   []byte
+}
+
+// NewProtected builds the protected implementation around one keyed
+// cipher instance (both branches compute the same function, so a single
+// deterministic instance serves as both). rng supplies mute strings.
+func NewProtected(c ciphers.Cipher, rng *prng.Source) *Protected {
+	n := c.BlockBytes()
+	return &Protected{cipher: c, rng: rng, out1: make([]byte, n), out2: make([]byte, n)}
+}
+
+// Cipher returns the underlying keyed cipher.
+func (p *Protected) Cipher() ciphers.Cipher { return p.cipher }
+
+// Encrypt runs both branches with their respective faults (either may be
+// nil) and writes the released output into dst. It reports whether the
+// countermeasure muted the output.
+func (p *Protected) Encrypt(dst, src []byte, branch1, branch2 *ciphers.Fault) (muted bool) {
+	p.cipher.Encrypt(p.out1, src, branch1, nil)
+	p.cipher.Encrypt(p.out2, src, branch2, nil)
+	if !bytes.Equal(p.out1, p.out2) {
+		p.rng.Fill(dst)
+		return true
+	}
+	copy(dst, p.out1)
+	return false
+}
+
+// OracleConfig tunes the protected leakage oracle. Zero values select the
+// same defaults as the unprotected assessor.
+type OracleConfig struct {
+	// Round is the fault-injection round in both branches (required).
+	Round int
+	// Samples per assessment (default 2048).
+	Samples int
+	// MaxOrder of the ciphertext t-test (default 2).
+	MaxOrder int
+	// GroupBits of the ciphertext grouping (default cipher native).
+	GroupBits int
+	// Threshold θ (default 4.5).
+	Threshold float64
+	// Mode selects the per-branch fault-value model (default RandomMask:
+	// each branch's fault value is drawn independently, so only
+	// single-bit selections are reliably equal across branches).
+	Mode fault.Mode
+}
+
+func (c *OracleConfig) setDefaults(cipher ciphers.Cipher) error {
+	if c.Round < 1 || c.Round > cipher.Rounds() {
+		return fmt.Errorf("countermeasure: round %d out of range 1..%d", c.Round, cipher.Rounds())
+	}
+	if c.Samples == 0 {
+		c.Samples = 2048
+	}
+	if c.MaxOrder == 0 {
+		c.MaxOrder = 2
+	}
+	if c.GroupBits == 0 {
+		c.GroupBits = cipher.GroupBits()
+	}
+	if c.Threshold == 0 {
+		c.Threshold = stats.DefaultThreshold
+	}
+	return nil
+}
+
+// Oracle measures information leakage of a two-branch fault pattern
+// against the protected implementation, looking only at released
+// ciphertexts (the adversary's view). It implements explore.Oracle.
+type Oracle struct {
+	prot      *Protected
+	cfg       OracleConfig
+	rng       *prng.Source
+	ref       [][]float64
+	stateBits int
+	// LastMutedRate reports, after each Evaluate, the fraction of
+	// samples the countermeasure muted (diagnostic).
+	LastMutedRate float64
+}
+
+// NewOracle builds the protected oracle. rng seeds plaintexts, fault
+// values, mute strings and the uniform reference.
+func NewOracle(c ciphers.Cipher, cfg OracleConfig, rng *prng.Source) (*Oracle, error) {
+	if err := cfg.setDefaults(c); err != nil {
+		return nil, err
+	}
+	groups := 8 * c.BlockBytes() / cfg.GroupBits
+	o := &Oracle{
+		prot:      NewProtected(c, rng.Split()),
+		cfg:       cfg,
+		rng:       rng,
+		stateBits: 8 * c.BlockBytes(),
+		ref:       fault.UniformReference(cfg.Samples, cfg.GroupBits, groups, rng.Split()),
+	}
+	return o, nil
+}
+
+// StateBits implements explore.Oracle: the action space covers both
+// branches, so it is twice the cipher state width (episode length 256 for
+// AES, Table IV).
+func (o *Oracle) StateBits() int { return 2 * o.stateBits }
+
+// Threshold implements explore.Oracle.
+func (o *Oracle) Threshold() float64 { return o.cfg.Threshold }
+
+// SplitPattern divides a doubled pattern into its per-branch halves.
+func (o *Oracle) SplitPattern(pattern *bitvec.Vector) (b1, b2 bitvec.Vector) {
+	b1 = bitvec.New(o.stateBits)
+	b2 = bitvec.New(o.stateBits)
+	for _, b := range pattern.Bits() {
+		if b < o.stateBits {
+			b1.Set(b)
+		} else {
+			b2.Set(b - o.stateBits)
+		}
+	}
+	return b1, b2
+}
+
+// Evaluate implements explore.Oracle: collects ciphertext differentials
+// between the unfaulted and faulted protected implementation and runs the
+// order-1..G t-test against uniform.
+func (o *Oracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
+	if pattern.Len() != o.StateBits() {
+		return 0, fmt.Errorf("countermeasure: pattern width %d, want %d", pattern.Len(), o.StateBits())
+	}
+	if pattern.IsZero() {
+		return 0, fmt.Errorf("countermeasure: empty pattern")
+	}
+	p1, p2 := o.SplitPattern(pattern)
+	n := o.prot.cipher.BlockBytes()
+	pt := make([]byte, n)
+	clean := make([]byte, n)
+	faulty := make([]byte, n)
+	mask1 := make([]byte, n)
+	mask2 := make([]byte, n)
+	groups := 8 * n / o.cfg.GroupBits
+
+	matrix := make([][]float64, o.cfg.Samples)
+	muted := 0
+	for s := 0; s < o.cfg.Samples; s++ {
+		o.rng.Fill(pt)
+		o.prot.cipher.Encrypt(clean, pt, nil, nil)
+		f1 := o.drawFault(&p1, mask1)
+		f2 := o.drawFault(&p2, mask2)
+		if o.prot.Encrypt(faulty, pt, f1, f2) {
+			muted++
+		}
+		row := make([]float64, groups)
+		for g := range row {
+			row[g] = groupValue(clean, faulty, g, o.cfg.GroupBits)
+		}
+		matrix[s] = row
+	}
+	o.LastMutedRate = float64(muted) / float64(o.cfg.Samples)
+	res := stats.MaxUpToOrder(o.cfg.MaxOrder, matrix, o.ref)
+	return res.T, nil
+}
+
+// drawFault returns the branch fault for this sample, or nil when the
+// branch pattern is empty.
+func (o *Oracle) drawFault(p *bitvec.Vector, mask []byte) *ciphers.Fault {
+	if p.IsZero() {
+		return nil
+	}
+	switch o.cfg.Mode {
+	case fault.FlipAll:
+		copy(mask, p.Bytes())
+	default:
+		m := bitvec.RandomMask(p, o.rng)
+		copy(mask, m.Bytes())
+	}
+	return &ciphers.Fault{Round: o.cfg.Round, Mask: mask}
+}
+
+// groupValue extracts the differential group g of width groupBits.
+func groupValue(a, b []byte, g, groupBits int) float64 {
+	switch groupBits {
+	case 8:
+		return float64(a[g] ^ b[g])
+	case 4:
+		return float64((a[g/2] ^ b[g/2]) >> (4 * uint(g%2)) & 0xf)
+	case 2:
+		return float64((a[g/4] ^ b[g/4]) >> (2 * uint(g%4)) & 0x3)
+	default:
+		return float64((a[g/8] ^ b[g/8]) >> uint(g%8) & 1)
+	}
+}

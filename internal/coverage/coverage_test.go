@@ -1,0 +1,145 @@
+package coverage
+
+import (
+	"testing"
+
+	"repro/internal/ciphers"
+	_ "repro/internal/ciphers/aes"
+	_ "repro/internal/ciphers/gift"
+	"repro/internal/prng"
+)
+
+func TestScanGIFTLastRounds(t *testing.T) {
+	rng := prng.New(77)
+	key := make([]byte, 16)
+	rng.Fill(key)
+	c, err := ciphers.New("gift64", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scan(c, Config{
+		Rounds:         []int{25, 27},
+		ExhaustiveBits: true,
+		GroupSweep:     true,
+		RandomPerSize:  4,
+		Sizes:          []int{8},
+		Samples:        256,
+	}, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cipher != "gift64" || len(rep.Rounds) != 2 {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+	r25 := rep.Rounds[0]
+	if r25.Round != 25 {
+		t.Fatalf("rounds not sorted: %+v", rep.Rounds)
+	}
+	// Every single bit of round 25 is exploitable (the paper's GIFT
+	// setting), and so is every nibble.
+	if r25.Bits.Tested != 64 || r25.Bits.Exploitable != 64 {
+		t.Errorf("round-25 bit sweep: %d/%d exploitable, want 64/64",
+			r25.Bits.Exploitable, r25.Bits.Tested)
+	}
+	if r25.Groups.Tested != 16 || r25.Groups.Exploitable != 16 {
+		t.Errorf("round-25 nibble sweep: %d/%d, want 16/16",
+			r25.Groups.Exploitable, r25.Groups.Tested)
+	}
+	if len(r25.ExploitableBits) != 64 {
+		t.Errorf("exploitable bit list has %d entries", len(r25.ExploitableBits))
+	}
+	tested, exploitable := rep.Coverage()
+	if tested == 0 || exploitable == 0 || exploitable > tested {
+		t.Errorf("coverage accounting wrong: %d/%d", exploitable, tested)
+	}
+}
+
+func TestScanAESEarlyRoundNotExploitable(t *testing.T) {
+	rng := prng.New(78)
+	key := make([]byte, 16)
+	rng.Fill(key)
+	c, err := ciphers.New("aes128", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scan(c, Config{
+		Rounds:         []int{1, 9},
+		ExhaustiveBits: false,
+		GroupSweep:     true,
+		RandomPerSize:  2,
+		Sizes:          []int{4},
+		Samples:        256,
+	}, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r9 := rep.Rounds[0], rep.Rounds[1]
+	if r1.Groups.Exploitable != 0 {
+		t.Errorf("round-1 byte faults exploitable: %d/%d — early rounds must be safe",
+			r1.Groups.Exploitable, r1.Groups.Tested)
+	}
+	if r9.Groups.Exploitable != 16 {
+		t.Errorf("round-9 byte faults: %d/16 exploitable, want all",
+			r9.Groups.Exploitable)
+	}
+	if got := rep.MostVulnerableRound(); got != 9 {
+		t.Errorf("most vulnerable round = %d, want 9", got)
+	}
+}
+
+func TestScanDefaults(t *testing.T) {
+	rng := prng.New(79)
+	key := make([]byte, 16)
+	rng.Fill(key)
+	c, _ := ciphers.New("gift64", key)
+	cfg := Config{Samples: 128, RandomPerSize: 1, Sizes: []int{2}}
+	rep, err := Scan(c, cfg, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default round selection: the last five rounds (24..28 for GIFT).
+	if len(rep.Rounds) != 5 || rep.Rounds[0].Round != 24 || rep.Rounds[4].Round != 28 {
+		t.Errorf("default rounds wrong: %+v", roundsOf(rep))
+	}
+}
+
+func roundsOf(rep *Report) []int {
+	var out []int
+	for _, r := range rep.Rounds {
+		out = append(out, r.Round)
+	}
+	return out
+}
+
+func TestScanRejectsBadRound(t *testing.T) {
+	rng := prng.New(80)
+	c, _ := ciphers.New("gift64", make([]byte, 16))
+	if _, err := Scan(c, Config{Rounds: []int{99}, Samples: 64}, rng); err == nil {
+		t.Error("accepted out-of-range round")
+	}
+}
+
+func TestSizeClassRate(t *testing.T) {
+	s := SizeClassStats{Tested: 4, Exploitable: 1}
+	if s.Rate() != 0.25 {
+		t.Errorf("Rate = %v", s.Rate())
+	}
+	if (SizeClassStats{}).Rate() != 0 {
+		t.Error("empty Rate should be 0")
+	}
+}
+
+func TestRandomPatternExactSize(t *testing.T) {
+	rng := prng.New(81)
+	for _, size := range []int{1, 7, 32, 64} {
+		p := randomPattern(64, size, rng)
+		if p.Count() != size {
+			t.Errorf("randomPattern(64, %d) has %d bits", size, p.Count())
+		}
+	}
+	// Size beyond the state clamps.
+	p := randomPattern(64, 100, rng)
+	if p.Count() != 64 {
+		t.Errorf("clamped pattern has %d bits", p.Count())
+	}
+}

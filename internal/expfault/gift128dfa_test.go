@@ -1,0 +1,138 @@
+package expfault
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/ciphers/gift"
+	"repro/internal/prng"
+)
+
+func nibblePattern128(nibbles ...int) bitvec.Vector {
+	v := bitvec.New(128)
+	for _, n := range nibbles {
+		for j := 0; j < 4; j++ {
+			v.Set(4*n + j)
+		}
+	}
+	return v
+}
+
+func TestGIFT128DFASingleNibble(t *testing.T) {
+	rng := prng.New(808)
+	key := make([]byte, 16)
+	rng.Fill(key)
+	c, err := gift.New128(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := nibblePattern128(5)
+	res, err := GIFT128DFA(c, &pattern, GIFTDFAConfig{Pairs: 512}, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("recovered bits disagree with the true schedule (%s)", res.Notes)
+	}
+	// The round-40 key (64 bits) plus a sizeable part of round 39:
+	// already more master-key material than the paper's 80/128 for
+	// GIFT-64, because GIFT-128 carries 64 key bits per round.
+	if res.RecoveredBits < 64 {
+		t.Errorf("recovered %d bits (%s), want >= 64", res.RecoveredBits, res.Notes)
+	}
+}
+
+func TestGIFT128DFAMultiNibble(t *testing.T) {
+	rng := prng.New(809)
+	key := make([]byte, 16)
+	rng.Fill(key)
+	c, _ := gift.New128(key)
+	pattern := nibblePattern128(8, 9, 10)
+	res, err := GIFT128DFA(c, &pattern, GIFTDFAConfig{Pairs: 512}, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect bits for the multi-nibble model (%s)", res.Notes)
+	}
+	if res.RecoveredBits < 32 {
+		t.Errorf("recovered %d bits (%s)", res.RecoveredBits, res.Notes)
+	}
+}
+
+func TestGIFT128DFAValidation(t *testing.T) {
+	rng := prng.New(810)
+	c64, _ := gift.New64(make([]byte, 16))
+	p := nibblePattern128(0)
+	if _, err := GIFT128DFA(c64, &p, GIFTDFAConfig{}, rng); err == nil {
+		t.Error("accepted a gift64 instance")
+	}
+	c128, _ := gift.New128(make([]byte, 16))
+	empty := bitvec.New(128)
+	if _, err := GIFT128DFA(c128, &empty, GIFTDFAConfig{}, rng); err == nil {
+		t.Error("accepted empty pattern")
+	}
+	short := bitvec.New(64)
+	if _, err := GIFT128DFA(c128, &short, GIFTDFAConfig{}, rng); err == nil {
+		t.Error("accepted 64-bit pattern")
+	}
+}
+
+func TestInvRound128IsRoundInverse(t *testing.T) {
+	rng := prng.New(811)
+	for trial := 0; trial < 50; trial++ {
+		s := state128{rng.Uint64(), rng.Uint64()}
+		var sub state128
+		for n := 0; n < 32; n++ {
+			sub[n/16] |= uint64(gift.SBox(byte(s[n/16]>>(4*uint(n%16))&0xf))) << (4 * uint(n%16))
+		}
+		var perm state128
+		for i := 0; i < 128; i++ {
+			j := gift.Perm128(i)
+			perm[j/64] |= (sub[i/64] >> (uint(i) % 64) & 1) << (uint(j) % 64)
+		}
+		if got := invRound128(perm); got != s {
+			t.Fatalf("invRound128 failed: got %x, want %x", got, s)
+		}
+	}
+}
+
+func TestLE128(t *testing.T) {
+	b := make([]byte, 16)
+	b[0] = 0x01  // bit 0
+	b[15] = 0x80 // bit 127
+	s := le128(b)
+	if s.bit(0) != 1 || s.bit(127) != 1 || s.bit(64) != 0 {
+		t.Errorf("le128 bit mapping wrong: %x", s)
+	}
+	if s.nibble(0) != 1 || s.nibble(31) != 8 {
+		t.Errorf("nibble extraction wrong: %d %d", s.nibble(0), s.nibble(31))
+	}
+}
+
+func TestKeyMask128Placement(t *testing.T) {
+	// U bit 0 goes to state bit 2, V bit 0 to state bit 1; U bit 16 to
+	// state bit 66, V bit 16 to 65.
+	lo, hi := gift.KeyMask128(1, 1)
+	if lo != (1<<2)|(1<<1) || hi != 0 {
+		t.Errorf("low word bits wrong: %x %x", lo, hi)
+	}
+	lo, hi = gift.KeyMask128(1<<16, 1<<16)
+	if lo != 0 || hi != (1<<2)|(1<<1) {
+		t.Errorf("high word bits wrong: %x %x", lo, hi)
+	}
+}
+
+func BenchmarkGIFT128DFA(b *testing.B) {
+	rng := prng.New(4)
+	key := make([]byte, 16)
+	rng.Fill(key)
+	c, _ := gift.New128(key)
+	pattern := nibblePattern128(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GIFT128DFA(c, &pattern, GIFTDFAConfig{Pairs: 128, TemplateSamples: 1024}, rng.Split()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

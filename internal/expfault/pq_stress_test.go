@@ -1,0 +1,24 @@
+package expfault
+
+import (
+	"testing"
+
+	"repro/internal/ciphers/aes"
+	"repro/internal/prng"
+)
+
+func TestPQStress(t *testing.T) {
+	for seed := uint64(2023); seed < 2023+900; seed++ {
+		rng := prng.New(seed)
+		key := make([]byte, 16)
+		rng.Fill(key)
+		c, _ := aes.New(key)
+		res, err := AESPiretQuisquater(c, 3, rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct || res.RecoveredBits != 128 {
+			t.Fatalf("seed %d: %d bits correct=%v (%s)", seed, res.RecoveredBits, res.Correct, res.Notes)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/rl"
+)
+
+// RewardTiming selects when the (expensive) leakage evaluation runs.
+type RewardTiming int
+
+const (
+	// EndOfEpisode evaluates once, at the terminal step (§III-D's fix;
+	// >115x faster training in the paper, Table II).
+	EndOfEpisode RewardTiming = iota
+	// EachStep evaluates after every action (the preliminary
+	// formulation; kept for the Table II ablation).
+	EachStep
+)
+
+// RewardShape selects the exploitability reward function.
+type RewardShape int
+
+const (
+	// Exponential returns e^n for a leaky n-bit pattern (Equation (2)).
+	Exponential RewardShape = iota
+	// Linear returns n (Equation (1)); converges to ~3 bits in the
+	// paper, kept for the Fig. 3 ablation.
+	Linear
+)
+
+// DefaultBeta is the paper's penalty β for non-exploitable patterns.
+const DefaultBeta = -50
+
+// EnvConfig tunes the fault-pattern environment.
+type EnvConfig struct {
+	// Timing: when to evaluate leakage (default EndOfEpisode).
+	Timing RewardTiming
+	// Shape: exploitability reward shape (default Exponential).
+	Shape RewardShape
+	// Beta is the no-leakage penalty (default DefaultBeta).
+	Beta float64
+	// EpisodeLen is T; 0 means the paper's choice, the number of cipher
+	// state bits.
+	EpisodeLen int
+}
+
+func (c *EnvConfig) setDefaults(stateBits int) {
+	if c.Beta == 0 {
+		c.Beta = DefaultBeta
+	}
+	if c.EpisodeLen == 0 {
+		c.EpisodeLen = stateBits
+	}
+}
+
+// EpisodeInfo summarizes the episode that just finished.
+type EpisodeInfo struct {
+	Pattern  bitvec.Vector // final fault pattern
+	Bits     []int         // distinct bits in selection order (arr_bit)
+	Distinct int           // n
+	T        float64       // leakage statistic of the final pattern
+	Leaky    bool
+	Reward   float64 // terminal reward
+}
+
+// Env is the ExploreFault MDP for one oracle. Not safe for concurrent
+// use; the session creates one env (and one oracle) per worker.
+type Env struct {
+	oracle Oracle
+	cfg    EnvConfig
+
+	state bitvec.Vector
+	obs   []float64
+	arr   []int
+	step  int
+	last  EpisodeInfo
+	done  bool
+
+	// lastT and lastLeaky carry the most recent oracle evaluation into
+	// the terminal EpisodeInfo.
+	lastT     float64
+	lastLeaky bool
+}
+
+var _ rl.Env = (*Env)(nil)
+
+// NewEnv creates an environment around an oracle.
+func NewEnv(oracle Oracle, cfg EnvConfig) *Env {
+	cfg.setDefaults(oracle.StateBits())
+	e := &Env{
+		oracle: oracle,
+		cfg:    cfg,
+		state:  bitvec.New(oracle.StateBits()),
+		obs:    make([]float64, oracle.StateBits()),
+	}
+	return e
+}
+
+// ObsSize implements rl.Env.
+func (e *Env) ObsSize() int { return e.oracle.StateBits() }
+
+// NumActions implements rl.Env.
+func (e *Env) NumActions() int { return e.oracle.StateBits() }
+
+// Reset implements rl.Env.
+func (e *Env) Reset() []float64 {
+	e.state.Reset()
+	e.arr = e.arr[:0]
+	e.step = 0
+	e.done = false
+	for i := range e.obs {
+		e.obs[i] = 0
+	}
+	return e.obs
+}
+
+// Step implements rl.Env. The action is the bit location to fault; a
+// repeated location is a no-op append, exactly as in §III-E.
+func (e *Env) Step(action int) ([]float64, float64, bool) {
+	if e.done {
+		panic("explore: Step on finished episode; call Reset")
+	}
+	if action < 0 || action >= e.state.Len() {
+		panic(fmt.Sprintf("explore: action %d out of range [0,%d)", action, e.state.Len()))
+	}
+	if !e.state.Bit(action) {
+		e.state.Set(action)
+		e.arr = append(e.arr, action)
+	}
+	e.step++
+	terminal := e.step >= e.cfg.EpisodeLen
+
+	var reward float64
+	if e.cfg.Timing == EachStep || terminal {
+		reward = e.evaluate()
+	}
+	if terminal {
+		e.done = true
+		e.last = EpisodeInfo{
+			Pattern:  e.state,
+			Bits:     append([]int(nil), e.arr...),
+			Distinct: len(e.arr),
+			Reward:   reward,
+		}
+		e.last.T = e.lastT
+		e.last.Leaky = e.lastLeaky
+	}
+	copy(e.obs, e.stateAsObs())
+	return e.obs, reward, terminal
+}
+
+// stateAsObs converts the bit state to the float observation in place.
+func (e *Env) stateAsObs() []float64 {
+	for i := 0; i < e.state.Len(); i++ {
+		if e.state.Bit(i) {
+			e.obs[i] = 1
+		} else {
+			e.obs[i] = 0
+		}
+	}
+	return e.obs
+}
+
+// evaluate runs the oracle on the current pattern and maps the statistic
+// to the configured reward.
+func (e *Env) evaluate() float64 {
+	t, err := e.oracle.Evaluate(&e.state)
+	if err != nil {
+		// Oracle errors indicate misconfiguration (wrong widths), not
+		// runtime conditions; fail loudly.
+		panic(fmt.Sprintf("explore: oracle evaluation failed: %v", err))
+	}
+	e.lastT = t
+	e.lastLeaky = t > e.oracle.Threshold()
+	if !e.lastLeaky {
+		return e.cfg.Beta
+	}
+	n := float64(len(e.arr))
+	if e.cfg.Shape == Linear {
+		return n
+	}
+	return math.Exp(n)
+}
+
+// LastEpisode returns information about the most recently finished
+// episode. Valid after Step returned done = true.
+func (e *Env) LastEpisode() EpisodeInfo { return e.last }

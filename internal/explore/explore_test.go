@@ -1,0 +1,290 @@
+package explore
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/prng"
+	"repro/internal/rl/ppo"
+)
+
+// subsetOracle reports leakage 100 iff the pattern is a non-empty subset
+// of its allowed bits (a stylized diagonal), else 1. This mirrors the real
+// oracle's geometry while being instant.
+type subsetOracle struct {
+	bits    int
+	allowed bitvec.Vector
+	calls   int
+}
+
+func (o *subsetOracle) Evaluate(p *bitvec.Vector) (float64, error) {
+	o.calls++
+	if !p.IsZero() && p.SubsetOf(&o.allowed) {
+		return 100, nil
+	}
+	return 1, nil
+}
+func (o *subsetOracle) StateBits() int     { return o.bits }
+func (o *subsetOracle) Threshold() float64 { return 4.5 }
+
+func newSubsetOracle(bits int, allowed ...int) *subsetOracle {
+	return &subsetOracle{bits: bits, allowed: bitvec.FromBits(bits, allowed...)}
+}
+
+func TestEnvEpisodeMechanics(t *testing.T) {
+	oracle := newSubsetOracle(16, 3, 5)
+	env := NewEnv(oracle, EnvConfig{})
+	obs := env.Reset()
+	if len(obs) != 16 {
+		t.Fatalf("obs size %d", len(obs))
+	}
+	for _, v := range obs {
+		if v != 0 {
+			t.Fatal("initial observation not all-zero")
+		}
+	}
+	// Episode length defaults to state bits (16).
+	var done bool
+	var reward float64
+	for i := 0; i < 16; i++ {
+		if done {
+			t.Fatal("episode ended early")
+		}
+		obs, reward, done = env.Step(3) // keep selecting bit 3
+	}
+	if !done {
+		t.Fatal("episode did not end at T steps")
+	}
+	if obs[3] != 1 {
+		t.Error("bit 3 not reflected in observation")
+	}
+	info := env.LastEpisode()
+	if info.Distinct != 1 {
+		t.Errorf("distinct = %d, want 1 (repeats are no-ops)", info.Distinct)
+	}
+	if !info.Leaky {
+		t.Error("subset pattern should be leaky")
+	}
+	if math.Abs(reward-math.E) > 1e-9 {
+		t.Errorf("reward = %v, want e^1", reward)
+	}
+	if len(info.Bits) != 1 || info.Bits[0] != 3 {
+		t.Errorf("arr_bit = %v", info.Bits)
+	}
+}
+
+func TestEnvIntermediateRewardsZero(t *testing.T) {
+	oracle := newSubsetOracle(8, 0, 1)
+	env := NewEnv(oracle, EnvConfig{})
+	env.Reset()
+	for i := 0; i < 7; i++ {
+		_, r, done := env.Step(i % 2)
+		if r != 0 || done {
+			t.Fatalf("step %d: reward %v done %v, want 0 false", i, r, done)
+		}
+	}
+	// Only the final step triggers an oracle call in EndOfEpisode mode.
+	if oracle.calls != 0 {
+		t.Errorf("oracle called %d times before terminal step", oracle.calls)
+	}
+	env.Step(0)
+	if oracle.calls != 1 {
+		t.Errorf("oracle called %d times total, want 1", oracle.calls)
+	}
+}
+
+func TestEnvBetaOnNonLeaky(t *testing.T) {
+	oracle := newSubsetOracle(8, 0) // only bit 0 allowed
+	env := NewEnv(oracle, EnvConfig{})
+	env.Reset()
+	var reward float64
+	var done bool
+	for i := 0; !done; i++ {
+		_, reward, done = env.Step(5) // disallowed bit
+	}
+	if reward != DefaultBeta {
+		t.Errorf("reward = %v, want β = %v", reward, DefaultBeta)
+	}
+	if env.LastEpisode().Leaky {
+		t.Error("non-subset pattern marked leaky")
+	}
+}
+
+func TestEnvLinearShape(t *testing.T) {
+	oracle := newSubsetOracle(8, 0, 1, 2)
+	env := NewEnv(oracle, EnvConfig{Shape: Linear, EpisodeLen: 3})
+	env.Reset()
+	env.Step(0)
+	env.Step(1)
+	_, reward, done := env.Step(2)
+	if !done {
+		t.Fatal("episode should end after EpisodeLen steps")
+	}
+	if reward != 3 {
+		t.Errorf("linear reward = %v, want n = 3", reward)
+	}
+}
+
+func TestEnvEachStepTiming(t *testing.T) {
+	oracle := newSubsetOracle(8, 0, 1)
+	env := NewEnv(oracle, EnvConfig{Timing: EachStep, EpisodeLen: 4})
+	env.Reset()
+	_, r, _ := env.Step(0)
+	if r != math.E {
+		t.Errorf("each-step reward after 1 bit = %v, want e", r)
+	}
+	if oracle.calls != 1 {
+		t.Errorf("oracle calls = %d, want 1", oracle.calls)
+	}
+	env.Step(1)
+	env.Step(5) // now outside allowed set
+	if oracle.calls != 3 {
+		t.Errorf("oracle calls = %d, want 3", oracle.calls)
+	}
+}
+
+func TestEnvStepPanicsAfterDone(t *testing.T) {
+	oracle := newSubsetOracle(4, 0)
+	env := NewEnv(oracle, EnvConfig{EpisodeLen: 1})
+	env.Reset()
+	env.Step(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step after done did not panic")
+		}
+	}()
+	env.Step(0)
+}
+
+func TestEnvActionBounds(t *testing.T) {
+	oracle := newSubsetOracle(4, 0)
+	env := NewEnv(oracle, EnvConfig{})
+	env.Reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range action did not panic")
+		}
+	}()
+	env.Step(4)
+}
+
+func TestLogBucketsAndCounts(t *testing.T) {
+	log := &Log{}
+	for i := 0; i < 25; i++ {
+		leaky := i%2 == 0
+		pattern := bitvec.FromBits(16, i%3)
+		log.Add(EpisodeInfo{Pattern: pattern, Distinct: 1, T: 10, Leaky: leaky})
+	}
+	if log.Len() != 25 {
+		t.Fatalf("log length %d", log.Len())
+	}
+	buckets := log.Buckets(10)
+	if len(buckets) != 3 {
+		t.Fatalf("%d buckets, want 3", len(buckets))
+	}
+	if buckets[0].Episodes != 10 || buckets[2].Episodes != 5 {
+		t.Errorf("bucket sizes wrong: %+v", buckets)
+	}
+	if buckets[0].LeakyCount != 5 {
+		t.Errorf("bucket 0 leaky = %d, want 5", buckets[0].LeakyCount)
+	}
+	counts := log.PatternCounts(0)
+	if len(counts) != 3 {
+		t.Fatalf("%d distinct patterns, want 3", len(counts))
+	}
+	if counts[0].Count < counts[1].Count {
+		t.Error("PatternCounts not sorted by frequency")
+	}
+	// Restricting to the first 10 episodes keeps only leaky ones there.
+	first := log.Leaky(10)
+	if len(first) != 5 {
+		t.Errorf("leaky in first 10 = %d, want 5", len(first))
+	}
+}
+
+func TestSessionLearnsSubsetTask(t *testing.T) {
+	// End-to-end on the fake oracle: 24-bit state, 6 allowed bits.
+	// A random 24-step episode covers ~15 distinct bits and is almost
+	// never a subset of the 6 allowed ones, so the agent must learn.
+	allowed := []int{3, 7, 11, 15, 19, 23}
+	factory := func(rng *prng.Source) (Oracle, error) {
+		return newSubsetOracle(24, allowed...), nil
+	}
+	sess, err := NewSession(factory, SessionConfig{
+		Seed:     11,
+		NumEnvs:  4,
+		Episodes: 600,
+		Agent:    ppo.Config{LearningRate: 1e-3, Epochs: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Episodes < 600 {
+		t.Errorf("ran %d episodes, want >= 600", out.Episodes)
+	}
+	if !out.ConvergedLeaky {
+		t.Fatal("session did not converge to a leaky pattern")
+	}
+	allowedVec := bitvec.FromBits(24, allowed...)
+	if !out.Converged.SubsetOf(&allowedVec) {
+		t.Errorf("converged pattern %v escapes allowed set", out.Converged.String())
+	}
+	// Late training should produce leaky episodes much more often than
+	// the ~0 rate of a random policy.
+	recs := out.Log.Records()
+	late := recs[len(recs)-100:]
+	leaky := 0
+	for _, r := range late {
+		if r.Leaky {
+			leaky++
+		}
+	}
+	if leaky < 30 {
+		t.Errorf("only %d/100 late episodes leaky; agent did not learn", leaky)
+	}
+}
+
+func TestSessionProgressCallback(t *testing.T) {
+	factory := func(rng *prng.Source) (Oracle, error) {
+		return newSubsetOracle(8, 1), nil
+	}
+	var calls int
+	sess, err := NewSession(factory, SessionConfig{
+		Seed: 3, NumEnvs: 2, Episodes: 20,
+		Progress: func(p Progress) {
+			calls++
+			if p.Episodes == 0 {
+				t.Error("progress with zero episodes")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("progress callback never invoked")
+	}
+}
+
+func TestSessionFactoryError(t *testing.T) {
+	factory := func(rng *prng.Source) (Oracle, error) {
+		return nil, errTest
+	}
+	if _, err := NewSession(factory, SessionConfig{}); err == nil {
+		t.Error("NewSession swallowed factory error")
+	}
+}
+
+var errTest = errorString("factory failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,153 @@
+package explore
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bitvec"
+)
+
+// Record is one completed training episode.
+type Record struct {
+	Episode  int // global episode index, 0-based, in completion order
+	Pattern  bitvec.Vector
+	Distinct int
+	T        float64
+	Leaky    bool
+	Reward   float64
+}
+
+// Log accumulates episode records across parallel environments. It is the
+// source for Fig. 4 (models discovered per 1K episodes), Table V (GIFT
+// models in the first 1K episodes), and §III-F's harvesting of
+// high-leakage patterns from the training log.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Add appends one episode outcome and returns its global episode index.
+func (l *Log) Add(info EpisodeInfo) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := len(l.records)
+	l.records = append(l.records, Record{
+		Episode:  idx,
+		Pattern:  info.Pattern,
+		Distinct: info.Distinct,
+		T:        info.T,
+		Leaky:    info.Leaky,
+		Reward:   info.Reward,
+	})
+	return idx
+}
+
+// Len returns the number of recorded episodes.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Records returns a snapshot copy of all records.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Record(nil), l.records...)
+}
+
+// Leaky returns the records whose pattern leaked, optionally restricted to
+// the first n episodes (n <= 0 means all).
+func (l *Log) Leaky(n int) []Record {
+	var out []Record
+	for _, r := range l.Records() {
+		if n > 0 && r.Episode >= n {
+			break
+		}
+		if r.Leaky {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Bucket summarizes a window of training episodes (Fig. 4's per-1K-episode
+// view).
+type Bucket struct {
+	Start, End   int // episode range [Start, End)
+	Episodes     int
+	LeakyCount   int
+	AvgDistinct  float64 // average n over all episodes in the bucket
+	MaxDistinct  int     // largest leaky pattern seen
+	BestT        float64
+	BestLeakyN   int           // distinct bits of the best (max-n) leaky episode
+	BestLeakyPat bitvec.Vector // its pattern
+}
+
+// Buckets groups the log into windows of size episodes each.
+func (l *Log) Buckets(size int) []Bucket {
+	recs := l.Records()
+	if size <= 0 || len(recs) == 0 {
+		return nil
+	}
+	var out []Bucket
+	for start := 0; start < len(recs); start += size {
+		end := start + size
+		if end > len(recs) {
+			end = len(recs)
+		}
+		b := Bucket{Start: start, End: end, Episodes: end - start}
+		var sumN int
+		for _, r := range recs[start:end] {
+			sumN += r.Distinct
+			if r.Leaky {
+				b.LeakyCount++
+				if r.Distinct > b.BestLeakyN {
+					b.BestLeakyN = r.Distinct
+					b.BestLeakyPat = r.Pattern
+				}
+				if r.Distinct > b.MaxDistinct {
+					b.MaxDistinct = r.Distinct
+				}
+			}
+			if r.T > b.BestT {
+				b.BestT = r.T
+			}
+		}
+		b.AvgDistinct = float64(sumN) / float64(b.Episodes)
+		out = append(out, b)
+	}
+	return out
+}
+
+// PatternCounts counts occurrences of identical leaky patterns within the
+// first n episodes (n <= 0 means all), most frequent first. This is the
+// raw material for Table V.
+type PatternCount struct {
+	Pattern bitvec.Vector
+	Count   int
+}
+
+// PatternCounts implements the Table V view of the log.
+func (l *Log) PatternCounts(n int) []PatternCount {
+	counts := map[string]*PatternCount{}
+	for _, r := range l.Leaky(n) {
+		key := r.Pattern.String()
+		if pc, ok := counts[key]; ok {
+			pc.Count++
+		} else {
+			counts[key] = &PatternCount{Pattern: r.Pattern, Count: 1}
+		}
+	}
+	out := make([]PatternCount, 0, len(counts))
+	for _, pc := range counts {
+		out = append(out, *pc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Pattern.String() < out[j].Pattern.String()
+	})
+	return out
+}

@@ -1,0 +1,56 @@
+// Package explore implements the paper's primary contribution: the
+// ExploreFault Markov decision process over fault patterns, the training
+// orchestration that runs PPO on it, and the training log from which
+// fault models are harvested.
+//
+// The MDP (§III-B, §III-E): the state is a binary vector over the cipher
+// state bits marking where faults will be injected; an action selects one
+// bit; the episode runs for T steps (T = number of state bits); all
+// intermediate rewards are zero, and the terminal reward is β (< 0) if the
+// final pattern shows no information leakage, or e^n (n = distinct bits
+// selected) if it does. Table II's slow variant computes the reward at
+// every step; Fig. 3's weak variant uses the linear reward n.
+package explore
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/leakage"
+)
+
+// Oracle decides the information leakage of a fault pattern. It is the
+// abstraction boundary between the RL machinery and the cipher world:
+// unprotected ciphers use AssessorOracle; the duplication countermeasure
+// provides its own implementation (package countermeasure).
+type Oracle interface {
+	// Evaluate returns the leakage statistic l for the pattern.
+	Evaluate(pattern *bitvec.Vector) (float64, error)
+	// StateBits is the width of patterns this oracle accepts, which is
+	// also the RL action-space size.
+	StateBits() int
+	// Threshold is the exploitability threshold θ.
+	Threshold() float64
+}
+
+// AssessorOracle adapts a leakage.Assessor with a fixed injection round to
+// the Oracle interface.
+type AssessorOracle struct {
+	Assessor *leakage.Assessor
+	Round    int
+}
+
+var _ Oracle = (*AssessorOracle)(nil)
+
+// Evaluate implements Oracle.
+func (o *AssessorOracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
+	res, err := o.Assessor.Assess(pattern, o.Round)
+	if err != nil {
+		return 0, err
+	}
+	return res.T, nil
+}
+
+// StateBits implements Oracle.
+func (o *AssessorOracle) StateBits() int { return o.Assessor.StateBits() }
+
+// Threshold implements Oracle.
+func (o *AssessorOracle) Threshold() float64 { return o.Assessor.Threshold() }

@@ -1,0 +1,272 @@
+package explore
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/prng"
+	"repro/internal/rl"
+	"repro/internal/rl/ppo"
+)
+
+// OracleFactory builds one oracle per parallel environment. Each call
+// receives its own PRNG stream; implementations typically construct a
+// keyed cipher plus a leakage assessor from it.
+type OracleFactory func(rng *prng.Source) (Oracle, error)
+
+// SessionConfig tunes a discovery session.
+type SessionConfig struct {
+	// NumEnvs is the number of vectorized environments (default 8).
+	NumEnvs int
+	// Episodes is the total episode budget across all envs
+	// (default 5000, the span of Fig. 4).
+	Episodes int
+	// Env configures the MDP.
+	Env EnvConfig
+	// Agent configures PPO.
+	Agent ppo.Config
+	// Seed makes the whole session reproducible.
+	Seed uint64
+	// BootstrapSpike is the peaked-initialization strength passed to the
+	// agent (default 8; see ppo.Config.BootstrapSpike). Set negative to
+	// disable and use a uniform initial policy.
+	BootstrapSpike float64
+	// RespikeAfter re-randomizes the policy peak if this many episodes
+	// pass without a single exploitable pattern (default 150; 0 keeps
+	// the default, negative disables). This rescues sessions whose
+	// initial peak landed on a non-exploitable bit.
+	RespikeAfter int
+	// Gamma is the GAE discount (default 1.0: the MDP pays only a
+	// terminal reward, so undiscounted credit assignment gives every
+	// step of an episode equal weight; 0.99 would scale the first
+	// step's credit by 0.99^127 ≈ 0.28 for AES).
+	Gamma float64
+	// Lambda is the GAE smoothing parameter (default 0.95).
+	Lambda float64
+	// FinalRollouts is how many stochastic rollouts of the trained
+	// policy are evaluated to read out the converged fault pattern
+	// (default 8).
+	FinalRollouts int
+	// Progress, if non-nil, is called after every PPO update with a
+	// running summary.
+	Progress func(Progress)
+}
+
+func (c *SessionConfig) setDefaults() {
+	if c.NumEnvs == 0 {
+		c.NumEnvs = 8
+	}
+	if c.Episodes == 0 {
+		c.Episodes = 5000
+	}
+	if c.FinalRollouts == 0 {
+		c.FinalRollouts = 8
+	}
+	if c.BootstrapSpike == 0 {
+		c.BootstrapSpike = 8
+	}
+	if c.RespikeAfter == 0 {
+		c.RespikeAfter = 150
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 1.0
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.95
+	}
+}
+
+// Progress is the periodic training summary passed to the callback.
+type Progress struct {
+	Episodes   int
+	AvgReturn  float64 // over the last update's episodes
+	AvgLeaky   float64 // fraction of leaky episodes in the last update
+	AvgBits    float64 // average distinct bits in the last update
+	BestLeakyN int     // best leaky pattern size so far
+	Entropy    float64 // policy entropy
+}
+
+// Outcome is the result of a discovery session.
+type Outcome struct {
+	// Converged is the fault pattern read out from the trained policy:
+	// the largest leaky pattern among FinalRollouts stochastic rollouts
+	// (falling back to the best training-log pattern if none leak).
+	Converged bitvec.Vector
+	// ConvergedT is its leakage statistic; ConvergedLeaky its verdict.
+	ConvergedT     float64
+	ConvergedLeaky bool
+	// Log holds every training episode for later harvesting.
+	Log *Log
+	// Episodes actually run; Duration the wall-clock training time.
+	Episodes int
+	Duration time.Duration
+	// StepsPerMin and EpisodesPerMin are the training-rate figures of
+	// Table II.
+	StepsPerMin, EpisodesPerMin float64
+}
+
+// Session owns the environments, agent and log of one discovery run.
+type Session struct {
+	cfg     SessionConfig
+	envs    []rl.Env
+	raw     []*Env // same envs, concrete type for LastEpisode access
+	agent   *ppo.Agent
+	runner  *rl.Runner
+	log     *Log
+	rng     *prng.Source
+	evalEnv *Env // env reserved for final-rollout evaluation
+}
+
+// NewSession builds a session: NumEnvs oracles/environments plus one extra
+// oracle for final-pattern evaluation, and a PPO agent sized to the
+// oracle's state width.
+func NewSession(factory OracleFactory, cfg SessionConfig) (*Session, error) {
+	cfg.setDefaults()
+	root := prng.New(cfg.Seed)
+	s := &Session{cfg: cfg, log: &Log{}, rng: root}
+	for i := 0; i < cfg.NumEnvs; i++ {
+		oracle, err := factory(root.Split())
+		if err != nil {
+			return nil, fmt.Errorf("explore: building oracle %d: %w", i, err)
+		}
+		env := NewEnv(oracle, cfg.Env)
+		s.raw = append(s.raw, env)
+		s.envs = append(s.envs, env)
+	}
+	evalOracle, err := factory(root.Split())
+	if err != nil {
+		return nil, fmt.Errorf("explore: building eval oracle: %w", err)
+	}
+	s.evalEnv = NewEnv(evalOracle, cfg.Env)
+	obsSize := s.raw[0].ObsSize()
+	agentCfg := cfg.Agent
+	if cfg.BootstrapSpike > 0 && agentCfg.BootstrapSpike == 0 {
+		agentCfg.BootstrapSpike = cfg.BootstrapSpike
+	}
+	if agentCfg.ExplorationFloor == 0 {
+		// One expected stray per episode keeps pattern growth alive
+		// (see ppo.Config.ExplorationFloor).
+		episodeLen := cfg.Env.EpisodeLen
+		if episodeLen == 0 {
+			episodeLen = obsSize
+		}
+		agentCfg.ExplorationFloor = 1 / float64(episodeLen)
+	} else if agentCfg.ExplorationFloor < 0 {
+		agentCfg.ExplorationFloor = 0
+	}
+	s.agent = ppo.New(obsSize, obsSize, agentCfg, root.Split())
+	s.runner = rl.NewRunner(s.envs, s.agent)
+	s.runner.Gamma = cfg.Gamma
+	s.runner.Lambda = cfg.Lambda
+	return s, nil
+}
+
+// Agent exposes the trained agent (for greedy inspection in examples).
+func (s *Session) Agent() *ppo.Agent { return s.agent }
+
+// Log exposes the training log.
+func (s *Session) Log() *Log { return s.log }
+
+// Run trains until the episode budget is exhausted, then reads out the
+// converged pattern.
+func (s *Session) Run() (*Outcome, error) {
+	start := time.Now()
+	episodes := 0
+	var steps int
+	bestLeakyN := 0
+	sinceLeaky := 0
+
+	for episodes < s.cfg.Episodes {
+		batch, eps, err := s.runner.CollectEpisodes(1)
+		if err != nil {
+			return nil, err
+		}
+		steps += batch.Len()
+		var sumRet, sumBits, leaky float64
+		for _, ep := range eps {
+			info := s.raw[ep.EnvIndex].LastEpisode()
+			s.log.Add(info)
+			sumRet += ep.Return
+			sumBits += float64(info.Distinct)
+			if info.Leaky {
+				leaky++
+				if info.Distinct > bestLeakyN {
+					bestLeakyN = info.Distinct
+				}
+			}
+		}
+		episodes += len(eps)
+		if leaky > 0 {
+			sinceLeaky = 0
+		} else {
+			sinceLeaky += len(eps)
+			if s.cfg.RespikeAfter > 0 && sinceLeaky >= s.cfg.RespikeAfter && s.cfg.BootstrapSpike > 0 {
+				s.agent.Respike(s.cfg.BootstrapSpike)
+				sinceLeaky = 0
+			}
+		}
+		stats := s.agent.Update(batch)
+		if s.cfg.Progress != nil {
+			n := float64(len(eps))
+			s.cfg.Progress(Progress{
+				Episodes:   episodes,
+				AvgReturn:  sumRet / n,
+				AvgLeaky:   leaky / n,
+				AvgBits:    sumBits / n,
+				BestLeakyN: bestLeakyN,
+				Entropy:    stats.Entropy,
+			})
+		}
+	}
+	dur := time.Since(start)
+
+	out := &Outcome{
+		Log:      s.log,
+		Episodes: episodes,
+		Duration: dur,
+	}
+	if mins := dur.Minutes(); mins > 0 {
+		out.EpisodesPerMin = float64(episodes) / mins
+		out.StepsPerMin = float64(steps) / mins
+	}
+	s.readOutConverged(out)
+	return out, nil
+}
+
+// readOutConverged evaluates FinalRollouts stochastic rollouts of the
+// trained policy and keeps the leaky pattern with the most bits; if the
+// policy never produces a leaky episode (it can happen with tiny budgets),
+// it falls back to the best leaky pattern in the training log.
+func (s *Session) readOutConverged(out *Outcome) {
+	bestN := -1
+	for k := 0; k < s.cfg.FinalRollouts; k++ {
+		obs := s.evalEnv.Reset()
+		for {
+			a, _, _ := s.agent.Act(obs)
+			var done bool
+			obs, _, done = s.evalEnv.Step(a)
+			if done {
+				break
+			}
+		}
+		info := s.evalEnv.LastEpisode()
+		if info.Leaky && info.Distinct > bestN {
+			bestN = info.Distinct
+			out.Converged = info.Pattern
+			out.ConvergedT = info.T
+			out.ConvergedLeaky = true
+		}
+	}
+	if bestN >= 0 {
+		return
+	}
+	for _, r := range s.log.Leaky(0) {
+		if r.Distinct > bestN {
+			bestN = r.Distinct
+			out.Converged = r.Pattern
+			out.ConvergedT = r.T
+			out.ConvergedLeaky = true
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package fault implements the fault-simulation engine: it runs paired
+// (correct, faulty) encryptions over random plaintexts, injecting faults
+// drawn from a bit pattern into a chosen round, and collects the state
+// differentials at configurable observation points as grouped trace
+// matrices ready for the t-test machinery in internal/leakage.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/ciphers"
+	"repro/internal/prng"
+)
+
+// Mode selects how fault values are drawn from a pattern for each trace.
+type Mode int
+
+const (
+	// RandomMask injects a uniformly random non-zero sub-mask of the
+	// pattern per trace: every selected bit flips independently with
+	// probability 1/2. This models an imprecise injection confined to
+	// the targeted bits and is the paper's "random fault" (§IV-B,
+	// Fig. 5 injects "100 random faults" per model).
+	RandomMask Mode = iota
+	// FlipAll deterministically flips every bit of the pattern in every
+	// trace (a fully-controlled injection).
+	FlipAll
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case RandomMask:
+		return "random-mask"
+	case FlipAll:
+		return "flip-all"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// PointKind identifies the kind of observation point.
+type PointKind int
+
+const (
+	// RoundInput observes the state at the input of a round.
+	RoundInput PointKind = iota
+	// PostSub observes the state after a round's substitution layer.
+	PostSub
+	// CiphertextPoint observes the final ciphertext.
+	CiphertextPoint
+)
+
+// Point is one observation point of a fault campaign.
+type Point struct {
+	Kind  PointKind
+	Round int // 1-based; ignored for CiphertextPoint
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	switch p.Kind {
+	case RoundInput:
+		return fmt.Sprintf("input(r%d)", p.Round)
+	case PostSub:
+		return fmt.Sprintf("postsub(r%d)", p.Round)
+	case CiphertextPoint:
+		return "ciphertext"
+	default:
+		return fmt.Sprintf("Point(%d,%d)", int(p.Kind), p.Round)
+	}
+}
+
+// DefaultLag is the default distance between the injection round and the
+// first observed round. Observing from round r+2 onwards reproduces the
+// paper's setup (AES: inject round 8, check the round-10 input, Fig. 1;
+// GIFT: inject round 25, check post-S-box round 27 and later) and is what
+// bounds "too wide" fault patterns: at lag 1 even a 12-byte AES fault
+// leaves trivially-detectable zero bytes, at lag 2 only structured faults
+// survive.
+const DefaultLag = 2
+
+// DefaultWindow is the default observation window: only the last
+// DefaultWindow rounds (plus the ciphertext) are observable. The paper
+// restricts t-tests to "the input/output or intermediate computations of
+// the last few rounds" because an attacker reaches intermediate states by
+// partially decrypting from the ciphertext, which is only feasible for a
+// few rounds; this is also why early-round faults are not exploitable.
+const DefaultWindow = 3
+
+// DefaultPoints returns the observation points for a fault injected at
+// round in cipher c with the default window: round inputs and
+// post-substitution states of the observable rounds, plus the ciphertext.
+func DefaultPoints(c ciphers.Cipher, round, lag int) []Point {
+	return PointsWindow(c, round, lag, DefaultWindow)
+}
+
+// PointsWindow returns the observation points for a fault injected at
+// round: the round inputs and post-substitution states of every round r
+// satisfying both r >= round+lag (strictly after the fault, so the
+// injection itself is not "observed") and r > Rounds()-window (reachable
+// by partial decryption), plus the ciphertext.
+func PointsWindow(c ciphers.Cipher, round, lag, window int) []Point {
+	first := round + lag
+	if w := c.Rounds() - window + 1; w > first {
+		first = w
+	}
+	var pts []Point
+	for r := first; r <= c.Rounds(); r++ {
+		pts = append(pts, Point{Kind: RoundInput, Round: r}, Point{Kind: PostSub, Round: r})
+	}
+	pts = append(pts, Point{Kind: CiphertextPoint})
+	return pts
+}
+
+// Campaign describes one fault-simulation experiment: a keyed cipher, a
+// bit pattern and injection round, an injection mode, the number of random
+// plaintexts, the observation points, and the grouping granularity used to
+// turn differentials into t-test columns.
+type Campaign struct {
+	Cipher  ciphers.Cipher
+	Pattern bitvec.Vector // width must equal 8*Cipher.BlockBytes()
+	Round   int
+	Mode    Mode
+	Samples int
+	Points  []Point
+	// GroupBits is the differential grouping granularity: 1 (bits),
+	// 4 (nibbles) or 8 (bytes). Zero selects the cipher's native
+	// substitution width (Cipher.GroupBits()).
+	GroupBits int
+}
+
+// validate normalizes defaults and reports configuration errors.
+func (cp *Campaign) validate() error {
+	if cp.Cipher == nil {
+		return fmt.Errorf("fault: campaign has no cipher")
+	}
+	stateBits := 8 * cp.Cipher.BlockBytes()
+	if cp.Pattern.Len() != stateBits {
+		return fmt.Errorf("fault: pattern width %d != state width %d", cp.Pattern.Len(), stateBits)
+	}
+	if cp.Pattern.IsZero() {
+		return fmt.Errorf("fault: empty fault pattern")
+	}
+	if cp.Round < 1 || cp.Round > cp.Cipher.Rounds() {
+		return fmt.Errorf("fault: round %d out of range 1..%d", cp.Round, cp.Cipher.Rounds())
+	}
+	if cp.Samples <= 1 {
+		return fmt.Errorf("fault: need at least 2 samples, got %d", cp.Samples)
+	}
+	if cp.GroupBits == 0 {
+		cp.GroupBits = cp.Cipher.GroupBits()
+	}
+	switch cp.GroupBits {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("fault: unsupported group size %d bits", cp.GroupBits)
+	}
+	if len(cp.Points) == 0 {
+		cp.Points = DefaultPoints(cp.Cipher, cp.Round, DefaultLag)
+	}
+	for _, p := range cp.Points {
+		if p.Kind != CiphertextPoint && (p.Round < 1 || p.Round > cp.Cipher.Rounds()) {
+			return fmt.Errorf("fault: observation point %v out of range", p)
+		}
+		if p.Kind != CiphertextPoint && p.Round <= cp.Round {
+			return fmt.Errorf("fault: observation point %v not after injection round %d", p, cp.Round)
+		}
+	}
+	return nil
+}
+
+// Groups returns the number of t-test columns per observation point.
+func (cp *Campaign) Groups() int {
+	return 8 * cp.Cipher.BlockBytes() / cp.GroupBits
+}
+
+// Result holds the collected differential matrices, one per observation
+// point, each Samples x Groups of group values.
+type Result struct {
+	Points   []Point
+	Matrices [][][]float64 // Matrices[i] belongs to Points[i]
+}
+
+// Collect runs the campaign: for each of Samples random plaintexts it
+// encrypts once cleanly and once with a fault drawn from the pattern, and
+// records the grouped XOR differential at every observation point.
+func (cp *Campaign) Collect(rng *prng.Source) (*Result, error) {
+	if err := cp.validate(); err != nil {
+		return nil, err
+	}
+	n := cp.Cipher.BlockBytes()
+	cleanTr := ciphers.NewTrace(cp.Cipher)
+	faultTr := ciphers.NewTrace(cp.Cipher)
+	pt := make([]byte, n)
+	out := make([]byte, n)
+	mask := make([]byte, n)
+
+	res := &Result{Points: cp.Points, Matrices: make([][][]float64, len(cp.Points))}
+	for i := range res.Matrices {
+		res.Matrices[i] = make([][]float64, cp.Samples)
+	}
+	groups := cp.Groups()
+	f := &ciphers.Fault{Round: cp.Round, Mask: mask}
+	diff := make([]byte, n)
+	for s := 0; s < cp.Samples; s++ {
+		rng.Fill(pt)
+		cp.drawMask(mask, rng)
+		cp.Cipher.Encrypt(out, pt, nil, cleanTr)
+		cp.Cipher.Encrypt(out, pt, f, faultTr)
+		for pi, p := range cp.Points {
+			a, b := pointState(cleanTr, p), pointState(faultTr, p)
+			for j := range diff {
+				diff[j] = a[j] ^ b[j]
+			}
+			res.Matrices[pi][s] = groupValues(diff, cp.GroupBits, groups)
+		}
+	}
+	return res, nil
+}
+
+// drawMask fills mask with the fault value for one trace.
+func (cp *Campaign) drawMask(mask []byte, rng *prng.Source) {
+	switch cp.Mode {
+	case FlipAll:
+		copy(mask, cp.Pattern.Bytes())
+	default:
+		m := bitvec.RandomMask(&cp.Pattern, rng)
+		copy(mask, m.Bytes())
+	}
+}
+
+func pointState(tr *ciphers.Trace, p Point) []byte {
+	switch p.Kind {
+	case RoundInput:
+		return tr.Inputs[p.Round-1]
+	case PostSub:
+		return tr.PostSub[p.Round-1]
+	default:
+		return tr.Ciphertext
+	}
+}
+
+// groupValues splits state bytes into groupBits-wide integer values.
+func groupValues(state []byte, groupBits, groups int) []float64 {
+	out := make([]float64, groups)
+	switch groupBits {
+	case 8:
+		for i, b := range state {
+			out[i] = float64(b)
+		}
+	case 4:
+		for i := 0; i < groups; i++ {
+			out[i] = float64(state[i/2] >> (4 * uint(i%2)) & 0xf)
+		}
+	case 2:
+		for i := 0; i < groups; i++ {
+			out[i] = float64(state[i/4] >> (2 * uint(i%4)) & 0x3)
+		}
+	default: // 1
+		for i := 0; i < groups; i++ {
+			out[i] = float64(state[i/8] >> uint(i%8) & 1)
+		}
+	}
+	return out
+}
+
+// UniformReference returns a samples x groups matrix of uniformly random
+// group values, the t-test's null population.
+func UniformReference(samples, groupBits, groups int, rng *prng.Source) [][]float64 {
+	maxVal := 1<<uint(groupBits) - 1
+	m := make([][]float64, samples)
+	for i := range m {
+		row := make([]float64, groups)
+		for j := range row {
+			row[j] = float64(rng.Intn(maxVal + 1))
+		}
+		m[i] = row
+	}
+	return m
+}

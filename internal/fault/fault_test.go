@@ -1,0 +1,292 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/ciphers"
+	"repro/internal/ciphers/aes"
+	_ "repro/internal/ciphers/gift"
+	"repro/internal/prng"
+)
+
+func newAES(t *testing.T) ciphers.Cipher {
+	t.Helper()
+	c, err := ciphers.New("aes128", make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// bytePattern returns a 128-bit pattern covering the given AES state bytes.
+func bytePattern(bytes ...int) bitvec.Vector {
+	v := bitvec.New(128)
+	for _, b := range bytes {
+		for j := 0; j < 8; j++ {
+			v.Set(8*b + j)
+		}
+	}
+	return v
+}
+
+func TestDefaultPoints(t *testing.T) {
+	c := newAES(t)
+	pts := DefaultPoints(c, 8, 2)
+	// Rounds 10 gives input+postsub, plus ciphertext = 3 points.
+	if len(pts) != 3 {
+		t.Fatalf("DefaultPoints = %v, want 3 points", pts)
+	}
+	if pts[0] != (Point{Kind: RoundInput, Round: 10}) ||
+		pts[1] != (Point{Kind: PostSub, Round: 10}) ||
+		pts[2] != (Point{Kind: CiphertextPoint}) {
+		t.Errorf("unexpected points %v", pts)
+	}
+	// A later injection round leaves only the ciphertext.
+	pts = DefaultPoints(c, 10, 2)
+	if len(pts) != 1 || pts[0].Kind != CiphertextPoint {
+		t.Errorf("round-10 points = %v", pts)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	c := newAES(t)
+	good := Campaign{Cipher: c, Pattern: bytePattern(0), Round: 8, Samples: 16}
+	cases := []struct {
+		name string
+		mut  func(*Campaign)
+	}{
+		{"nil cipher", func(cp *Campaign) { cp.Cipher = nil }},
+		{"wrong pattern width", func(cp *Campaign) { cp.Pattern = bitvec.New(64) }},
+		{"empty pattern", func(cp *Campaign) { cp.Pattern = bitvec.New(128) }},
+		{"round 0", func(cp *Campaign) { cp.Round = 0 }},
+		{"round too large", func(cp *Campaign) { cp.Round = 11 }},
+		{"too few samples", func(cp *Campaign) { cp.Samples = 1 }},
+		{"bad group bits", func(cp *Campaign) { cp.GroupBits = 3 }},
+		{"obs point before injection", func(cp *Campaign) {
+			cp.Points = []Point{{Kind: RoundInput, Round: 8}}
+		}},
+		{"obs point out of range", func(cp *Campaign) {
+			cp.Points = []Point{{Kind: PostSub, Round: 40}}
+		}},
+	}
+	for _, tc := range cases {
+		cp := good
+		tc.mut(&cp)
+		if _, err := cp.Collect(prng.New(1)); err == nil {
+			t.Errorf("%s: Collect accepted invalid campaign", tc.name)
+		}
+	}
+	// The good campaign itself must pass.
+	if _, err := good.Collect(prng.New(1)); err != nil {
+		t.Errorf("valid campaign rejected: %v", err)
+	}
+}
+
+func TestCollectShapes(t *testing.T) {
+	c := newAES(t)
+	cp := Campaign{Cipher: c, Pattern: bytePattern(2, 7), Round: 8, Samples: 32}
+	res, err := cp.Collect(prng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matrices) != len(res.Points) {
+		t.Fatalf("matrices/points mismatch")
+	}
+	for i, m := range res.Matrices {
+		if len(m) != 32 {
+			t.Errorf("point %v: %d rows, want 32", res.Points[i], len(m))
+		}
+		for _, row := range m {
+			if len(row) != 16 {
+				t.Errorf("point %v: %d cols, want 16 byte groups", res.Points[i], len(row))
+			}
+			for _, v := range row {
+				if v < 0 || v > 255 {
+					t.Errorf("group value %v out of byte range", v)
+				}
+			}
+		}
+	}
+}
+
+func TestCollectGroupBitsOverride(t *testing.T) {
+	c := newAES(t)
+	cp := Campaign{Cipher: c, Pattern: bytePattern(0), Round: 8, Samples: 8, GroupBits: 4}
+	res, err := cp.Collect(prng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Matrices[0][0]); got != 32 {
+		t.Errorf("nibble grouping gave %d cols, want 32", got)
+	}
+	for _, v := range res.Matrices[0][0] {
+		if v < 0 || v > 15 {
+			t.Errorf("nibble value %v out of range", v)
+		}
+	}
+}
+
+func TestFlipAllIsDeterministicAtInjectionPoint(t *testing.T) {
+	// With FlipAll and an observation right after injection impossible
+	// (lag >= 1 enforced), verify determinism indirectly: the ciphertext
+	// differential population from FlipAll with a fixed plaintext-free
+	// pattern has no dependence on the mask draw, so two campaigns with
+	// different RNG seeds but identical plaintext streams would match.
+	// Here we simply check FlipAll never produces an all-zero
+	// differential at the first observed round.
+	c := newAES(t)
+	cp := Campaign{Cipher: c, Pattern: bytePattern(5), Round: 8, Samples: 16, Mode: FlipAll}
+	res, err := cp.Collect(prng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, row := range res.Matrices[0] {
+		zero := true
+		for _, v := range row {
+			if v != 0 {
+				zero = false
+			}
+		}
+		if zero {
+			t.Errorf("sample %d: all-zero differential two rounds after a FlipAll fault", s)
+		}
+	}
+}
+
+func TestDiffusionVisibleInDifferentials(t *testing.T) {
+	// A single-byte fault at round 8 observed at the round-10 input must
+	// touch all 16 bytes in essentially every sample (full diffusion).
+	c := newAES(t)
+	cp := Campaign{Cipher: c, Pattern: bytePattern(0), Round: 8, Samples: 64,
+		Points: []Point{{Kind: RoundInput, Round: 10}}}
+	res, err := cp.Collect(prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroGroups := 0
+	for _, row := range res.Matrices[0] {
+		for _, v := range row {
+			if v == 0 {
+				zeroGroups++
+			}
+		}
+	}
+	// Each byte differential is ~uniform, so zeros occur at rate ~1/256:
+	// expect about 4 of 1024; 64 would indicate a whole silent byte.
+	if zeroGroups > 32 {
+		t.Errorf("%d zero byte-differentials out of 1024; diffusion looks broken", zeroGroups)
+	}
+}
+
+func TestCiphertextPointMatchesLastRound(t *testing.T) {
+	// For a round-10 AES fault the only default point is the ciphertext,
+	// and its differential must be non-zero (fault always hits).
+	c := newAES(t)
+	cp := Campaign{Cipher: c, Pattern: bytePattern(3), Round: 10, Samples: 16}
+	res, err := cp.Collect(prng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, row := range res.Matrices[0] {
+		nonzero := 0
+		for _, v := range row {
+			if v != 0 {
+				nonzero++
+			}
+		}
+		// A single-byte fault in round 10 passes through SubBytes and
+		// ShiftRows only: exactly one ciphertext byte differs.
+		if nonzero != 1 {
+			t.Errorf("sample %d: %d non-zero ciphertext bytes, want 1", s, nonzero)
+		}
+	}
+}
+
+func TestGIFTNibbleGroupingDefaults(t *testing.T) {
+	g, err := ciphers.New("gift64", make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := bitvec.New(64)
+	for b := 32; b < 36; b++ { // nibble 8
+		pattern.Set(b)
+	}
+	cp := Campaign{Cipher: g, Pattern: pattern, Round: 25, Samples: 8}
+	res, err := cp.Collect(prng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.GroupBits != 4 {
+		t.Errorf("GroupBits defaulted to %d, want 4 for GIFT", cp.GroupBits)
+	}
+	if got := len(res.Matrices[0][0]); got != 16 {
+		t.Errorf("GIFT grouping gave %d cols, want 16 nibbles", got)
+	}
+	// Default points: rounds 27, 28 input+postsub, plus ciphertext.
+	if len(res.Points) != 5 {
+		t.Errorf("GIFT default points = %v, want 5", res.Points)
+	}
+}
+
+func TestUniformReference(t *testing.T) {
+	rng := prng.New(8)
+	m := UniformReference(1000, 4, 16, rng)
+	if len(m) != 1000 || len(m[0]) != 16 {
+		t.Fatalf("reference shape %dx%d", len(m), len(m[0]))
+	}
+	var sum float64
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 || v > 15 {
+				t.Fatalf("reference value %v out of nibble range", v)
+			}
+			sum += v
+		}
+	}
+	mean := sum / (1000 * 16)
+	if mean < 7 || mean > 8 {
+		t.Errorf("reference mean %v, want ~7.5", mean)
+	}
+}
+
+func TestModeAndPointStrings(t *testing.T) {
+	if RandomMask.String() != "random-mask" || FlipAll.String() != "flip-all" {
+		t.Error("mode strings wrong")
+	}
+	if (Point{Kind: RoundInput, Round: 10}).String() != "input(r10)" {
+		t.Error("point string wrong")
+	}
+	if (Point{Kind: CiphertextPoint}).String() != "ciphertext" {
+		t.Error("ciphertext point string wrong")
+	}
+}
+
+func TestDiagonalPatternHelper(t *testing.T) {
+	// Consistency between the aes.Diagonal helper and pattern building:
+	// diagonal 2 is the paper's bytes {2,7,8,13}.
+	d := aes.Diagonal(2)
+	p := bytePattern(d[:]...)
+	if p.Count() != 32 {
+		t.Errorf("diagonal pattern has %d bits, want 32", p.Count())
+	}
+	want := []int{2, 7, 8, 13}
+	for i, g := range p.Groups(8) {
+		if g != want[i] {
+			t.Errorf("diagonal groups = %v, want %v", p.Groups(8), want)
+			break
+		}
+	}
+}
+
+func BenchmarkCollectAES(b *testing.B) {
+	c, _ := ciphers.New("aes128", make([]byte, 16))
+	cp := Campaign{Cipher: c, Pattern: bytePattern(2, 7, 8, 13), Round: 8, Samples: 256}
+	rng := prng.New(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.Collect(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	explorefault "repro"
+	"repro/internal/report"
+)
+
+// Figure3Result captures the reward-shaping ablation.
+type Figure3Result struct {
+	// LinearFinalBits and ExpFinalBits are the largest exploitable
+	// pattern sizes (distinct bits n) each reward shape reached; the
+	// paper's exponential agent converges to ln(reward) = 17 while the
+	// linear agent stalls around 3.
+	LinearFinalBits, ExpFinalBits int
+	// LinearSeries/ExpSeries: best exploitable n per training window.
+	LinearSeries, ExpSeries []float64
+}
+
+// Figure3 reproduces Fig. 3: the agent's inability/ability to learn with
+// the linear/exponential reward on AES.
+func Figure3(opt Options) (*Figure3Result, error) {
+	episodes := opt.pick(400, 1600)
+	samples := opt.pick(256, 512)
+	window := episodes / 8
+
+	run := func(linear bool) ([]float64, int, error) {
+		var series []float64
+		best := 0
+		windowBest := 0
+		seen := 0
+		res, err := explorefault.Discover(explorefault.DiscoverConfig{
+			Cipher:       "aes128",
+			Round:        8,
+			Episodes:     episodes,
+			Samples:      samples,
+			Seed:         opt.Seed,
+			LinearReward: linear,
+			SkipHarvest:  true,
+			Progress: func(p explorefault.Progress) {
+				if p.BestLeakyN > windowBest {
+					windowBest = p.BestLeakyN
+				}
+				if p.Episodes-seen >= window {
+					seen = p.Episodes
+					series = append(series, float64(windowBest))
+				}
+			},
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if res.ConvergedLeaky {
+			best = res.Converged.Count()
+		}
+		for _, b := range res.Buckets {
+			if b.MaxLeakyBits > best {
+				best = b.MaxLeakyBits
+			}
+		}
+		return series, best, nil
+	}
+
+	linSeries, linBest, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	expSeries, expBest, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure3Result{
+		LinearFinalBits: linBest,
+		ExpFinalBits:    expBest,
+		LinearSeries:    linSeries,
+		ExpSeries:       expSeries,
+	}
+	w := opt.out()
+	fprintf(w, "Fig. 3: linear vs exponential reward on AES (round 8), %d episodes\n", episodes)
+	(&report.Series{
+		Title:  "  linear reward (Equation 1): best exploitable pattern size per window",
+		XLabel: "window", YLabel: "bits", Y: linSeries,
+	}).Render(w)
+	(&report.Series{
+		Title:  "  exponential reward (Equation 2): best exploitable pattern size per window",
+		XLabel: "window", YLabel: "bits", Y: expSeries,
+	}).Render(w)
+	fprintf(w, "  final: linear converges to n = %d; exponential reaches n = %d (ln of converged reward)\n",
+		linBest, expBest)
+	return res, nil
+}
+
+// Figure4Result captures the training progression.
+type Figure4Result struct {
+	// Per bucket: leaky episode count, average bits selected, and the
+	// model classes seen (bit / multi-bit / diagonal-contained).
+	Buckets []Figure4Bucket
+}
+
+// Figure4Bucket summarizes one training window.
+type Figure4Bucket struct {
+	StartEpisode, EndEpisode int
+	SingleBit, MultiBit      int
+	DiagonalContained        int
+	AvgBitsSelected          float64
+}
+
+// Figure4 reproduces Fig. 4: fault models discovered per training window
+// for unprotected AES, plus the average number of bits selected.
+func Figure4(opt Options) (*Figure4Result, error) {
+	episodes := opt.pick(600, 3000)
+	res, err := explorefault.Discover(explorefault.DiscoverConfig{
+		Cipher:      "aes128",
+		Round:       8,
+		Episodes:    episodes,
+		Samples:     opt.pick(256, 512),
+		Seed:        opt.Seed,
+		SkipHarvest: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure4Result{}
+	tb := report.NewTable("Fig. 4: fault models discovered during AES training (per window)",
+		"Episodes", "1-bit", "multi-bit", "diagonal-contained", "avg bits selected")
+	for _, b := range res.Buckets {
+		fb := Figure4Bucket{
+			StartEpisode:      b.StartEpisode,
+			EndEpisode:        b.EndEpisode,
+			SingleBit:         b.SingleBitModels,
+			MultiBit:          b.MultiBitModels,
+			DiagonalContained: b.DiagonalContained,
+			AvgBitsSelected:   b.AvgBitsSelected,
+		}
+		out.Buckets = append(out.Buckets, fb)
+		tb.AddRow(fmt.Sprintf("%d-%d", b.StartEpisode, b.EndEpisode),
+			fb.SingleBit, fb.MultiBit, fb.DiagonalContained,
+			fmt.Sprintf("%.1f", fb.AvgBitsSelected))
+	}
+	tb.Render(opt.out())
+	return out, nil
+}
+
+// Figure5Result records the random-fault verification sweep.
+type Figure5Result struct {
+	Rows []Figure5Row
+}
+
+// Figure5Row is the t-statistic distribution for one fault model.
+type Figure5Row struct {
+	Model             string
+	MinT, MeanT, MaxT float64
+	AllAboveThreshold bool
+}
+
+// Figure5 reproduces Fig. 5: for each discovered fault model, inject 100
+// random faults and confirm every t statistic clears the 4.5 threshold.
+func Figure5(opt Options) (*Figure5Result, error) {
+	trials := opt.pick(30, 100)
+	samples := opt.pick(512, 1024)
+	models := []struct {
+		name    string
+		cipher  string
+		round   int
+		pattern explorefault.Pattern
+	}{
+		{"AES bit (77)", "aes128", 8, explorefault.PatternFromBits(128, 77)},
+		{"AES byte (0)", "aes128", 8, explorefault.PatternFromGroups(128, 8, 0)},
+		{"AES diagonal D2", "aes128", 8, explorefault.PatternFromGroups(128, 8, 2, 7, 8, 13)},
+		{"GIFT nibble (5)", "gift64", 25, explorefault.PatternFromGroups(64, 4, 5)},
+		{"GIFT new model {8,9,10,11,12,14}", "gift64", 25,
+			explorefault.PatternFromGroups(64, 4, 8, 9, 10, 11, 12, 14)},
+	}
+	out := &Figure5Result{}
+	tb := report.NewTable(
+		fmt.Sprintf("Fig. 5: %d random-fault simulations per discovered model (t distribution)", trials),
+		"Fault Model", "min t", "mean t", "max t", "all > 4.5")
+	for _, m := range models {
+		minT, maxT := math.Inf(1), math.Inf(-1)
+		var sum float64
+		all := true
+		for k := 0; k < trials; k++ {
+			a, err := explorefault.Assess(m.pattern, explorefault.AssessConfig{
+				Cipher: m.cipher, Round: m.round, Samples: samples,
+				Seed: opt.Seed + uint64(1000*k) + uint64(len(m.name)),
+			})
+			if err != nil {
+				return nil, err
+			}
+			sum += a.T
+			if a.T < minT {
+				minT = a.T
+			}
+			if a.T > maxT {
+				maxT = a.T
+			}
+			if !a.Leaky {
+				all = false
+			}
+		}
+		row := Figure5Row{
+			Model: m.name, MinT: minT, MeanT: sum / float64(trials), MaxT: maxT,
+			AllAboveThreshold: all,
+		}
+		out.Rows = append(out.Rows, row)
+		tb.AddRow(m.name, row.MinT, row.MeanT, row.MaxT, checkmark(all))
+	}
+	tb.Render(opt.out())
+	return out, nil
+}

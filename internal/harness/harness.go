@@ -1,0 +1,75 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section. It is the engine behind both the root-level
+// benchmarks (bench_test.go) and cmd/tables; each experiment prints the
+// same rows/series the paper reports and returns a structured summary so
+// benchmarks can assert on the shape (who wins, by roughly what factor,
+// where crossovers fall).
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	explorefault "repro"
+)
+
+// Options configures one harness run.
+type Options struct {
+	// Seed drives every experiment deterministically.
+	Seed uint64
+	// Quick selects reduced budgets for CI/bench runs; the full budgets
+	// are sized for a single-core machine (the paper used 32 cores and
+	// a GPU; see DESIGN.md substitutions).
+	Quick bool
+	// Out receives the rendered tables/figures. nil discards output.
+	Out io.Writer
+}
+
+func (o *Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// pick returns quick or full depending on the option.
+func (o *Options) pick(quick, full int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// fprintf is a small helper that never fails.
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}
+
+// classesFound maps a model list to the Table III columns.
+func classesFound(models []explorefault.Model) map[string]bool {
+	found := map[string]bool{}
+	for _, m := range models {
+		switch m.Class {
+		case explorefault.BitModel:
+			found["bit"] = true
+		case explorefault.NibbleModel:
+			found["nibble"] = true
+		case explorefault.MultiNibbleModel:
+			found["multi-nibble"] = true
+		case explorefault.ByteModel:
+			found["byte"] = true
+		case explorefault.DiagonalModel:
+			found["diagonal"] = true
+		case explorefault.MultiByteModel:
+			found["multi-byte"] = true
+		}
+	}
+	return found
+}
+
+func checkmark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "-"
+}

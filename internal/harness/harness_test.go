@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	explorefault "repro"
+)
+
+// The heavyweight experiments (Tables II-V, Figures 3-4) are exercised by
+// the root-level benchmarks; these tests cover the cheap experiments and
+// the harness plumbing.
+
+func testOptions(buf *strings.Builder) Options {
+	return Options{Seed: 7, Quick: true, Out: buf}
+}
+
+func TestTableIShapeAndOutput(t *testing.T) {
+	var buf strings.Builder
+	res, err := TableI(testOptions(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ByteFirst >= 4.5 || res.DiagonalFirst >= 4.5 {
+		t.Errorf("first-order statistics unexpectedly high: %+v", res)
+	}
+	if res.ByteSecond <= 4.5 || res.DiagonalSecond <= 4.5 {
+		t.Errorf("second-order statistics unexpectedly low: %+v", res)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "Byte", "Diagonal", "< 4.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure5AllModelsClearThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several hundred oracle calls")
+	}
+	var buf strings.Builder
+	opt := testOptions(&buf)
+	res, err := Figure5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("expected 5 models, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.AllAboveThreshold {
+			t.Errorf("model %q fell below the threshold (min %.2f)", row.Model, row.MinT)
+		}
+		if row.MinT > row.MeanT || row.MeanT > row.MaxT {
+			t.Errorf("model %q order statistics inconsistent: %+v", row.Model, row)
+		}
+	}
+}
+
+func TestAblationObservationCrossover(t *testing.T) {
+	var buf strings.Builder
+	res, err := AblationObservation(testOptions(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OneDiagonal[1] || !res.OneDiagonal[2] {
+		t.Errorf("one diagonal should be exploitable at both lags: %+v", res.OneDiagonal)
+	}
+	if !res.TwoDiagonals[1] || res.TwoDiagonals[2] {
+		t.Errorf("two diagonals must flip from exploitable (lag 1) to not (lag 2): %+v",
+			res.TwoDiagonals)
+	}
+}
+
+func TestAblationGroupingNativeWidthsDetect(t *testing.T) {
+	var buf strings.Builder
+	res, err := AblationGrouping(testOptions(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AESByte[8] < 4.5 {
+		t.Errorf("byte grouping missed the AES byte fault: %v", res.AESByte)
+	}
+	if res.GIFTNibble[4] < 4.5 {
+		t.Errorf("nibble grouping missed the GIFT nibble fault: %v", res.GIFTNibble)
+	}
+}
+
+func TestKeyRecoveryTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three DFA attacks")
+	}
+	var buf strings.Builder
+	res, err := KeyRecovery(testOptions(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AES.Correct || res.AES.RecoveredBits != 128 {
+		t.Errorf("AES PQ: %+v", res.AES)
+	}
+	if !res.GIFTSingle.Correct || res.GIFTSingle.RecoveredBits < 32 {
+		t.Errorf("GIFT single-nibble: %+v", res.GIFTSingle)
+	}
+	if !res.GIFTNewModel.Correct || res.GIFTNewModel.RecoveredBits < 32 {
+		t.Errorf("GIFT new model: %+v", res.GIFTNewModel)
+	}
+	if !strings.Contains(buf.String(), "Piret-Quisquater") {
+		t.Error("key-recovery table not rendered")
+	}
+}
+
+func TestOptionsPlumbing(t *testing.T) {
+	opt := Options{Quick: true}
+	if opt.pick(1, 2) != 1 {
+		t.Error("Quick pick wrong")
+	}
+	opt.Quick = false
+	if opt.pick(1, 2) != 2 {
+		t.Error("full pick wrong")
+	}
+	if opt.out() == nil {
+		t.Error("nil Out must map to a discarding writer, not nil")
+	}
+}
+
+func TestClassesFound(t *testing.T) {
+	models := []explorefault.Model{
+		{Class: explorefault.BitModel},
+		{Class: explorefault.DiagonalModel},
+		{Class: explorefault.NibbleModel},
+	}
+	found := classesFound(models)
+	if !found["bit"] || !found["diagonal"] || !found["nibble"] {
+		t.Errorf("classesFound = %v", found)
+	}
+	if found["byte"] || found["multi-nibble"] {
+		t.Errorf("classesFound over-reports: %v", found)
+	}
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+
+	explorefault "repro"
+	"repro/internal/report"
+)
+
+// KeyRecoveryResult aggregates the DFA verification runs.
+type KeyRecoveryResult struct {
+	AES          *explorefault.KeyRecovery
+	GIFTSingle   *explorefault.KeyRecovery
+	GIFTNewModel *explorefault.KeyRecovery
+}
+
+// KeyRecovery reproduces the §IV-B/§IV-D verification: concrete key
+// recovery for the AES byte model (Piret–Quisquater, replicating the
+// prior works Table III cites) and for GIFT-64's single-nibble and newly
+// discovered multi-nibble models. The paper reports 80/128 GIFT key bits
+// at offline 2^33.15 via ExpFault; our attack recovers the 64 bits of
+// round keys 27+28 outright (the remaining bits need a second fault at
+// round 23, which neither we nor the paper's single-fault analysis
+// targets).
+func KeyRecovery(opt Options) (*KeyRecoveryResult, error) {
+	pairs := opt.pick(512, 1024)
+	out := &KeyRecoveryResult{}
+	var err error
+	out.AES, err = explorefault.VerifyKeyRecovery(explorefault.Pattern{}, explorefault.VerifyConfig{
+		Cipher: "aes128", Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	single := explorefault.PatternFromGroups(64, 4, 5)
+	out.GIFTSingle, err = explorefault.VerifyKeyRecovery(single, explorefault.VerifyConfig{
+		Cipher: "gift64", Round: 25, Pairs: pairs, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	newModel := explorefault.PatternFromGroups(64, 4, 8, 9, 10, 11, 12, 14)
+	out.GIFTNewModel, err = explorefault.VerifyKeyRecovery(newModel, explorefault.VerifyConfig{
+		Cipher: "gift64", Round: 25, Pairs: pairs, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tb := report.NewTable("Key-recovery verification of discovered fault models (ExpFault role)",
+		"Cipher / Model", "Key Bits", "Faults", "Offline", "Verified")
+	add := func(name string, kr *explorefault.KeyRecovery) {
+		tb.AddRow(name,
+			fmt.Sprintf("%d/%d", kr.RecoveredBits, kr.TotalKeyBits),
+			kr.FaultsUsed,
+			fmt.Sprintf("2^%.1f", kr.OfflineLog2),
+			checkmark(kr.Correct))
+	}
+	add("AES-128 byte@r9 (Piret-Quisquater)", out.AES)
+	add("GIFT-64 nibble{5}@r25", out.GIFTSingle)
+	add("GIFT-64 new model {8,9,10,11,12,14}@r25", out.GIFTNewModel)
+	tb.Render(opt.out())
+	return out, nil
+}

@@ -1,0 +1,353 @@
+// Package nn is a minimal neural-network library sufficient for the PPO
+// agent: dense layers with manual backpropagation, tanh/ReLU activations,
+// softmax utilities for categorical policies, Xavier initialization, and
+// the Adam optimizer. Everything is float64 and allocation-conscious; the
+// networks involved are small (a few hundred units), so clarity wins over
+// vectorization tricks.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prng"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	Val  []float64
+	Grad []float64
+}
+
+// Activation selects the nonlinearity between hidden layers.
+type Activation int
+
+const (
+	// Tanh is the default activation (matches Stable-Baselines3's
+	// MlpPolicy, which the paper uses).
+	Tanh Activation = iota
+	// ReLU is provided for ablations.
+	ReLU
+)
+
+func (a Activation) apply(x float64) float64 {
+	if a == ReLU {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	return math.Tanh(x)
+}
+
+// derivFromOut computes the activation derivative from the activation
+// output value (both tanh and ReLU allow this).
+func (a Activation) derivFromOut(y float64) float64 {
+	if a == ReLU {
+		if y > 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - y*y
+}
+
+// Linear is a dense layer y = W x + b with W stored row-major (Out x In).
+type Linear struct {
+	In, Out int
+	W, B    Param
+}
+
+// NewLinear creates a dense layer with Xavier/Glorot-uniform weights.
+func NewLinear(in, out int, rng *prng.Source) *Linear {
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   Param{Val: make([]float64, in*out), Grad: make([]float64, in*out)},
+		B:   Param{Val: make([]float64, out), Grad: make([]float64, out)},
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range l.W.Val {
+		l.W.Val[i] = (2*rng.Float64() - 1) * limit
+	}
+	return l
+}
+
+// ScaleWeights multiplies all weights by f. PPO policy heads are
+// conventionally initialized small (orthogonal gain 0.01) so the initial
+// policy is near-uniform; scaling Xavier weights achieves the same effect.
+func (l *Linear) ScaleWeights(f float64) {
+	for i := range l.W.Val {
+		l.W.Val[i] *= f
+	}
+}
+
+func (l *Linear) forward(x, y []float64) {
+	for o := 0; o < l.Out; o++ {
+		s := l.B.Val[o]
+		row := l.W.Val[o*l.In : (o+1)*l.In]
+		for i, xv := range x {
+			s += row[i] * xv
+		}
+		y[o] = s
+	}
+}
+
+// backward accumulates parameter gradients given the layer input x and the
+// upstream gradient gy, and writes the input gradient into gx (if gx is
+// non-nil).
+func (l *Linear) backward(x, gy, gx []float64) {
+	for o := 0; o < l.Out; o++ {
+		g := gy[o]
+		l.B.Grad[o] += g
+		row := l.W.Grad[o*l.In : (o+1)*l.In]
+		wrow := l.W.Val[o*l.In : (o+1)*l.In]
+		for i, xv := range x {
+			row[i] += g * xv
+			if gx != nil {
+				gx[i] += g * wrow[i]
+			}
+		}
+	}
+}
+
+// MLP is a multi-layer perceptron: hidden dense layers with a shared
+// activation, then a linear output layer.
+type MLP struct {
+	layers []*Linear
+	act    Activation
+	// scratch buffers sized per layer, reused across calls.
+	outs  [][]float64 // outs[k] = post-activation output of layer k (pre-activation for last)
+	grads [][]float64
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. sizes =
+// [128, 64, 64, 10] gives two hidden layers of 64 units and a 10-unit
+// linear output.
+func NewMLP(sizes []int, act Activation, rng *prng.Source) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{act: act}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.layers = append(m.layers, NewLinear(sizes[i], sizes[i+1], rng))
+	}
+	m.outs = make([][]float64, len(m.layers))
+	m.grads = make([][]float64, len(m.layers))
+	for i, l := range m.layers {
+		m.outs[i] = make([]float64, l.Out)
+		m.grads[i] = make([]float64, l.In)
+	}
+	return m
+}
+
+// OutputLayer returns the final linear layer (for head-specific init).
+func (m *MLP) OutputLayer() *Linear { return m.layers[len(m.layers)-1] }
+
+// InSize returns the expected input width.
+func (m *MLP) InSize() int { return m.layers[0].In }
+
+// OutSize returns the output width.
+func (m *MLP) OutSize() int { return m.layers[len(m.layers)-1].Out }
+
+// Forward evaluates the network and returns its output slice, which is
+// owned by the MLP and overwritten by the next call.
+func (m *MLP) Forward(x []float64) []float64 {
+	if len(x) != m.InSize() {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.InSize()))
+	}
+	in := x
+	for k, l := range m.layers {
+		l.forward(in, m.outs[k])
+		if k < len(m.layers)-1 {
+			for i := range m.outs[k] {
+				m.outs[k][i] = m.act.apply(m.outs[k][i])
+			}
+		}
+		in = m.outs[k]
+	}
+	return m.outs[len(m.outs)-1]
+}
+
+// Backward accumulates parameter gradients for input x and upstream output
+// gradient gradOut. It re-runs the forward pass internally to populate the
+// activation caches, so it does not require a preceding Forward call with
+// the same x.
+func (m *MLP) Backward(x, gradOut []float64) {
+	m.Forward(x)
+	n := len(m.layers)
+	gy := gradOut
+	for k := n - 1; k >= 0; k-- {
+		var in []float64
+		if k == 0 {
+			in = x
+		} else {
+			in = m.outs[k-1]
+		}
+		var gx []float64
+		if k > 0 {
+			gx = m.grads[k]
+			for i := range gx {
+				gx[i] = 0
+			}
+		}
+		m.layers[k].backward(in, gy, gx)
+		if k > 0 {
+			// Chain through the activation of the previous layer.
+			for i := range gx {
+				gx[i] *= m.act.derivFromOut(m.outs[k-1][i])
+			}
+			gy = gx
+		}
+	}
+}
+
+// Params returns all trainable parameters.
+func (m *MLP) Params() []Param {
+	var ps []Param
+	for _, l := range m.layers {
+		ps = append(ps, l.W, l.B)
+	}
+	return ps
+}
+
+// ZeroGrad clears all gradient accumulators.
+func ZeroGrad(params []Param) {
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm (PPO uses max_grad_norm = 0.5).
+func ClipGradNorm(params []Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		f := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad {
+				p.Grad[i] *= f
+			}
+		}
+	}
+	return norm
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba) over a parameter set.
+type Adam struct {
+	params []Param
+	lr     float64
+	beta1  float64
+	beta2  float64
+	eps    float64
+	t      int
+	m, v   [][]float64
+}
+
+// NewAdam creates an Adam optimizer with standard hyperparameters
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params []Param, lr float64) *Adam {
+	a := &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.Val))
+		a.v[i] = make([]float64, len(p.Val))
+	}
+	return a
+}
+
+// SetLR updates the learning rate (for schedules).
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// Step applies one Adam update from the accumulated gradients and then
+// leaves the gradients untouched (call ZeroGrad before the next
+// accumulation).
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad {
+			m[j] = a.beta1*m[j] + (1-a.beta1)*g
+			v[j] = a.beta2*v[j] + (1-a.beta2)*g*g
+			p.Val[j] -= a.lr * (m[j] / bc1) / (math.Sqrt(v[j]/bc2) + a.eps)
+		}
+	}
+}
+
+// Softmax writes softmax(logits) into probs (allocating if probs is nil)
+// and returns it, using the max-subtraction trick for stability.
+func Softmax(logits, probs []float64) []float64 {
+	if probs == nil {
+		probs = make([]float64, len(logits))
+	}
+	maxL := math.Inf(-1)
+	for _, l := range logits {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	var sum float64
+	for i, l := range logits {
+		probs[i] = math.Exp(l - maxL)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// SampleCategorical draws an index from the probability vector.
+func SampleCategorical(probs []float64, rng *prng.Source) int {
+	u := rng.Float64()
+	var c float64
+	for i, p := range probs {
+		c += p
+		if u < c {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// Argmax returns the index of the largest element.
+func Argmax(xs []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, x := range xs {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}
+
+// LogProb returns log probs[i] with a floor to avoid -Inf.
+func LogProb(probs []float64, i int) float64 {
+	p := probs[i]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return math.Log(p)
+}
+
+// Entropy returns the Shannon entropy of the distribution in nats.
+func Entropy(probs []float64) float64 {
+	var h float64
+	for _, p := range probs {
+		if p > 1e-12 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}

@@ -1,0 +1,161 @@
+// Package prng provides small, fast, deterministic pseudo-random number
+// generators for fault simulation and reinforcement-learning experiments.
+//
+// Every experiment in this repository is seeded, and independent subsystems
+// (fault injection, plaintext generation, the uniform t-test reference
+// population, policy initialization, action sampling) each draw from their
+// own stream so that changing the sample count in one subsystem does not
+// perturb the others. The generators here are xoshiro256** for output and
+// splitmix64 for seeding, following Blackman & Vigna. They are not
+// cryptographically secure; they are simulation PRNGs.
+package prng
+
+import "math"
+
+// splitmix64 advances the given state and returns the next output.
+// It is used to seed the main generator and to derive child streams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a xoshiro256** generator. The zero value is not a valid
+// generator; use New or a Source returned by Split.
+type Source struct {
+	s        [4]uint64
+	spare    float64 // cached second Box–Muller variate
+	hasSpare bool
+}
+
+// New returns a Source seeded from the given seed via splitmix64,
+// so that nearby seeds still produce uncorrelated streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (src *Source) Uint64() uint64 {
+	s := &src.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Split derives an independent child stream. The child is seeded from the
+// parent's next output, so repeated Split calls give distinct streams and
+// the parent remains usable.
+func (src *Source) Split() *Source {
+	return New(src.Uint64())
+}
+
+// Uint32 returns the next 32 uniformly random bits.
+func (src *Source) Uint32() uint32 { return uint32(src.Uint64() >> 32) }
+
+// Byte returns a uniformly random byte.
+func (src *Source) Byte() byte { return byte(src.Uint64() >> 56) }
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (src *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn called with n <= 0")
+	}
+	bound := uint64(n)
+	for {
+		v := src.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (src *Source) Float64() float64 {
+	return float64(src.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the Box–Muller
+// transform (polar form is avoided to keep the stream consumption fixed
+// at two outputs per pair of variates).
+func (src *Source) NormFloat64() float64 {
+	if src.hasSpare {
+		src.hasSpare = false
+		return src.spare
+	}
+	// u1 in (0,1] so that Log is finite.
+	u1 := 1.0 - src.Float64()
+	u2 := src.Float64()
+	r := math.Sqrt(-2 * math.Log(u1))
+	theta := 2 * math.Pi * u2
+	src.spare = r * math.Sin(theta)
+	src.hasSpare = true
+	return r * math.Cos(theta)
+}
+
+// Perm fills dst with a uniformly random permutation of 0..len(dst)-1.
+func (src *Source) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}
+
+// Fill fills p with uniformly random bytes.
+func (src *Source) Fill(p []byte) {
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		v := src.Uint64()
+		p[i] = byte(v)
+		p[i+1] = byte(v >> 8)
+		p[i+2] = byte(v >> 16)
+		p[i+3] = byte(v >> 24)
+		p[i+4] = byte(v >> 32)
+		p[i+5] = byte(v >> 40)
+		p[i+6] = byte(v >> 48)
+		p[i+7] = byte(v >> 56)
+	}
+	if i < len(p) {
+		v := src.Uint64()
+		for ; i < len(p); i++ {
+			p[i] = byte(v)
+			v >>= 8
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: streams diverged: %x vs %x", i, av, bv)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	src := New(0)
+	var acc uint64
+	for i := 0; i < 100; i++ {
+		acc |= src.Uint64()
+	}
+	if acc == 0 {
+		t.Fatal("seed 0 produced an all-zero stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("sibling streams produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	src := New(3)
+	for _, n := range []int{1, 2, 3, 7, 255, 256, 1000} {
+		for i := 0; i < 200; i++ {
+			v := src.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	src := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[src.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from expected %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(5)
+	for i := 0; i < 10000; i++ {
+		v := src.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	src := New(9)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := src.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	src := New(13)
+	p := make([]int, 50)
+	for trial := 0; trial < 20; trial++ {
+		src.Perm(p)
+		seen := make(map[int]bool, len(p))
+		for _, v := range p {
+			if v < 0 || v >= len(p) || seen[v] {
+				t.Fatalf("not a permutation: %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestFillLengths(t *testing.T) {
+	src := New(17)
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 23} {
+		p := make([]byte, n)
+		src.Fill(p)
+		// For n >= 8 the chance of an all-zero fill is negligible.
+		if n >= 8 {
+			zero := true
+			for _, b := range p {
+				if b != 0 {
+					zero = false
+				}
+			}
+			if zero {
+				t.Errorf("Fill(%d) produced all zeros", n)
+			}
+		}
+	}
+}
+
+func TestMul64MatchesBigArithmetic(t *testing.T) {
+	f := func(x, y uint64) bool {
+		hi, lo := mul64(x, y)
+		// Verify via four 32x32 partial products.
+		x0, x1 := x&0xffffffff, x>>32
+		y0, y1 := y&0xffffffff, y>>32
+		wantLo := x * y
+		carry := ((x0*y0)>>32 + (x1*y0)&0xffffffff + (x0*y1)&0xffffffff) >> 32
+		wantHi := x1*y1 + (x1*y0)>>32 + (x0*y1)>>32 + carry
+		return lo == wantLo && hi == wantHi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteUniformity(t *testing.T) {
+	src := New(23)
+	counts := make([]int, 256)
+	const draws = 256 * 400
+	for i := 0; i < draws; i++ {
+		counts[src.Byte()]++
+	}
+	want := float64(draws) / 256
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("byte %d: count %d too far from expected %.0f", i, c, want)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	src := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= src.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	src := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += src.NormFloat64()
+	}
+	_ = sink
+}

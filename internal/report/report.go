@@ -1,0 +1,127 @@
+// Package report renders fixed-width text tables and simple series plots
+// for the experiment harness, so every table and figure of the paper can
+// be regenerated as plain terminal output by `go test -bench` or
+// cmd/tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	cols := len(t.Headers)
+	widths := make([]int, cols)
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < cols && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 1
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	sep := strings.Repeat("-", total)
+	fmt.Fprintln(w, sep)
+	fmt.Fprint(w, "|")
+	for i, h := range t.Headers {
+		fmt.Fprintf(w, " %-*s |", widths[i], h)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, sep)
+	for _, row := range t.rows {
+		fmt.Fprint(w, "|")
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(w, " %-*s |", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, sep)
+}
+
+// Series renders a labelled numeric series as an ASCII sparkline plus the
+// raw values, the harness's stand-in for the paper's line figures.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Render writes the series to w.
+func (s *Series) Render(w io.Writer) {
+	if s.Title != "" {
+		fmt.Fprintln(w, s.Title)
+	}
+	if len(s.Y) == 0 {
+		fmt.Fprintln(w, "(empty series)")
+		return
+	}
+	minY, maxY := s.Y[0], s.Y[0]
+	for _, y := range s.Y {
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	const levels = "▁▂▃▄▅▆▇█"
+	var spark strings.Builder
+	for _, y := range s.Y {
+		idx := 0
+		if maxY > minY {
+			idx = int((y - minY) / (maxY - minY) * float64(len([]rune(levels))-1))
+		}
+		spark.WriteRune([]rune(levels)[idx])
+	}
+	fmt.Fprintf(w, "  %s: %s  (min %.3g, max %.3g)\n", s.YLabel, spark.String(), minY, maxY)
+	for i, y := range s.Y {
+		x := float64(i)
+		if i < len(s.X) {
+			x = s.X[i]
+		}
+		fmt.Fprintf(w, "    %s=%-10.4g %s=%.6g\n", s.XLabel, x, s.YLabel, y)
+	}
+}

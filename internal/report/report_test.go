@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table X", "Name", "Value")
+	tb.AddRow("alpha", 1.2345)
+	tb.AddRow("a-much-longer-name", 42)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Table X", "Name", "Value", "alpha", "1.23", "a-much-longer-name", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Header separator must be at least as wide as the longest row.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("only-one")
+	var sb strings.Builder
+	tb.Render(&sb) // must not panic
+	if !strings.Contains(sb.String(), "only-one") {
+		t.Error("ragged row dropped")
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := Series{Title: "Fig Y", XLabel: "episode", YLabel: "reward",
+		X: []float64{0, 1, 2}, Y: []float64{1, 5, 3}}
+	var sb strings.Builder
+	s.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Fig Y", "reward", "episode=0", "reward=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesEmptyAndFlat(t *testing.T) {
+	var sb strings.Builder
+	(&Series{Title: "empty"}).Render(&sb)
+	if !strings.Contains(sb.String(), "empty series") {
+		t.Error("empty series not handled")
+	}
+	sb.Reset()
+	(&Series{Y: []float64{2, 2, 2}, YLabel: "y", XLabel: "x"}).Render(&sb) // flat: no divide-by-zero
+	if !strings.Contains(sb.String(), "min 2") {
+		t.Error("flat series not rendered")
+	}
+}

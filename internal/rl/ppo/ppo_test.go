@@ -1,0 +1,142 @@
+package ppo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/rl"
+)
+
+// countEnv mirrors the toy env in package rl's tests: fixed-length
+// episodes, terminal reward = fraction of steps taking the good action.
+type countEnv struct {
+	k, t, good int
+	step       int
+	counts     []float64
+	obs        []float64
+	goodCount  int
+}
+
+func newCountEnv(k, t, good int) *countEnv {
+	return &countEnv{k: k, t: t, good: good, counts: make([]float64, k), obs: make([]float64, k)}
+}
+
+func (e *countEnv) Reset() []float64 {
+	e.step, e.goodCount = 0, 0
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	copy(e.obs, e.counts)
+	return e.obs
+}
+
+func (e *countEnv) Step(a int) ([]float64, float64, bool) {
+	e.counts[a]++
+	if a == e.good {
+		e.goodCount++
+	}
+	e.step++
+	for i := range e.obs {
+		e.obs[i] = e.counts[i] / float64(e.t)
+	}
+	if e.step == e.t {
+		return e.obs, float64(e.goodCount) / float64(e.t), true
+	}
+	return e.obs, 0, false
+}
+
+func (e *countEnv) ObsSize() int    { return e.k }
+func (e *countEnv) NumActions() int { return e.k }
+
+func TestInitialPolicyNearUniform(t *testing.T) {
+	a := New(8, 5, Config{}, prng.New(1))
+	obs := make([]float64, 8)
+	probs := a.Probs(obs)
+	for i, p := range probs {
+		if p < 0.15 || p > 0.25 {
+			t.Errorf("initial prob[%d] = %v, want near 0.2", i, p)
+		}
+	}
+}
+
+func TestActReturnsConsistentLogProb(t *testing.T) {
+	a := New(4, 3, Config{}, prng.New(2))
+	obs := []float64{0.1, 0.2, 0.3, 0.4}
+	action, logp, _ := a.Act(obs)
+	probs := a.Probs(obs)
+	if action < 0 || action >= 3 {
+		t.Fatalf("action %d out of range", action)
+	}
+	if diff := logp - math.Log(probs[action]); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("logp = %v, expected log of %v", logp, probs[action])
+	}
+}
+
+func TestPPOLearnsSparseTerminalReward(t *testing.T) {
+	// The shape that matters for the paper: reward only at episode end,
+	// agent must learn to repeat one specific action. PPO should drive
+	// the average return from 1/k (~0.25) to > 0.9.
+	rng := prng.New(99)
+	const k, tSteps, good = 4, 8, 2
+	envs := make([]rl.Env, 4)
+	for i := range envs {
+		envs[i] = newCountEnv(k, tSteps, good)
+	}
+	agent := New(k, k, Config{LearningRate: 3e-3, MinibatchSize: 32}, rng.Split())
+	runner := rl.NewRunner(envs, agent)
+
+	var avg float64
+	for iter := 0; iter < 60; iter++ {
+		batch, eps, err := runner.CollectEpisodes(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent.Update(batch)
+		avg = 0
+		for _, ep := range eps {
+			avg += ep.Return
+		}
+		avg /= float64(len(eps))
+		if avg > 0.9 {
+			break
+		}
+	}
+	if avg < 0.9 {
+		t.Errorf("PPO plateaued at avg return %.3f, want > 0.9", avg)
+	}
+	// The greedy policy must pick the good action from the start state.
+	if a := agent.ActGreedy(make([]float64, k)); a != good {
+		t.Errorf("greedy action = %d, want %d", a, good)
+	}
+}
+
+func TestUpdateReportsStats(t *testing.T) {
+	rng := prng.New(5)
+	env := newCountEnv(3, 4, 0)
+	agent := New(3, 3, Config{}, rng.Split())
+	runner := rl.NewRunner([]rl.Env{env}, agent)
+	batch, _, err := runner.CollectEpisodes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := agent.Update(batch)
+	if stats.Entropy <= 0 {
+		t.Errorf("entropy = %v, want > 0 for a stochastic policy", stats.Entropy)
+	}
+	if stats.ValueLoss < 0 {
+		t.Errorf("value loss = %v, want >= 0", stats.ValueLoss)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.setDefaults()
+	if c.LearningRate != 3e-4 || c.ClipRange != 0.2 || c.Epochs != 10 ||
+		c.MinibatchSize != 64 || c.ValueCoef != 0.5 || c.MaxGradNorm != 0.5 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+	if len(c.Hidden) != 2 || c.Hidden[0] != 64 {
+		t.Errorf("hidden defaults: %v", c.Hidden)
+	}
+}

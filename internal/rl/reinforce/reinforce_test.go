@@ -1,0 +1,90 @@
+package reinforce
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/rl"
+)
+
+// countEnv: fixed-length episodes, terminal reward = fraction of steps
+// taking the good action (same toy task as the PPO tests).
+type countEnv struct {
+	k, t, good int
+	step       int
+	counts     []float64
+	obs        []float64
+	goodCount  int
+}
+
+func newCountEnv(k, t, good int) *countEnv {
+	return &countEnv{k: k, t: t, good: good, counts: make([]float64, k), obs: make([]float64, k)}
+}
+
+func (e *countEnv) Reset() []float64 {
+	e.step, e.goodCount = 0, 0
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	copy(e.obs, e.counts)
+	return e.obs
+}
+
+func (e *countEnv) Step(a int) ([]float64, float64, bool) {
+	e.counts[a]++
+	if a == e.good {
+		e.goodCount++
+	}
+	e.step++
+	for i := range e.obs {
+		e.obs[i] = e.counts[i] / float64(e.t)
+	}
+	if e.step == e.t {
+		return e.obs, float64(e.goodCount) / float64(e.t), true
+	}
+	return e.obs, 0, false
+}
+
+func (e *countEnv) ObsSize() int    { return e.k }
+func (e *countEnv) NumActions() int { return e.k }
+
+func TestReinforceLearnsTerminalReward(t *testing.T) {
+	rng := prng.New(21)
+	const k, tSteps, good = 3, 6, 1
+	envs := make([]rl.Env, 4)
+	for i := range envs {
+		envs[i] = newCountEnv(k, tSteps, good)
+	}
+	agent := New(k, k, Config{LearningRate: 5e-3}, rng.Split())
+	runner := rl.NewRunner(envs, agent)
+	var avg float64
+	for iter := 0; iter < 250; iter++ {
+		batch, eps, err := runner.CollectEpisodes(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent.Update(batch)
+		avg = 0
+		for _, ep := range eps {
+			avg += ep.Return
+		}
+		avg /= float64(len(eps))
+		if avg > 0.85 {
+			break
+		}
+	}
+	if avg < 0.85 {
+		t.Errorf("REINFORCE plateaued at avg return %.3f, want > 0.85", avg)
+	}
+	if a := agent.ActGreedy(make([]float64, k)); a != good {
+		t.Errorf("greedy action = %d, want %d", a, good)
+	}
+}
+
+func TestUpdateOnEmptyBatch(t *testing.T) {
+	agent := New(2, 2, Config{}, prng.New(1))
+	stats := agent.Update(&rl.Batch{})
+	if stats != (rl.UpdateStats{}) {
+		t.Errorf("empty batch produced stats %+v", stats)
+	}
+}

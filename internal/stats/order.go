@@ -1,0 +1,154 @@
+package stats
+
+import "fmt"
+
+// TTestResult describes the outcome of a (possibly higher-order) t-test
+// sweep over grouped differential data.
+type TTestResult struct {
+	// T is the largest absolute Welch t statistic observed over all
+	// positions (order 1), position pairs (order 2), or positions again
+	// (order >= 3, univariate centered powers).
+	T float64
+	// Order is the preprocessing order that produced T.
+	Order int
+	// PosI and PosJ identify the group position(s) responsible for T.
+	// For univariate statistics PosJ == PosI.
+	PosI, PosJ int
+}
+
+// columnMeans returns the per-column means of a trace matrix
+// (rows = traces, columns = group positions).
+func columnMeans(m [][]float64) []float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	cols := len(m[0])
+	means := make([]float64, cols)
+	for _, row := range m {
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	inv := 1 / float64(len(m))
+	for j := range means {
+		means[j] *= inv
+	}
+	return means
+}
+
+// FirstOrder runs a first-order Welch t-test per column between the two
+// trace matrices and returns the maximum statistic. Both matrices must
+// have the same column count; row counts may differ.
+func FirstOrder(a, b [][]float64) TTestResult {
+	cols := matrixCols(a, b)
+	best := TTestResult{Order: 1}
+	for j := 0; j < cols; j++ {
+		var ma, mb Moments
+		for _, row := range a {
+			ma.Add(row[j])
+		}
+		for _, row := range b {
+			mb.Add(row[j])
+		}
+		if t := Welch(&ma, &mb); t > best.T {
+			best.T, best.PosI, best.PosJ = t, j, j
+		}
+	}
+	return best
+}
+
+// SecondOrder runs a second-order t-test: each trace is preprocessed into
+// centered products (x_i - mean_i)(x_j - mean_j) for every column pair
+// i <= j, each population centered with its own column means (standard
+// higher-order TVLA/ALAFA preprocessing). The diagonal i == j captures
+// variance leakage; off-diagonal pairs capture the cross-byte linear
+// patterns of Fig. 1 that first-order tests miss (Table I).
+func SecondOrder(a, b [][]float64) TTestResult {
+	cols := matrixCols(a, b)
+	meansA := columnMeans(a)
+	meansB := columnMeans(b)
+	best := TTestResult{Order: 2}
+	for i := 0; i < cols; i++ {
+		for j := i; j < cols; j++ {
+			var ma, mb Moments
+			for _, row := range a {
+				ma.Add((row[i] - meansA[i]) * (row[j] - meansA[j]))
+			}
+			for _, row := range b {
+				mb.Add((row[i] - meansB[i]) * (row[j] - meansB[j]))
+			}
+			if t := Welch(&ma, &mb); t > best.T {
+				best.T, best.PosI, best.PosJ = t, i, j
+			}
+		}
+	}
+	return best
+}
+
+// HigherOrder runs a univariate order-d t-test for d >= 3: each trace
+// value is preprocessed into its centered d-th power. Cross-position
+// combinations are limited to order 2 (SecondOrder); beyond that the
+// combinatorics explode without adding discovery power for the ciphers
+// studied (the paper uses G = 2 for the same reason).
+func HigherOrder(d int, a, b [][]float64) TTestResult {
+	if d < 3 {
+		panic(fmt.Sprintf("stats: HigherOrder requires d >= 3, got %d", d))
+	}
+	cols := matrixCols(a, b)
+	meansA := columnMeans(a)
+	meansB := columnMeans(b)
+	best := TTestResult{Order: d}
+	for j := 0; j < cols; j++ {
+		var ma, mb Moments
+		for _, row := range a {
+			ma.Add(intPow(row[j]-meansA[j], d))
+		}
+		for _, row := range b {
+			mb.Add(intPow(row[j]-meansB[j], d))
+		}
+		if t := Welch(&ma, &mb); t > best.T {
+			best.T, best.PosI, best.PosJ = t, j, j
+		}
+	}
+	return best
+}
+
+// MaxUpToOrder sweeps orders 1..g and returns the best (largest-T) result.
+// This is the paper's strategy: start with a first-order byte/nibble-wise
+// test and escalate until order G.
+func MaxUpToOrder(g int, a, b [][]float64) TTestResult {
+	if g < 1 {
+		panic(fmt.Sprintf("stats: MaxUpToOrder requires g >= 1, got %d", g))
+	}
+	best := FirstOrder(a, b)
+	if g >= 2 {
+		if r := SecondOrder(a, b); r.T > best.T {
+			best = r
+		}
+	}
+	for d := 3; d <= g; d++ {
+		if r := HigherOrder(d, a, b); r.T > best.T {
+			best = r
+		}
+	}
+	return best
+}
+
+func intPow(x float64, d int) float64 {
+	p := x
+	for i := 1; i < d; i++ {
+		p *= x
+	}
+	return p
+}
+
+func matrixCols(a, b [][]float64) int {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: empty trace matrix")
+	}
+	cols := len(a[0])
+	if len(b[0]) != cols {
+		panic(fmt.Sprintf("stats: column mismatch %d vs %d", cols, len(b[0])))
+	}
+	return cols
+}

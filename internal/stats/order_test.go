@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// uniformBytes returns an n×cols matrix of uniform byte values.
+func uniformBytes(src *prng.Source, n, cols int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		row := make([]float64, cols)
+		for j := range row {
+			row[j] = float64(src.Byte())
+		}
+		m[i] = row
+	}
+	return m
+}
+
+func TestFirstOrderNoLeakOnUniform(t *testing.T) {
+	src := prng.New(10)
+	a := uniformBytes(src, 3000, 16)
+	b := uniformBytes(src, 3000, 16)
+	r := FirstOrder(a, b)
+	// 16 positions tested; with threshold 4.5 false positives are
+	// essentially impossible at this sample size.
+	if r.T > DefaultThreshold {
+		t.Errorf("uniform vs uniform first-order t = %v > %v", r.T, DefaultThreshold)
+	}
+	if r.Order != 1 {
+		t.Errorf("Order = %d, want 1", r.Order)
+	}
+}
+
+func TestFirstOrderDetectsMeanShift(t *testing.T) {
+	src := prng.New(11)
+	a := uniformBytes(src, 2000, 8)
+	b := uniformBytes(src, 2000, 8)
+	for i := range b {
+		b[i][3] += 20 // shift one column
+	}
+	r := FirstOrder(a, b)
+	if r.T < DefaultThreshold {
+		t.Fatalf("shifted column not detected, t = %v", r.T)
+	}
+	if r.PosI != 3 || r.PosJ != 3 {
+		t.Errorf("leak localized at (%d,%d), want (3,3)", r.PosI, r.PosJ)
+	}
+}
+
+func TestSecondOrderDetectsCorrelationFirstOrderMisses(t *testing.T) {
+	// Construct the Table-I situation synthetically: two columns whose
+	// marginals are uniform bytes but which are perfectly dependent
+	// (col1 = col0). First order sees nothing; second order must fire
+	// on the off-diagonal pair (0,1).
+	src := prng.New(12)
+	n := 3000
+	a := make([][]float64, n) // dependent population
+	for i := range a {
+		v := float64(src.Byte())
+		a[i] = []float64{v, v, float64(src.Byte())}
+	}
+	b := uniformBytes(src, n, 3) // independent reference
+
+	if r := FirstOrder(a, b); r.T > DefaultThreshold {
+		t.Fatalf("first order unexpectedly detected the dependency, t = %v", r.T)
+	}
+	r := SecondOrder(a, b)
+	if r.T < DefaultThreshold {
+		t.Fatalf("second order missed the dependency, t = %v", r.T)
+	}
+	if !(r.PosI == 0 && r.PosJ == 1) {
+		t.Errorf("leak localized at (%d,%d), want (0,1)", r.PosI, r.PosJ)
+	}
+	if r.Order != 2 {
+		t.Errorf("Order = %d, want 2", r.Order)
+	}
+}
+
+func TestSecondOrderDiagonalDetectsVarianceChange(t *testing.T) {
+	src := prng.New(13)
+	n := 3000
+	a := make([][]float64, n)
+	for i := range a {
+		// Column 0 takes only the two extreme values: same mean as
+		// uniform (127.5) but much larger variance.
+		v := 0.0
+		if src.Intn(2) == 1 {
+			v = 255
+		}
+		a[i] = []float64{v, float64(src.Byte())}
+	}
+	b := uniformBytes(src, n, 2)
+	if r := FirstOrder(a, b); r.T > DefaultThreshold {
+		t.Fatalf("first order detected a pure variance change, t = %v", r.T)
+	}
+	r := SecondOrder(a, b)
+	if r.T < DefaultThreshold {
+		t.Fatalf("second order missed the variance change, t = %v", r.T)
+	}
+	if r.PosI != 0 || r.PosJ != 0 {
+		t.Errorf("leak localized at (%d,%d), want (0,0)", r.PosI, r.PosJ)
+	}
+}
+
+func TestSecondOrderNoLeakOnUniform(t *testing.T) {
+	src := prng.New(14)
+	a := uniformBytes(src, 2500, 8)
+	b := uniformBytes(src, 2500, 8)
+	// 36 pairs tested; keep a small margin above the threshold for the
+	// multiple-comparison inflation.
+	if r := SecondOrder(a, b); r.T > DefaultThreshold+1 {
+		t.Errorf("uniform vs uniform second-order t = %v", r.T)
+	}
+}
+
+func TestHigherOrderDetectsSkew(t *testing.T) {
+	src := prng.New(15)
+	n := 4000
+	a := make([][]float64, n)
+	for i := range a {
+		// Skewed distribution with mean/variance close to uniform bytes:
+		// mixture of a low cluster and a high tail.
+		v := float64(src.Byte()) * 0.4
+		if src.Intn(4) == 0 {
+			v = 255 - float64(src.Byte())*0.1
+		}
+		a[i] = []float64{v}
+	}
+	b := uniformBytes(src, n, 1)
+	r := HigherOrder(3, a, b)
+	if r.Order != 3 {
+		t.Errorf("Order = %d, want 3", r.Order)
+	}
+	if r.T < DefaultThreshold {
+		t.Errorf("order-3 test missed skew, t = %v", r.T)
+	}
+}
+
+func TestHigherOrderPanicsBelow3(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HigherOrder(2, ...) did not panic")
+		}
+	}()
+	HigherOrder(2, [][]float64{{1}}, [][]float64{{1}})
+}
+
+func TestMaxUpToOrderPicksStrongest(t *testing.T) {
+	src := prng.New(16)
+	n := 3000
+	a := make([][]float64, n)
+	for i := range a {
+		v := float64(src.Byte())
+		a[i] = []float64{v, v}
+	}
+	b := uniformBytes(src, n, 2)
+	r1 := MaxUpToOrder(1, a, b)
+	r2 := MaxUpToOrder(2, a, b)
+	if r1.T > DefaultThreshold {
+		t.Errorf("G=1 sweep should not detect, got t = %v", r1.T)
+	}
+	if r2.T < DefaultThreshold || r2.Order != 2 {
+		t.Errorf("G=2 sweep should detect at order 2, got t = %v order %d", r2.T, r2.Order)
+	}
+}
+
+func TestMaxUpToOrderPanicsOnBadG(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxUpToOrder(0, ...) did not panic")
+		}
+	}()
+	MaxUpToOrder(0, [][]float64{{1}}, [][]float64{{1}})
+}
+
+func TestMatrixColsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("column mismatch did not panic")
+		}
+	}()
+	FirstOrder([][]float64{{1, 2}}, [][]float64{{1}})
+}
+
+func BenchmarkSecondOrder16Cols(b *testing.B) {
+	src := prng.New(20)
+	x := uniformBytes(src, 1024, 16)
+	y := uniformBytes(src, 1024, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SecondOrder(x, y)
+	}
+}
