@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test check vet race bench fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Full test suite (what CI gates on).
+test:
+	$(GO) test ./...
+
+# Fast pre-commit gate: vet + race-enabled short tests.
+# Long training runs (determinism table test, full discovery sessions)
+# skip themselves under -short; the race detector still covers the
+# sharded campaign workers, the shared reference table, and the cache.
+check: vet race
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+fmt:
+	gofmt -l -w .

@@ -13,11 +13,19 @@
 package explorefault_test
 
 import (
+	"fmt"
 	"os"
 	"testing"
 
 	explorefault "repro"
+	"repro/internal/ciphers"
+	"repro/internal/evaluate"
+	"repro/internal/explore"
+	"repro/internal/fault"
 	"repro/internal/harness"
+	"repro/internal/leakage"
+	"repro/internal/prng"
+	"repro/internal/stats"
 )
 
 func benchOptions(print bool) harness.Options {
@@ -281,4 +289,104 @@ func BenchmarkAblationObservation(b *testing.B) {
 			b.Fatal("two diagonals not exploitable at lag 1; expected the trivial zero-byte leak")
 		}
 	}
+}
+
+// BenchmarkCampaignCollect contrasts the legacy matrix-materializing
+// campaign against the streaming sharded engine at the paper's offline
+// sample count (2048 plaintexts, GIFT-64 round 25, full default window).
+func BenchmarkCampaignCollect(b *testing.B) {
+	key := make([]byte, 16)
+	prng.New(2023).Fill(key)
+	c, err := ciphers.New("gift64", key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pattern := explorefault.PatternFromGroups(64, 4, 5)
+	campaign := func() fault.Campaign {
+		return fault.Campaign{
+			Cipher:  c,
+			Pattern: pattern,
+			Round:   25,
+			Samples: 2048,
+		}
+	}
+
+	b.Run("matrix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cp := campaign()
+			if _, err := cp.Collect(prng.New(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("stream-w%d", workers), func(b *testing.B) {
+			cp := campaign()
+			if err := cp.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				_, err := evaluate.RunSharded(cp.Samples, workers, len(cp.Points),
+					cp.Groups(), 2, uint64(i),
+					func(rng *prng.Source, shard, n int, accs []*stats.Accumulator) error {
+						return cp.CollectInto(rng, n, accs)
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOracleEvaluate measures the assessment path end-to-end the way
+// the RL loop drives it: serial vs parallel campaigns, and cold vs warm
+// oracle cache. The ISSUE acceptance bar is >= 2x for parallel-cold over
+// serial-cold on 4 cores; warm-cache is orders of magnitude beyond both.
+func BenchmarkOracleEvaluate(b *testing.B) {
+	pattern := explorefault.PatternFromGroups(64, 4, 5)
+
+	makeOracle := func(workers int) explore.Oracle {
+		rng := prng.New(2023)
+		key := make([]byte, 16)
+		rng.Fill(key)
+		c, err := ciphers.New("gift64", key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := leakage.NewAssessor(c, leakage.Config{
+			Samples: 2048,
+			Workers: workers,
+		}, rng.Split())
+		return &explore.AssessorOracle{Assessor: a, Round: 25}
+	}
+
+	b.Run("serial-cold", func(b *testing.B) {
+		oracle := makeOracle(1)
+		for i := 0; i < b.N; i++ {
+			if _, err := oracle.Evaluate(&pattern); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-cold", func(b *testing.B) {
+		oracle := makeOracle(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := oracle.Evaluate(&pattern); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-warm", func(b *testing.B) {
+		oracle := explore.NewCachedOracle(makeOracle(0), 0)
+		if _, err := oracle.Evaluate(&pattern); err != nil {
+			b.Fatal(err) // populate the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := oracle.Evaluate(&pattern); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -28,6 +28,8 @@ func main() {
 	episodes := flag.Int("episodes", 1000, "training episode budget")
 	protected := flag.Bool("protected", false, "evaluate the duplication countermeasure (ciphertext-only t-test)")
 	samples := flag.Int("samples", 512, "t-test samples per reward evaluation")
+	workers := flag.Int("workers", 0, "fault-campaign worker goroutines per oracle (0 = GOMAXPROCS; results are identical for every value)")
+	cache := flag.Bool("cache", true, "memoize oracle evaluations (exact; disable to pay full simulation cost per episode)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	keyHex := flag.String("key", "", "cipher key in hex (default: random from seed)")
 	verbose := flag.Bool("v", false, "print training progress")
@@ -42,13 +44,15 @@ func main() {
 	}
 
 	cfg := explorefault.DiscoverConfig{
-		Cipher:    *cipher,
-		Key:       key,
-		Round:     *round,
-		Protected: *protected,
-		Episodes:  *episodes,
-		Samples:   *samples,
-		Seed:      *seed,
+		Cipher:        *cipher,
+		Key:           key,
+		Round:         *round,
+		Protected:     *protected,
+		Episodes:      *episodes,
+		Samples:       *samples,
+		Workers:       *workers,
+		NoOracleCache: !*cache,
+		Seed:          *seed,
 	}
 	if *verbose {
 		cfg.Progress = func(p explorefault.Progress) {
@@ -67,8 +71,13 @@ func main() {
 	}
 
 	fmt.Printf("cipher: %s, round %d, protected=%v, key %x\n", *cipher, *round, *protected, res.Key)
-	fmt.Printf("trained %d episodes in %s (%.0f episodes/min, %.0f steps/min)\n\n",
+	fmt.Printf("trained %d episodes in %s (%.0f episodes/min, %.0f steps/min)\n",
 		res.Episodes, time.Since(start).Round(time.Second), res.EpisodesPerMin, res.StepsPerMin)
+	if lookups := res.Cache.Hits + res.Cache.Misses; lookups > 0 {
+		fmt.Printf("oracle cache: %d hits / %d lookups (%.0f%% hit rate, %d evictions)\n",
+			res.Cache.Hits, lookups, 100*res.Cache.HitRate(), res.Cache.Evictions)
+	}
+	fmt.Println()
 	fmt.Printf("converged pattern: %s\n", res.Converged.String())
 	fmt.Printf("  leakage t = %.1f, exploitable = %v\n\n", res.ConvergedT, res.ConvergedLeaky)
 

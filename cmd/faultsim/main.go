@@ -42,6 +42,7 @@ func main() {
 	nibbles := flag.String("nibbles", "", "comma-separated nibble indices")
 	bytesFlag := flag.String("bytes", "", "comma-separated byte indices")
 	samples := flag.Int("samples", 2048, "plaintexts per t-test")
+	workers := flag.Int("workers", 0, "fault-campaign worker goroutines (0 = GOMAXPROCS; results are identical for every value)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	flag.Parse()
 
@@ -81,7 +82,7 @@ func main() {
 	for order := 1; order <= 2; order++ {
 		a, err := explorefault.Assess(pattern, explorefault.AssessConfig{
 			Cipher: *cipher, Round: *round, Samples: *samples,
-			FixedOrder: order, Seed: *seed,
+			FixedOrder: order, Workers: *workers, Seed: *seed,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -89,7 +90,8 @@ func main() {
 		fmt.Printf("order-%d t-test: t = %8.2f at %s\n", order, a.T, a.Point)
 	}
 	full, err := explorefault.Assess(pattern, explorefault.AssessConfig{
-		Cipher: *cipher, Round: *round, Samples: *samples, Seed: *seed,
+		Cipher: *cipher, Round: *round, Samples: *samples,
+		Workers: *workers, Seed: *seed,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,142 @@
+package explorefault_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	explorefault "repro"
+)
+
+// discoverFingerprint compresses everything observable about a discovery
+// run into a comparable string, with float64s rendered as raw bits so any
+// numeric drift — however small — fails the comparison.
+func discoverFingerprint(res *explorefault.DiscoveryResult) string {
+	fp := fmt.Sprintf("conv=%s t=%x leaky=%v eps=%d",
+		res.Converged.String(), math.Float64bits(res.ConvergedT),
+		res.ConvergedLeaky, res.Episodes)
+	for _, b := range res.Buckets {
+		fp += fmt.Sprintf("|%d-%d:%d,%d,%d,%x",
+			b.StartEpisode, b.EndEpisode, b.LeakyEpisodes,
+			b.SingleBitModels, b.MultiBitModels, math.Float64bits(b.AvgBitsSelected))
+	}
+	for _, p := range res.FirstWindowPatterns {
+		fp += fmt.Sprintf("|%s:%d", p.Pattern.String(), p.Count)
+	}
+	return fp
+}
+
+// TestDiscoverDeterminism is the engine's central guarantee: a seeded
+// Discover run is byte-identical across worker counts and with the oracle
+// cache on or off. Worker sharding only changes who computes which shard
+// (merge order is fixed) and caching is exact because assessments are pure
+// functions of (seed, pattern, round).
+func TestDiscoverDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-variant training run")
+	}
+	base := explorefault.DiscoverConfig{
+		Cipher:      "gift64",
+		Round:       25,
+		Episodes:    24,
+		NumEnvs:     4,
+		Samples:     128,
+		Seed:        7,
+		SkipHarvest: true,
+	}
+	variants := []struct {
+		name    string
+		workers int
+		noCache bool
+	}{
+		{"workers=1/cache=on", 1, false},
+		{"workers=4/cache=on", 4, false},
+		{"workers=1/cache=off", 1, true},
+		{"workers=4/cache=off", 4, true},
+	}
+	var want string
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := base
+			cfg.Workers = v.workers
+			cfg.NoOracleCache = v.noCache
+			res, err := explorefault.Discover(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Cache counters legitimately differ between cache on/off
+			// and are deliberately absent from the fingerprint.
+			fp := discoverFingerprint(res)
+			if v.noCache {
+				if res.Cache.Hits != 0 || res.Cache.Misses != 0 {
+					t.Errorf("cache disabled but counters moved: %+v", res.Cache)
+				}
+			} else if res.Cache.Hits+res.Cache.Misses == 0 {
+				t.Error("cache enabled but counters never moved")
+			}
+			if want == "" {
+				want = fp
+				return
+			}
+			if fp != want {
+				t.Errorf("outcome diverged from first variant:\n got %s\nwant %s", fp, want)
+			}
+		})
+	}
+}
+
+// TestAssessDeterminism: the standalone oracle must return bit-identical
+// statistics for any worker count.
+func TestAssessDeterminism(t *testing.T) {
+	pattern := explorefault.PatternFromGroups(64, 4, 5)
+	var want uint64
+	for i, workers := range []int{1, 4} {
+		res, err := explorefault.Assess(pattern, explorefault.AssessConfig{
+			Cipher:  "gift64",
+			Round:   25,
+			Samples: 640, // ragged final shard
+			Workers: workers,
+			Seed:    9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := math.Float64bits(res.T)
+		if i == 0 {
+			want = bits
+			continue
+		}
+		if bits != want {
+			t.Errorf("workers=%d: T bits %x != workers=1 bits %x", workers, bits, want)
+		}
+	}
+}
+
+// TestAssessProtectedDeterminism: the countermeasure oracle shares the
+// same guarantee (per-shard Protected instances with derived substreams).
+func TestAssessProtectedDeterminism(t *testing.T) {
+	// The same single bit in both branches: a reliably-equal fault that
+	// survives the duplication check (the Table IV convergence shape).
+	pattern := explorefault.PatternFromBits(128, 12, 64+12)
+	var want uint64
+	for i, workers := range []int{1, 4} {
+		res, err := explorefault.AssessProtected(pattern, explorefault.AssessConfig{
+			Cipher:  "gift64",
+			Round:   25,
+			Samples: 640,
+			Workers: workers,
+			Seed:    13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := math.Float64bits(res.T)
+		if i == 0 {
+			want = bits
+			continue
+		}
+		if bits != want {
+			t.Errorf("workers=%d: T bits %x != workers=1 bits %x", workers, bits, want)
+		}
+	}
+}

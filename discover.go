@@ -54,6 +54,15 @@ type DiscoverConfig struct {
 	// lr 1e-3, 4 epochs, entropy 1e-3, bootstrap spike, exploration
 	// floor 1/T).
 	Agent ppo.Config
+	// Workers is the fault-campaign worker-pool size per oracle; 0 uses
+	// GOMAXPROCS. Results are bit-identical for every value.
+	Workers int
+	// NoOracleCache disables oracle memoization (every episode pays the
+	// full simulation cost, as in the paper's timing runs).
+	NoOracleCache bool
+	// CacheCapacity bounds the per-oracle memo table
+	// (default explore.DefaultCacheCapacity).
+	CacheCapacity int
 	// SkipHarvest skips the abstraction/extension pipeline (used by
 	// benches that only need training-rate numbers).
 	SkipHarvest bool
@@ -110,6 +119,9 @@ type DiscoveryResult struct {
 	Duration       time.Duration
 	EpisodesPerMin float64
 	StepsPerMin    float64
+	// Cache aggregates oracle-memoization counters across all envs
+	// (all zero when NoOracleCache is set).
+	Cache CacheStats
 	// Key is the cipher key used (relevant when it was drawn randomly).
 	Key []byte
 }
@@ -153,10 +165,11 @@ func Discover(cfg DiscoverConfig) (*DiscoveryResult, error) {
 			return countermeasure.NewOracle(c, countermeasure.OracleConfig{
 				Round:   cfg.Round,
 				Samples: cfg.Samples,
+				Workers: cfg.Workers,
 			}, rng.Split())
 		}
 	} else {
-		factory = assessorOracleFactory(cfg.Cipher, key, cfg.Round, cfg.Samples)
+		factory = assessorOracleFactory(cfg.Cipher, key, cfg.Round, cfg.Samples, cfg.Workers)
 	}
 
 	agentCfg := cfg.Agent
@@ -182,6 +195,10 @@ func Discover(cfg DiscoverConfig) (*DiscoveryResult, error) {
 		Env:      envCfg,
 		Agent:    agentCfg,
 		Seed:     cfg.Seed,
+		OracleCache: explore.CacheConfig{
+			Disable:  cfg.NoOracleCache,
+			Capacity: cfg.CacheCapacity,
+		},
 		Progress: cfg.Progress,
 	})
 	if err != nil {
@@ -200,6 +217,7 @@ func Discover(cfg DiscoverConfig) (*DiscoveryResult, error) {
 		Duration:       out.Duration,
 		EpisodesPerMin: out.EpisodesPerMin,
 		StepsPerMin:    out.StepsPerMin,
+		Cache:          out.Cache,
 		Key:            key,
 	}
 	isAES := cfg.Cipher == "aes128"
@@ -264,7 +282,7 @@ func diagonalContained(p Pattern) bool {
 // training patterns), abstract to group granularity with a high-sample
 // offline verifier, extend by structural symmetry, deduplicate.
 func harvestModels(cfg DiscoverConfig, key []byte, out *explore.Outcome) ([]Model, error) {
-	verifierFactory := assessorOracleFactory(cfg.Cipher, key, cfg.Round, 2048)
+	verifierFactory := assessorOracleFactory(cfg.Cipher, key, cfg.Round, 2048, cfg.Workers)
 	verifier, err := verifierFactory(prng.New(cfg.Seed ^ 0xfeed))
 	if err != nil {
 		return nil, err

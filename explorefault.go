@@ -158,6 +158,15 @@ type AssessConfig struct {
 	// FixedOrder, if non-zero, runs only that order (Table I contrasts
 	// order 1 against order 2).
 	FixedOrder int
+	// Threshold overrides the leakage classification threshold θ
+	// (default 4.5).
+	Threshold float64
+	// GroupBits overrides the differential grouping granularity
+	// (default: the cipher's native substitution width).
+	GroupBits int
+	// Workers is the fault-campaign worker-pool size; 0 uses GOMAXPROCS.
+	// Results are bit-identical for every value.
+	Workers int
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -171,8 +180,11 @@ func Assess(pattern Pattern, cfg AssessConfig) (Assessment, error) {
 		return Assessment{}, err
 	}
 	a := leakage.NewAssessor(c, leakage.Config{
-		Samples:  cfg.Samples,
-		MaxOrder: cfg.MaxOrder,
+		Samples:   cfg.Samples,
+		MaxOrder:  cfg.MaxOrder,
+		GroupBits: cfg.GroupBits,
+		Threshold: cfg.Threshold,
+		Workers:   cfg.Workers,
 	}, rng.Split())
 	var res leakage.Assessment
 	if cfg.FixedOrder > 0 {
@@ -203,9 +215,12 @@ func AssessProtected(pattern Pattern, cfg AssessConfig) (Assessment, error) {
 		return Assessment{}, err
 	}
 	oracle, err := countermeasure.NewOracle(c, countermeasure.OracleConfig{
-		Round:    cfg.Round,
-		Samples:  cfg.Samples,
-		MaxOrder: cfg.MaxOrder,
+		Round:     cfg.Round,
+		Samples:   cfg.Samples,
+		MaxOrder:  cfg.MaxOrder,
+		GroupBits: cfg.GroupBits,
+		Threshold: cfg.Threshold,
+		Workers:   cfg.Workers,
 	}, rng.Split())
 	if err != nil {
 		return Assessment{}, err
@@ -222,9 +237,12 @@ func AssessProtected(pattern Pattern, cfg AssessConfig) (Assessment, error) {
 	}, nil
 }
 
+// CacheStats re-exports the oracle-memoization counters.
+type CacheStats = explore.CacheStats
+
 // assessorOracleFactory builds the unprotected oracle factory shared by
 // Discover and the bench harness.
-func assessorOracleFactory(cipherName string, key []byte, round, samples int) explore.OracleFactory {
+func assessorOracleFactory(cipherName string, key []byte, round, samples, workers int) explore.OracleFactory {
 	return func(rng *prng.Source) (explore.Oracle, error) {
 		c, _, err := newKeyedCipher(cipherName, key, rng)
 		if err != nil {
@@ -233,6 +251,7 @@ func assessorOracleFactory(cipherName string, key []byte, round, samples int) ex
 		a := leakage.NewAssessor(c, leakage.Config{
 			Samples:         samples,
 			StopAtThreshold: true,
+			Workers:         workers,
 		}, rng.Split())
 		return &explore.AssessorOracle{Assessor: a, Round: round}, nil
 	}

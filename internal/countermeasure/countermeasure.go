@@ -19,9 +19,11 @@ package countermeasure
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/ciphers"
+	"repro/internal/evaluate"
 	"repro/internal/fault"
 	"repro/internal/prng"
 	"repro/internal/stats"
@@ -77,6 +79,12 @@ type OracleConfig struct {
 	// each branch's fault value is drawn independently, so only
 	// single-bit selections are reliably equal across branches).
 	Mode fault.Mode
+	// Workers is the campaign worker-pool size; 0 uses GOMAXPROCS.
+	// Results are bit-identical for every value.
+	Workers int
+	// RefSeed overrides the uniform-reference stream (0 shares the
+	// canonical process-wide reference table entry).
+	RefSeed uint64
 }
 
 func (c *OracleConfig) setDefaults(cipher ciphers.Cipher) error {
@@ -95,38 +103,41 @@ func (c *OracleConfig) setDefaults(cipher ciphers.Cipher) error {
 	if c.Threshold == 0 {
 		c.Threshold = stats.DefaultThreshold
 	}
+	if c.RefSeed == 0 {
+		c.RefSeed = evaluate.CanonicalRefSeed
+	}
 	return nil
 }
 
 // Oracle measures information leakage of a two-branch fault pattern
 // against the protected implementation, looking only at released
 // ciphertexts (the adversary's view). It implements explore.Oracle.
+// Campaigns run through evaluate.RunSharded: each shard gets its own
+// Protected instance fed by a deterministic PRNG substream, so results
+// are bit-identical for every worker count.
 type Oracle struct {
-	prot      *Protected
+	cipher    ciphers.Cipher
 	cfg       OracleConfig
-	rng       *prng.Source
-	ref       [][]float64
+	seed      uint64
 	stateBits int
 	// LastMutedRate reports, after each Evaluate, the fraction of
 	// samples the countermeasure muted (diagnostic).
 	LastMutedRate float64
 }
 
-// NewOracle builds the protected oracle. rng seeds plaintexts, fault
-// values, mute strings and the uniform reference.
+// NewOracle builds the protected oracle. rng fixes the oracle's base
+// seed; plaintexts, fault values and mute strings are drawn from
+// substreams derived from it per assessment.
 func NewOracle(c ciphers.Cipher, cfg OracleConfig, rng *prng.Source) (*Oracle, error) {
 	if err := cfg.setDefaults(c); err != nil {
 		return nil, err
 	}
-	groups := 8 * c.BlockBytes() / cfg.GroupBits
-	o := &Oracle{
-		prot:      NewProtected(c, rng.Split()),
+	return &Oracle{
+		cipher:    c,
 		cfg:       cfg,
-		rng:       rng,
+		seed:      rng.Uint64(),
 		stateBits: 8 * c.BlockBytes(),
-		ref:       fault.UniformReference(cfg.Samples, cfg.GroupBits, groups, rng.Split()),
-	}
-	return o, nil
+	}, nil
 }
 
 // StateBits implements explore.Oracle: the action space covers both
@@ -136,6 +147,10 @@ func (o *Oracle) StateBits() int { return 2 * o.stateBits }
 
 // Threshold implements explore.Oracle.
 func (o *Oracle) Threshold() float64 { return o.cfg.Threshold }
+
+// InjectionRound reports the fault-injection round (used as part of
+// memoization keys by explore.CachedOracle).
+func (o *Oracle) InjectionRound() int { return o.cfg.Round }
 
 // SplitPattern divides a doubled pattern into its per-branch halves.
 func (o *Oracle) SplitPattern(pattern *bitvec.Vector) (b1, b2 bitvec.Vector) {
@@ -152,8 +167,11 @@ func (o *Oracle) SplitPattern(pattern *bitvec.Vector) (b1, b2 bitvec.Vector) {
 }
 
 // Evaluate implements explore.Oracle: collects ciphertext differentials
-// between the unfaulted and faulted protected implementation and runs the
-// order-1..G t-test against uniform.
+// between the unfaulted and faulted protected implementation across the
+// sharded worker pool and runs the order-1..G t-test against the shared
+// uniform reference. Evaluate is a pure function of the oracle seed and
+// the pattern; only LastMutedRate makes an Oracle value unsafe to share
+// between goroutines.
 func (o *Oracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
 	if pattern.Len() != o.StateBits() {
 		return 0, fmt.Errorf("countermeasure: pattern width %d, want %d", pattern.Len(), o.StateBits())
@@ -162,38 +180,49 @@ func (o *Oracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
 		return 0, fmt.Errorf("countermeasure: empty pattern")
 	}
 	p1, p2 := o.SplitPattern(pattern)
-	n := o.prot.cipher.BlockBytes()
-	pt := make([]byte, n)
-	clean := make([]byte, n)
-	faulty := make([]byte, n)
-	mask1 := make([]byte, n)
-	mask2 := make([]byte, n)
-	groups := 8 * n / o.cfg.GroupBits
+	bb := o.cipher.BlockBytes()
+	groups := 8 * bb / o.cfg.GroupBits
+	seed := evaluate.PatternSeed(o.seed, pattern, o.cfg.Round)
 
-	matrix := make([][]float64, o.cfg.Samples)
-	muted := 0
-	for s := 0; s < o.cfg.Samples; s++ {
-		o.rng.Fill(pt)
-		o.prot.cipher.Encrypt(clean, pt, nil, nil)
-		f1 := o.drawFault(&p1, mask1)
-		f2 := o.drawFault(&p2, mask2)
-		if o.prot.Encrypt(faulty, pt, f1, f2) {
-			muted++
-		}
-		row := make([]float64, groups)
-		for g := range row {
-			row[g] = groupValue(clean, faulty, g, o.cfg.GroupBits)
-		}
-		matrix[s] = row
+	var muted atomic.Int64
+	accs, err := evaluate.RunSharded(o.cfg.Samples, o.cfg.Workers, 1, groups, o.cfg.MaxOrder, seed,
+		func(rng *prng.Source, shard, n int, shardAccs []*stats.Accumulator) error {
+			prot := NewProtected(o.cipher, rng)
+			pt := make([]byte, bb)
+			clean := make([]byte, bb)
+			faulty := make([]byte, bb)
+			mask1 := make([]byte, bb)
+			mask2 := make([]byte, bb)
+			row := make([]float64, groups)
+			shardMuted := 0
+			for s := 0; s < n; s++ {
+				rng.Fill(pt)
+				o.cipher.Encrypt(clean, pt, nil, nil)
+				f1 := o.drawFault(&p1, mask1, rng)
+				f2 := o.drawFault(&p2, mask2, rng)
+				if prot.Encrypt(faulty, pt, f1, f2) {
+					shardMuted++
+				}
+				for g := range row {
+					row[g] = groupValue(clean, faulty, g, o.cfg.GroupBits)
+				}
+				shardAccs[0].Add(row)
+			}
+			muted.Add(int64(shardMuted))
+			return nil
+		})
+	if err != nil {
+		return 0, err
 	}
-	o.LastMutedRate = float64(muted) / float64(o.cfg.Samples)
-	res := stats.MaxUpToOrder(o.cfg.MaxOrder, matrix, o.ref)
+	o.LastMutedRate = float64(muted.Load()) / float64(o.cfg.Samples)
+	ref := evaluate.Reference(o.cfg.Samples, o.cfg.GroupBits, groups, o.cfg.MaxOrder, o.cfg.RefSeed)
+	res := accs[0].MaxT(o.cfg.MaxOrder, ref)
 	return res.T, nil
 }
 
 // drawFault returns the branch fault for this sample, or nil when the
 // branch pattern is empty.
-func (o *Oracle) drawFault(p *bitvec.Vector, mask []byte) *ciphers.Fault {
+func (o *Oracle) drawFault(p *bitvec.Vector, mask []byte, rng *prng.Source) *ciphers.Fault {
 	if p.IsZero() {
 		return nil
 	}
@@ -201,7 +230,7 @@ func (o *Oracle) drawFault(p *bitvec.Vector, mask []byte) *ciphers.Fault {
 	case fault.FlipAll:
 		copy(mask, p.Bytes())
 	default:
-		m := bitvec.RandomMask(p, o.rng)
+		m := bitvec.RandomMask(p, rng)
 		copy(mask, m.Bytes())
 	}
 	return &ciphers.Fault{Round: o.cfg.Round, Mask: mask}

@@ -1,0 +1,245 @@
+// Package evaluate is the unified evaluation engine behind every
+// exploitability measurement in the repository: the unprotected leakage
+// oracle, the duplication-countermeasure oracle, Discover/Assess, the
+// bench harness and the CLIs all route their fault campaigns through it.
+//
+// The engine combines three mechanisms:
+//
+//   - streaming statistics: campaigns fold grouped differentials directly
+//     into stats.Accumulator power sums instead of materializing
+//     Samples x Groups trace matrices (O(groups x orders) memory);
+//   - deterministic sharding: samples are partitioned into fixed-size
+//     shards, each drawn from its own PRNG substream derived from the
+//     campaign seed and the shard index, and shard accumulators are merged
+//     in shard order — so results are bit-identical for any worker count;
+//   - a shared reference table: the uniform-reference population's moments
+//     are computed once per (Samples, GroupBits, groups, MaxOrder, seed)
+//     in a sync.Once-guarded table instead of once per assessor.
+//
+// An Engine's assessment is a pure function of (Seed, pattern, round),
+// which is what makes result memoization (explore.CachedOracle) exact.
+package evaluate
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/bitvec"
+	"repro/internal/ciphers"
+	"repro/internal/fault"
+	"repro/internal/prng"
+	"repro/internal/stats"
+)
+
+// Config tunes an Engine. Zero values select paper defaults.
+type Config struct {
+	// Samples is the number of random plaintexts per assessment
+	// (default 2048).
+	Samples int
+	// MaxOrder is the highest t-test order G (default 2).
+	MaxOrder int
+	// GroupBits is the differential grouping granularity; 0 uses the
+	// cipher's native substitution width.
+	GroupBits int
+	// Threshold is the leakage classification threshold θ (default 4.5).
+	Threshold float64
+	// Lag is the distance from injection round to first observed round
+	// (default fault.DefaultLag). Points overrides the window entirely.
+	Lag int
+	// Window is how many final rounds are observable by partial
+	// decryption (default fault.DefaultWindow).
+	Window int
+	// Points, if non-empty, fixes the observation points.
+	Points []fault.Point
+	// Mode selects the fault-value model (default fault.RandomMask).
+	Mode fault.Mode
+	// StopAtThreshold makes Assess return as soon as one observation
+	// point exceeds the threshold instead of sweeping all points for
+	// the global maximum. Training uses this; reporting does not.
+	StopAtThreshold bool
+	// Workers is the number of campaign worker goroutines; 0 uses
+	// GOMAXPROCS, 1 forces the serial path. Results are identical for
+	// every value (see RunSharded).
+	Workers int
+	// Seed is the base seed of the engine. Each assessment derives its
+	// campaign seed from (Seed, pattern, round), making assessments pure
+	// functions of their inputs.
+	Seed uint64
+	// RefSeed selects the uniform-reference stream; 0 uses the canonical
+	// shared seed so all engines with equal shape share one table entry.
+	RefSeed uint64
+}
+
+func (cfg *Config) setDefaults() {
+	if cfg.Samples == 0 {
+		cfg.Samples = 2048
+	}
+	if cfg.MaxOrder == 0 {
+		cfg.MaxOrder = 2
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = stats.DefaultThreshold
+	}
+	if cfg.Lag == 0 {
+		cfg.Lag = fault.DefaultLag
+	}
+	if cfg.Window == 0 {
+		cfg.Window = fault.DefaultWindow
+	}
+	if cfg.RefSeed == 0 {
+		cfg.RefSeed = CanonicalRefSeed
+	}
+}
+
+// PointResult is the best statistic observed at one point.
+type PointResult struct {
+	Point fault.Point
+	Stat  stats.TTestResult
+}
+
+// Assessment is the outcome of one pattern assessment.
+type Assessment struct {
+	// T is the maximum |t| over all observation points and orders: the
+	// information leakage l of the paper.
+	T float64
+	// Leaky reports T > threshold.
+	Leaky bool
+	// Best identifies where and at which order T was found.
+	Best PointResult
+	// PerPoint lists the best statistic of every evaluated point (may
+	// be truncated when StopAtThreshold fires).
+	PerPoint []PointResult
+}
+
+// Engine evaluates fault patterns for a fixed keyed cipher and config.
+// It is safe for concurrent use: its fields are immutable after New and
+// every assessment works on freshly derived PRNG substreams.
+type Engine struct {
+	cipher ciphers.Cipher
+	cfg    Config
+}
+
+// New creates an engine for the given keyed cipher.
+func New(c ciphers.Cipher, cfg Config) *Engine {
+	cfg.setDefaults()
+	if cfg.GroupBits == 0 {
+		cfg.GroupBits = c.GroupBits()
+	}
+	return &Engine{cipher: c, cfg: cfg}
+}
+
+// Cipher returns the underlying keyed cipher.
+func (e *Engine) Cipher() ciphers.Cipher { return e.cipher }
+
+// Config returns the engine configuration (defaults resolved).
+func (e *Engine) Config() Config { return e.cfg }
+
+// StateBits returns the cipher state width in bits (the RL action space).
+func (e *Engine) StateBits() int { return 8 * e.cipher.BlockBytes() }
+
+// Threshold returns the leakage classification threshold θ.
+func (e *Engine) Threshold() float64 { return e.cfg.Threshold }
+
+// workers resolves the configured worker count.
+func (e *Engine) workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Assess measures the information leakage of injecting the pattern at the
+// given round, sweeping t-test orders 1..MaxOrder at every observation
+// point. The pattern width must match the cipher state width.
+func (e *Engine) Assess(pattern *bitvec.Vector, round int) (Assessment, error) {
+	return e.assess(pattern, round, 0)
+}
+
+// AssessOrder runs a single fixed-order assessment (used by the Table I
+// harness to contrast first- and second-order statistics). It ignores
+// StopAtThreshold and may exceed Config.MaxOrder.
+func (e *Engine) AssessOrder(pattern *bitvec.Vector, round, order int) (Assessment, error) {
+	if order < 1 {
+		return Assessment{}, fmt.Errorf("evaluate: order %d out of range", order)
+	}
+	return e.assess(pattern, round, order)
+}
+
+// assess is the shared implementation; fixedOrder 0 sweeps 1..MaxOrder
+// with the StopAtThreshold short-circuit, fixedOrder >= 1 tests exactly
+// that order at every point.
+func (e *Engine) assess(pattern *bitvec.Vector, round, fixedOrder int) (Assessment, error) {
+	if pattern.IsZero() {
+		return Assessment{}, fmt.Errorf("evaluate: empty fault pattern")
+	}
+	points := e.cfg.Points
+	if len(points) == 0 {
+		points = fault.PointsWindow(e.cipher, round, e.cfg.Lag, e.cfg.Window)
+	}
+	cp := fault.Campaign{
+		Cipher:    e.cipher,
+		Pattern:   *pattern,
+		Round:     round,
+		Mode:      e.cfg.Mode,
+		Samples:   e.cfg.Samples,
+		Points:    points,
+		GroupBits: e.cfg.GroupBits,
+	}
+	if err := cp.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	maxOrder := e.cfg.MaxOrder
+	if fixedOrder > maxOrder {
+		maxOrder = fixedOrder
+	}
+	groups := cp.Groups()
+	seed := PatternSeed(e.cfg.Seed, pattern, round)
+	accs, err := RunSharded(e.cfg.Samples, e.workers(), len(cp.Points), groups, maxOrder, seed,
+		func(rng *prng.Source, shard, n int, shardAccs []*stats.Accumulator) error {
+			return cp.CollectInto(rng, n, shardAccs)
+		})
+	if err != nil {
+		return Assessment{}, err
+	}
+	ref := Reference(e.cfg.Samples, e.cfg.GroupBits, groups, maxOrder, e.cfg.RefSeed)
+
+	var out Assessment
+	for i, p := range cp.Points {
+		var st stats.TTestResult
+		if fixedOrder > 0 {
+			st = accs[i].T(fixedOrder, ref)
+		} else {
+			st = accs[i].MaxT(e.cfg.MaxOrder, ref)
+		}
+		pr := PointResult{Point: p, Stat: st}
+		out.PerPoint = append(out.PerPoint, pr)
+		if st.T > out.T {
+			out.T = st.T
+			out.Best = pr
+		}
+		if fixedOrder == 0 && e.cfg.StopAtThreshold && out.T > e.cfg.Threshold {
+			break
+		}
+	}
+	out.Leaky = out.T > e.cfg.Threshold
+	return out, nil
+}
+
+// PatternSeed derives the campaign seed of one assessment from the engine
+// base seed, the pattern bytes and the injection round (splitmix64-style
+// finalization per byte). Equal inputs give equal campaigns, which makes
+// oracle memoization exact; distinct rounds or patterns decorrelate.
+func PatternSeed(base uint64, pattern *bitvec.Vector, round int) uint64 {
+	h := splitmix(base ^ 0x9e3779b97f4a7c15)
+	for _, b := range pattern.Bytes() {
+		h = splitmix(h ^ uint64(b))
+	}
+	return splitmix(h ^ uint64(round))
+}
+
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,102 @@
+package evaluate
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/prng"
+	"repro/internal/stats"
+)
+
+// ShardSize is the fixed number of samples per campaign shard. Shard
+// boundaries are independent of the worker count — only shard count and
+// per-shard PRNG substreams define the drawn samples — so any worker pool
+// produces bit-identical merged accumulators.
+const ShardSize = 256
+
+// ShardSeed derives the PRNG seed of one shard from the campaign seed.
+func ShardSeed(campaignSeed uint64, shard int) uint64 {
+	return splitmix(campaignSeed ^ (0xa0761d6478bd642f * (uint64(shard) + 1)))
+}
+
+// RunSharded partitions samples into fixed-size shards, runs collect for
+// each shard on a pool of workers goroutines (workers <= 1 runs inline),
+// and returns one merged accumulator per observation point. collect is
+// called with the shard's own deterministic PRNG, its index, its sample
+// count, and one fresh accumulator per point; shard results are merged in
+// shard-index order, so the output is bit-identical for any worker count.
+func RunSharded(samples, workers, points, groups, maxOrder int, campaignSeed uint64,
+	collect func(rng *prng.Source, shard, n int, accs []*stats.Accumulator) error) ([]*stats.Accumulator, error) {
+
+	numShards := (samples + ShardSize - 1) / ShardSize
+	if numShards < 1 {
+		numShards = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numShards {
+		workers = numShards
+	}
+
+	newAccs := func() []*stats.Accumulator {
+		accs := make([]*stats.Accumulator, points)
+		for i := range accs {
+			accs[i] = stats.NewAccumulator(groups, maxOrder)
+		}
+		return accs
+	}
+	shardSamples := func(shard int) int {
+		n := ShardSize
+		if last := samples - shard*ShardSize; last < n {
+			n = last
+		}
+		return n
+	}
+
+	perShard := make([][]*stats.Accumulator, numShards)
+	errs := make([]error, numShards)
+	runShard := func(shard int) {
+		accs := newAccs()
+		rng := prng.New(ShardSeed(campaignSeed, shard))
+		errs[shard] = collect(rng, shard, shardSamples(shard), accs)
+		perShard[shard] = accs
+	}
+
+	if workers == 1 {
+		for shard := 0; shard < numShards; shard++ {
+			runShard(shard)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					shard := int(next.Add(1)) - 1
+					if shard >= numShards {
+						return
+					}
+					runShard(shard)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := perShard[0]
+	for _, accs := range perShard[1:] {
+		for i, a := range accs {
+			total[i].Merge(a)
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,143 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/prng"
+)
+
+// countingOracle counts real evaluations; leakage is a deterministic
+// function of the pattern so cached replies can be checked for exactness.
+type countingOracle struct {
+	evals int
+	round int
+}
+
+func (o *countingOracle) Evaluate(p *bitvec.Vector) (float64, error) {
+	o.evals++
+	return float64(p.Count()*10 + o.round), nil
+}
+
+func (o *countingOracle) StateBits() int      { return 16 }
+func (o *countingOracle) Threshold() float64  { return 4.5 }
+func (o *countingOracle) InjectionRound() int { return o.round }
+
+func pat(bits ...int) bitvec.Vector { return bitvec.FromBits(16, bits...) }
+
+func TestCachedOracleHitsAndMisses(t *testing.T) {
+	inner := &countingOracle{round: 3}
+	c := NewCachedOracle(inner, 8)
+
+	p1, p2 := pat(1), pat(1, 2)
+	for i := 0; i < 3; i++ {
+		got, err := c.Evaluate(&p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 13 {
+			t.Fatalf("Evaluate(p1) = %v, want 13", got)
+		}
+	}
+	if _, err := c.Evaluate(&p2); err != nil {
+		t.Fatal(err)
+	}
+	if inner.evals != 2 {
+		t.Errorf("inner evaluated %d times, want 2", inner.evals)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Evictions != 0 {
+		t.Errorf("stats = %+v, want 2 hits, 2 misses, 0 evictions", st)
+	}
+}
+
+func TestCachedOracleEvicts(t *testing.T) {
+	inner := &countingOracle{}
+	c := NewCachedOracle(inner, 2)
+	a, b, d := pat(1), pat(2), pat(3)
+
+	mustEval := func(p *bitvec.Vector) {
+		t.Helper()
+		if _, err := c.Evaluate(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEval(&a) // cache: a
+	mustEval(&b) // cache: b a
+	mustEval(&a) // hit; cache: a b
+	mustEval(&d) // evicts b; cache: d a
+	mustEval(&b) // miss again
+	st := c.Stats()
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Hits != 1 {
+		t.Errorf("hits = %d, want 1 (LRU should have kept the recently-used entry)", st.Hits)
+	}
+	if inner.evals != 4 {
+		t.Errorf("inner evaluated %d times, want 4", inner.evals)
+	}
+}
+
+func TestCachedOracleKeyedByRound(t *testing.T) {
+	// Two oracles differing only in round must not share values even
+	// though the cache key bytes come from the same pattern.
+	p := pat(5)
+	for _, round := range []int{1, 2} {
+		c := NewCachedOracle(&countingOracle{round: round}, 4)
+		got, err := c.Evaluate(&p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(10 + round)
+		if got != want {
+			t.Errorf("round %d: got %v, want %v", round, got, want)
+		}
+		if c.InjectionRound() != round {
+			t.Errorf("InjectionRound = %d, want %d", c.InjectionRound(), round)
+		}
+	}
+}
+
+func TestCacheStatsAggregation(t *testing.T) {
+	var total CacheStats
+	total.Add(CacheStats{Hits: 3, Misses: 1})
+	total.Add(CacheStats{Hits: 1, Misses: 1, Evictions: 2})
+	if total.Hits != 4 || total.Misses != 2 || total.Evictions != 2 {
+		t.Errorf("aggregated stats = %+v", total)
+	}
+	if hr := fmt.Sprintf("%.2f", total.HitRate()); hr != "0.67" {
+		t.Errorf("hit rate = %s, want 0.67", hr)
+	}
+	if (CacheStats{}).HitRate() != 0 {
+		t.Error("empty stats should have zero hit rate")
+	}
+}
+
+// TestSessionExactEpisodeBudget: the final partial batch must land the
+// session exactly on cfg.Episodes instead of overshooting by NumEnvs-1.
+func TestSessionExactEpisodeBudget(t *testing.T) {
+	sess, err := NewSession(func(rng *prng.Source) (Oracle, error) {
+		return &countingOracle{}, nil
+	}, SessionConfig{
+		NumEnvs:        3,
+		Episodes:       5, // not a multiple of NumEnvs
+		Seed:           11,
+		BootstrapSpike: -1,
+		FinalRollouts:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Episodes != 5 {
+		t.Errorf("session ran %d episodes, want exactly 5", out.Episodes)
+	}
+	if lookups := out.Cache.Hits + out.Cache.Misses; lookups == 0 {
+		t.Error("cache counters never moved although the cache was enabled")
+	}
+}

@@ -52,5 +52,8 @@ func (o *AssessorOracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
 // StateBits implements Oracle.
 func (o *AssessorOracle) StateBits() int { return o.Assessor.StateBits() }
 
+// InjectionRound implements Rounder for memoization keys.
+func (o *AssessorOracle) InjectionRound() int { return o.Round }
+
 // Threshold implements Oracle.
 func (o *AssessorOracle) Threshold() float64 { return o.Assessor.Threshold() }

@@ -48,6 +48,11 @@ type SessionConfig struct {
 	// policy are evaluated to read out the converged fault pattern
 	// (default 8).
 	FinalRollouts int
+	// OracleCache configures memoization of oracle evaluations. The
+	// cache is on by default (engine-backed oracles are pure, so
+	// memoization is exact); set OracleCache.Disable for ablation runs
+	// that must pay full simulation cost per episode.
+	OracleCache CacheConfig
 	// Progress, if non-nil, is called after every PPO update with a
 	// running summary.
 	Progress func(Progress)
@@ -85,6 +90,9 @@ type Progress struct {
 	AvgBits    float64 // average distinct bits in the last update
 	BestLeakyN int     // best leaky pattern size so far
 	Entropy    float64 // policy entropy
+	// CacheHits and CacheMisses are cumulative oracle-memoization
+	// counters across all envs (zero when the cache is disabled).
+	CacheHits, CacheMisses uint64
 }
 
 // Outcome is the result of a discovery session.
@@ -104,6 +112,9 @@ type Outcome struct {
 	// StepsPerMin and EpisodesPerMin are the training-rate figures of
 	// Table II.
 	StepsPerMin, EpisodesPerMin float64
+	// Cache aggregates oracle-memoization counters over all envs plus
+	// the final-rollout oracle (all zero when the cache is disabled).
+	Cache CacheStats
 }
 
 // Session owns the environments, agent and log of one discovery run.
@@ -115,7 +126,8 @@ type Session struct {
 	runner  *rl.Runner
 	log     *Log
 	rng     *prng.Source
-	evalEnv *Env // env reserved for final-rollout evaluation
+	evalEnv *Env            // env reserved for final-rollout evaluation
+	caches  []*CachedOracle // memoizing wrappers, for stats (nil entries when disabled)
 }
 
 // NewSession builds a session: NumEnvs oracles/environments plus one extra
@@ -125,12 +137,20 @@ func NewSession(factory OracleFactory, cfg SessionConfig) (*Session, error) {
 	cfg.setDefaults()
 	root := prng.New(cfg.Seed)
 	s := &Session{cfg: cfg, log: &Log{}, rng: root}
+	wrap := func(o Oracle) Oracle {
+		if cfg.OracleCache.Disable {
+			return o
+		}
+		c := NewCachedOracle(o, cfg.OracleCache.Capacity)
+		s.caches = append(s.caches, c)
+		return c
+	}
 	for i := 0; i < cfg.NumEnvs; i++ {
 		oracle, err := factory(root.Split())
 		if err != nil {
 			return nil, fmt.Errorf("explore: building oracle %d: %w", i, err)
 		}
-		env := NewEnv(oracle, cfg.Env)
+		env := NewEnv(wrap(oracle), cfg.Env)
 		s.raw = append(s.raw, env)
 		s.envs = append(s.envs, env)
 	}
@@ -138,7 +158,7 @@ func NewSession(factory OracleFactory, cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("explore: building eval oracle: %w", err)
 	}
-	s.evalEnv = NewEnv(evalOracle, cfg.Env)
+	s.evalEnv = NewEnv(wrap(evalOracle), cfg.Env)
 	obsSize := s.raw[0].ObsSize()
 	agentCfg := cfg.Agent
 	if cfg.BootstrapSpike > 0 && agentCfg.BootstrapSpike == 0 {
@@ -178,7 +198,16 @@ func (s *Session) Run() (*Outcome, error) {
 	sinceLeaky := 0
 
 	for episodes < s.cfg.Episodes {
-		batch, eps, err := s.runner.CollectEpisodes(1)
+		// One CollectEpisodes call yields NumEnvs episodes; a final
+		// partial batch over an env prefix lands exactly on the budget
+		// instead of overshooting it by up to NumEnvs-1.
+		runner := s.runner
+		if remaining := s.cfg.Episodes - episodes; remaining < len(s.envs) {
+			runner = rl.NewRunner(s.envs[:remaining], s.agent)
+			runner.Gamma = s.cfg.Gamma
+			runner.Lambda = s.cfg.Lambda
+		}
+		batch, eps, err := runner.CollectEpisodes(1)
 		if err != nil {
 			return nil, err
 		}
@@ -209,13 +238,16 @@ func (s *Session) Run() (*Outcome, error) {
 		stats := s.agent.Update(batch)
 		if s.cfg.Progress != nil {
 			n := float64(len(eps))
+			cache := s.cacheStats()
 			s.cfg.Progress(Progress{
-				Episodes:   episodes,
-				AvgReturn:  sumRet / n,
-				AvgLeaky:   leaky / n,
-				AvgBits:    sumBits / n,
-				BestLeakyN: bestLeakyN,
-				Entropy:    stats.Entropy,
+				Episodes:    episodes,
+				AvgReturn:   sumRet / n,
+				AvgLeaky:    leaky / n,
+				AvgBits:     sumBits / n,
+				BestLeakyN:  bestLeakyN,
+				Entropy:     stats.Entropy,
+				CacheHits:   cache.Hits,
+				CacheMisses: cache.Misses,
 			})
 		}
 	}
@@ -231,7 +263,17 @@ func (s *Session) Run() (*Outcome, error) {
 		out.StepsPerMin = float64(steps) / mins
 	}
 	s.readOutConverged(out)
+	out.Cache = s.cacheStats()
 	return out, nil
+}
+
+// cacheStats sums the memoization counters of every wrapped oracle.
+func (s *Session) cacheStats() CacheStats {
+	var total CacheStats
+	for _, c := range s.caches {
+		total.Add(c.Stats())
+	}
+	return total
 }
 
 // readOutConverged evaluates FinalRollouts stochastic rollouts of the

@@ -11,6 +11,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/ciphers"
 	"repro/internal/prng"
+	"repro/internal/stats"
 )
 
 // Mode selects how fault values are drawn from a pattern for each trace.
@@ -131,8 +132,10 @@ type Campaign struct {
 	GroupBits int
 }
 
-// validate normalizes defaults and reports configuration errors.
-func (cp *Campaign) validate() error {
+// Validate normalizes defaults (GroupBits, Points) and reports
+// configuration errors. Collect calls it implicitly; callers that shard a
+// campaign themselves (internal/evaluate) call it once up front.
+func (cp *Campaign) Validate() error {
 	if cp.Cipher == nil {
 		return fmt.Errorf("fault: campaign has no cipher")
 	}
@@ -187,7 +190,7 @@ type Result struct {
 // encrypts once cleanly and once with a fault drawn from the pattern, and
 // records the grouped XOR differential at every observation point.
 func (cp *Campaign) Collect(rng *prng.Source) (*Result, error) {
-	if err := cp.validate(); err != nil {
+	if err := cp.Validate(); err != nil {
 		return nil, err
 	}
 	n := cp.Cipher.BlockBytes()
@@ -220,6 +223,44 @@ func (cp *Campaign) Collect(rng *prng.Source) (*Result, error) {
 	return res, nil
 }
 
+// CollectInto runs n traces of the campaign and folds the grouped
+// differential of every observation point into the matching accumulator
+// (accs[i] belongs to cp.Points[i]), without materializing trace matrices.
+// It is the per-shard primitive behind internal/evaluate's parallel
+// campaigns: the campaign must already be validated, and each shard calls
+// CollectInto with its own deterministic PRNG substream so that merged
+// shard accumulators are independent of the worker count.
+func (cp *Campaign) CollectInto(rng *prng.Source, n int, accs []*stats.Accumulator) error {
+	if len(accs) != len(cp.Points) {
+		return fmt.Errorf("fault: %d accumulators for %d observation points", len(accs), len(cp.Points))
+	}
+	bb := cp.Cipher.BlockBytes()
+	cleanTr := ciphers.NewTrace(cp.Cipher)
+	faultTr := ciphers.NewTrace(cp.Cipher)
+	pt := make([]byte, bb)
+	out := make([]byte, bb)
+	mask := make([]byte, bb)
+	diff := make([]byte, bb)
+	groups := cp.Groups()
+	row := make([]float64, groups)
+	f := &ciphers.Fault{Round: cp.Round, Mask: mask}
+	for s := 0; s < n; s++ {
+		rng.Fill(pt)
+		cp.drawMask(mask, rng)
+		cp.Cipher.Encrypt(out, pt, nil, cleanTr)
+		cp.Cipher.Encrypt(out, pt, f, faultTr)
+		for pi, p := range cp.Points {
+			a, b := pointState(cleanTr, p), pointState(faultTr, p)
+			for j := range diff {
+				diff[j] = a[j] ^ b[j]
+			}
+			groupValuesInto(row, diff, cp.GroupBits, groups)
+			accs[pi].Add(row)
+		}
+	}
+	return nil
+}
+
 // drawMask fills mask with the fault value for one trace.
 func (cp *Campaign) drawMask(mask []byte, rng *prng.Source) {
 	switch cp.Mode {
@@ -245,6 +286,12 @@ func pointState(tr *ciphers.Trace, p Point) []byte {
 // groupValues splits state bytes into groupBits-wide integer values.
 func groupValues(state []byte, groupBits, groups int) []float64 {
 	out := make([]float64, groups)
+	groupValuesInto(out, state, groupBits, groups)
+	return out
+}
+
+// groupValuesInto is groupValues into a caller-owned buffer.
+func groupValuesInto(out []float64, state []byte, groupBits, groups int) {
 	switch groupBits {
 	case 8:
 		for i, b := range state {
@@ -263,7 +310,6 @@ func groupValues(state []byte, groupBits, groups int) []float64 {
 			out[i] = float64(state[i/8] >> uint(i%8) & 1)
 		}
 	}
-	return out
 }
 
 // UniformReference returns a samples x groups matrix of uniformly random

@@ -2,23 +2,21 @@
 // an ALAFA-style leakage assessor that decides whether a fault pattern
 // produces a state differential distinguishable from uniform random.
 //
-// For unprotected ciphers the assessor simulates paired encryptions,
-// collects grouped differentials at the observation points (round inputs /
-// post-S-box states after the injection round, plus the ciphertext), and
-// runs Welch's t-test of order 1..G against a cached uniform reference
-// population. The maximum statistic over all points and orders is the
-// information-leakage value l fed to the RL agent; l > θ (4.5) marks the
-// pattern exploitable.
+// The statistical machinery lives in internal/evaluate; an Assessor is a
+// thin keyed-cipher wrapper around an evaluate.Engine. Campaigns fold
+// grouped differentials into streaming accumulators across a deterministic
+// worker pool and test them of order 1..G against a process-wide shared
+// uniform reference population. The maximum statistic over all points and
+// orders is the information-leakage value l fed to the RL agent; l > θ
+// (4.5) marks the pattern exploitable.
 package leakage
 
 import (
-	"fmt"
-
 	"repro/internal/bitvec"
 	"repro/internal/ciphers"
+	"repro/internal/evaluate"
 	"repro/internal/fault"
 	"repro/internal/prng"
-	"repro/internal/stats"
 )
 
 // Config tunes an Assessor. Zero values select paper defaults.
@@ -48,160 +46,68 @@ type Config struct {
 	// point exceeds the threshold instead of sweeping all points for
 	// the global maximum. Training uses this; reporting does not.
 	StopAtThreshold bool
-}
-
-func (cfg *Config) setDefaults() {
-	if cfg.Samples == 0 {
-		cfg.Samples = 2048
-	}
-	if cfg.MaxOrder == 0 {
-		cfg.MaxOrder = 2
-	}
-	if cfg.Threshold == 0 {
-		cfg.Threshold = stats.DefaultThreshold
-	}
-	if cfg.Lag == 0 {
-		cfg.Lag = fault.DefaultLag
-	}
-	if cfg.Window == 0 {
-		cfg.Window = fault.DefaultWindow
-	}
+	// Workers is the campaign worker-pool size; 0 uses GOMAXPROCS.
+	// Results are bit-identical for every value.
+	Workers int
+	// RefSeed overrides the uniform-reference stream (0 shares the
+	// canonical process-wide reference table entry).
+	RefSeed uint64
 }
 
 // PointResult is the best statistic observed at one point.
-type PointResult struct {
-	Point fault.Point
-	Stat  stats.TTestResult
-}
+type PointResult = evaluate.PointResult
 
 // Assessment is the outcome of one pattern assessment.
-type Assessment struct {
-	// T is the maximum |t| over all observation points and orders: the
-	// information leakage l of the paper.
-	T float64
-	// Leaky reports T > threshold.
-	Leaky bool
-	// Best identifies where and at which order T was found.
-	Best PointResult
-	// PerPoint lists the best statistic of every evaluated point (may
-	// be truncated when StopAtThreshold fires).
-	PerPoint []PointResult
-}
+type Assessment = evaluate.Assessment
 
 // Assessor evaluates fault patterns for a fixed keyed cipher and config.
-// It is not safe for concurrent use; create one per goroutine (they are
-// cheap — the only shared cost is the reference population, which is
-// regenerated per assessor from its own PRNG stream).
+// It is safe for concurrent use: assessments are pure functions of the
+// seed derived at construction plus the (pattern, round) arguments.
 type Assessor struct {
-	cipher ciphers.Cipher
-	cfg    Config
-	rng    *prng.Source
-	ref    [][]float64 // cached uniform reference population
+	engine *evaluate.Engine
 }
 
 // NewAssessor creates an assessor for the given keyed cipher. The rng
-// seeds both the plaintext/fault stream and the uniform reference stream.
+// fixes the assessor's base seed: equal rng states give assessors with
+// identical (reproducible) assessments.
 func NewAssessor(c ciphers.Cipher, cfg Config, rng *prng.Source) *Assessor {
-	cfg.setDefaults()
-	if cfg.GroupBits == 0 {
-		cfg.GroupBits = c.GroupBits()
-	}
-	a := &Assessor{cipher: c, cfg: cfg, rng: rng}
-	groups := 8 * c.BlockBytes() / cfg.GroupBits
-	a.ref = fault.UniformReference(cfg.Samples, cfg.GroupBits, groups, rng.Split())
-	return a
+	e := evaluate.New(c, evaluate.Config{
+		Samples:         cfg.Samples,
+		MaxOrder:        cfg.MaxOrder,
+		GroupBits:       cfg.GroupBits,
+		Threshold:       cfg.Threshold,
+		Lag:             cfg.Lag,
+		Window:          cfg.Window,
+		Points:          cfg.Points,
+		Mode:            cfg.Mode,
+		StopAtThreshold: cfg.StopAtThreshold,
+		Workers:         cfg.Workers,
+		Seed:            rng.Uint64(),
+		RefSeed:         cfg.RefSeed,
+	})
+	return &Assessor{engine: e}
 }
 
+// Engine exposes the underlying evaluation engine.
+func (a *Assessor) Engine() *evaluate.Engine { return a.engine }
+
 // StateBits returns the cipher state width in bits (the RL action space).
-func (a *Assessor) StateBits() int { return 8 * a.cipher.BlockBytes() }
+func (a *Assessor) StateBits() int { return a.engine.StateBits() }
 
 // Cipher returns the underlying keyed cipher.
-func (a *Assessor) Cipher() ciphers.Cipher { return a.cipher }
+func (a *Assessor) Cipher() ciphers.Cipher { return a.engine.Cipher() }
 
 // Threshold returns the leakage classification threshold θ.
-func (a *Assessor) Threshold() float64 { return a.cfg.Threshold }
+func (a *Assessor) Threshold() float64 { return a.engine.Threshold() }
 
 // Assess measures the information leakage of injecting the pattern at the
 // given round. The pattern width must match the cipher state width.
 func (a *Assessor) Assess(pattern *bitvec.Vector, round int) (Assessment, error) {
-	if pattern.IsZero() {
-		return Assessment{}, fmt.Errorf("leakage: empty pattern")
-	}
-	points := a.cfg.Points
-	if len(points) == 0 {
-		points = fault.PointsWindow(a.cipher, round, a.cfg.Lag, a.cfg.Window)
-	}
-	var out Assessment
-	// Evaluate point by point so StopAtThreshold can short-circuit the
-	// expensive later sweeps; the simulation itself is shared via one
-	// Collect call per point group. Collect per point would re-encrypt,
-	// so we collect all points at once and then test incrementally.
-	cp := fault.Campaign{
-		Cipher:    a.cipher,
-		Pattern:   *pattern,
-		Round:     round,
-		Mode:      a.cfg.Mode,
-		Samples:   a.cfg.Samples,
-		Points:    points,
-		GroupBits: a.cfg.GroupBits,
-	}
-	res, err := cp.Collect(a.rng)
-	if err != nil {
-		return Assessment{}, err
-	}
-	for i, p := range res.Points {
-		st := stats.MaxUpToOrder(a.cfg.MaxOrder, res.Matrices[i], a.ref)
-		pr := PointResult{Point: p, Stat: st}
-		out.PerPoint = append(out.PerPoint, pr)
-		if st.T > out.T {
-			out.T = st.T
-			out.Best = pr
-		}
-		if a.cfg.StopAtThreshold && out.T > a.cfg.Threshold {
-			break
-		}
-	}
-	out.Leaky = out.T > a.cfg.Threshold
-	return out, nil
+	return a.engine.Assess(pattern, round)
 }
 
 // AssessOrder runs a single fixed-order assessment (used by the Table I
 // harness to contrast first- and second-order statistics).
 func (a *Assessor) AssessOrder(pattern *bitvec.Vector, round, order int) (Assessment, error) {
-	cp := fault.Campaign{
-		Cipher:    a.cipher,
-		Pattern:   *pattern,
-		Round:     round,
-		Mode:      a.cfg.Mode,
-		Samples:   a.cfg.Samples,
-		Points:    a.cfg.Points,
-		GroupBits: a.cfg.GroupBits,
-	}
-	if len(cp.Points) == 0 {
-		cp.Points = fault.PointsWindow(a.cipher, round, a.cfg.Lag, a.cfg.Window)
-	}
-	res, err := cp.Collect(a.rng)
-	if err != nil {
-		return Assessment{}, err
-	}
-	var out Assessment
-	for i, p := range res.Points {
-		var st stats.TTestResult
-		switch order {
-		case 1:
-			st = stats.FirstOrder(res.Matrices[i], a.ref)
-		case 2:
-			st = stats.SecondOrder(res.Matrices[i], a.ref)
-		default:
-			st = stats.HigherOrder(order, res.Matrices[i], a.ref)
-		}
-		pr := PointResult{Point: p, Stat: st}
-		out.PerPoint = append(out.PerPoint, pr)
-		if st.T > out.T {
-			out.T = st.T
-			out.Best = pr
-		}
-	}
-	out.Leaky = out.T > a.cfg.Threshold
-	return out, nil
+	return a.engine.AssessOrder(pattern, round, order)
 }

@@ -66,11 +66,19 @@ const tCap = 1e6
 // both variances zero) are resolved conservatively: equal means give 0,
 // distinct means with no variance give the cap.
 func Welch(a, b *Moments) float64 {
-	if a.n < 2 || b.n < 2 {
+	return WelchFromMoments(a.n, a.mean, a.Variance(), b.n, b.mean, b.Variance())
+}
+
+// WelchFromMoments computes the same capped |t| statistic as Welch from
+// summary moments (sample size, mean, unbiased variance) instead of
+// Moments values. The streaming Accumulator derives its per-order
+// populations this way without materializing them.
+func WelchFromMoments(na int, meanA, varA float64, nb int, meanB, varB float64) float64 {
+	if na < 2 || nb < 2 {
 		return 0
 	}
-	num := a.mean - b.mean
-	den := a.Variance()/float64(a.n) + b.Variance()/float64(b.n)
+	num := meanA - meanB
+	den := varA/float64(na) + varB/float64(nb)
 	if den <= 0 {
 		if num == 0 {
 			return 0
