@@ -1,6 +1,8 @@
 GO ?= go
+BENCH_OUT ?= BENCH_pr2.json
+BENCH_LABEL ?= after
 
-.PHONY: all build test check vet race bench fmt
+.PHONY: all build test check vet race bench bench-all fmt
 
 all: build
 
@@ -23,7 +25,16 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
+# Engine benchmarks (campaign, oracle, per-cipher fork kernels), 5
+# repetitions averaged into $(BENCH_OUT) under label $(BENCH_LABEL).
+# Run with BENCH_LABEL=before on the parent commit to record a baseline;
+# entries of other labels in an existing file are preserved.
 bench:
+	$(GO) test -run '^$$' -bench 'Campaign|Oracle|Encrypt' -benchmem -count 5 . \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -o $(BENCH_OUT)
+
+# Every benchmark in the repo, including the paper-table harness runs.
+bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
 fmt:

@@ -337,6 +337,131 @@ func BenchmarkCampaignCollect(b *testing.B) {
 			}
 		})
 	}
+
+	// The ISSUE acceptance pair: the same AES-128 round-8 diagonal
+	// campaign on the scalar reference path and on the batch kernel
+	// (T-table rounds + shared-prefix forking). Both produce bit-identical
+	// accumulators; the batch bar is >= 2.5x on ns/op.
+	aesKey := make([]byte, 16)
+	prng.New(2023).Fill(aesKey)
+	aesC, err := ciphers.New("aes128", aesKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aesPattern := explorefault.PatternFromGroups(128, 8, 2, 7, 8, 13)
+	for _, sub := range []struct {
+		name    string
+		noBatch bool
+	}{
+		{"aes128-r8-scalar", true},
+		{"aes128-r8-batch", false},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			cp := fault.Campaign{
+				Cipher:  aesC,
+				Pattern: aesPattern,
+				Round:   8,
+				Samples: 2048,
+				NoBatch: sub.noBatch,
+			}
+			if err := cp.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				_, err := evaluate.RunSharded(cp.Samples, 1, len(cp.Points),
+					cp.Groups(), 2, uint64(i),
+					func(rng *prng.Source, shard, n int, accs []*stats.Accumulator) error {
+						return cp.CollectInto(rng, n, accs)
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchForkPoints maps the campaign's default observation window onto the
+// batch API for direct kernel benchmarking.
+func benchForkPoints(c ciphers.Cipher, round int) []ciphers.BatchPoint {
+	var out []ciphers.BatchPoint
+	for _, p := range fault.PointsWindow(c, round, fault.DefaultLag, fault.DefaultWindow) {
+		switch p.Kind {
+		case fault.RoundInput:
+			out = append(out, ciphers.BatchPoint{Round: p.Round})
+		case fault.PostSub:
+			out = append(out, ciphers.BatchPoint{Round: p.Round, PostSub: true})
+		default:
+			out = append(out, ciphers.BatchPoint{})
+		}
+	}
+	return out
+}
+
+// benchEncryptForks measures one shard's worth (256 traces) of paired
+// clean/faulty encryption with the default observation window captured,
+// through either the scalar reference path or the cipher's batch kernel.
+func benchEncryptForks(b *testing.B, name string, round int, batch bool) {
+	rng := prng.New(2023)
+	key := make([]byte, 16)
+	rng.Fill(key)
+	c, err := ciphers.New(name, key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var kern ciphers.BatchKernel
+	if batch {
+		be, ok := c.(ciphers.BatchEncrypter)
+		if !ok {
+			b.Skipf("%s has no batch kernel", name)
+		}
+		kern = be.NewBatchKernel()
+	}
+	const traces = 256
+	bb := c.BlockBytes()
+	points := benchForkPoints(c, round)
+	np := len(points)
+	pts := make([]byte, traces*bb)
+	mask := make([]byte, traces*bb)
+	rng.Fill(pts)
+	rng.Fill(mask)
+	masks := [][]byte{nil, mask}
+	states := [][]byte{make([]byte, traces*np*bb), make([]byte, traces*np*bb)}
+	cts := [][]byte{nil, nil}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batch {
+			kern.EncryptForks(round, points, traces, pts, masks, states, cts)
+		} else {
+			ciphers.ScalarForks(c, round, points, traces, pts, masks, states, cts)
+		}
+	}
+}
+
+var benchEncryptCases = []struct {
+	name  string
+	round int
+}{
+	{"aes128", 8},
+	{"gift64", 25},
+	{"gift128", 36},
+}
+
+// BenchmarkEncryptScalar is the reference path: one full Encrypt with a
+// Trace per (trace, branch) pair.
+func BenchmarkEncryptScalar(b *testing.B) {
+	for _, tc := range benchEncryptCases {
+		b.Run(tc.name, func(b *testing.B) { benchEncryptForks(b, tc.name, tc.round, false) })
+	}
+}
+
+// BenchmarkEncryptBatch is the batch kernel on the same workload:
+// T-table words for AES, bitsliced lanes for GIFT, shared-prefix forking
+// for both.
+func BenchmarkEncryptBatch(b *testing.B) {
+	for _, tc := range benchEncryptCases {
+		b.Run(tc.name, func(b *testing.B) { benchEncryptForks(b, tc.name, tc.round, true) })
+	}
 }
 
 // BenchmarkOracleEvaluate measures the assessment path end-to-end the way

@@ -1,0 +1,148 @@
+// benchjson converts `go test -bench` output into a JSON record keyed by
+// benchmark name and run label, averaging repeated -count runs. Feeding
+// two runs into the same output file under different labels (e.g.
+// "before" and "after") produces a machine-readable comparison:
+//
+//	go test -run '^$' -bench 'Campaign|Oracle|Encrypt' -benchmem -count 5 . |
+//	    go run ./cmd/benchjson -label after -o BENCH_pr2.json
+//
+// An existing output file is merged, not overwritten: only the entries of
+// the given label are replaced.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's averaged measurements under one label.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Runs        int     `json:"runs"`
+}
+
+// Record is the file layout: environment header plus, per benchmark name,
+// one Metrics entry per label.
+type Record struct {
+	Goos       string                         `json:"goos,omitempty"`
+	Goarch     string                         `json:"goarch,omitempty"`
+	CPU        string                         `json:"cpu,omitempty"`
+	Benchmarks map[string]map[string]*Metrics `json:"benchmarks"`
+}
+
+// benchLine matches one result line, e.g.
+// "BenchmarkFoo/sub-8  18  63464410 ns/op  1577265 B/op  12424 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	label := flag.String("label", "after", "label for this run's entries (e.g. before, after)")
+	out := flag.String("o", "", "output JSON file (merged if it exists; default stdout)")
+	flag.Parse()
+
+	rec := Record{Benchmarks: map[string]map[string]*Metrics{}}
+	if *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &rec); err != nil {
+				log.Fatalf("benchjson: existing %s is not valid: %v", *out, err)
+			}
+			if rec.Benchmarks == nil {
+				rec.Benchmarks = map[string]map[string]*Metrics{}
+			}
+		}
+	}
+
+	type sums struct {
+		ns, bytes, allocs float64
+		runs              int
+	}
+	totals := map[string]*sums{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rec.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rec.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rec.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		t, ok := totals[name]
+		if !ok {
+			t = &sums{}
+			totals[name] = t
+			order = append(order, name)
+		}
+		t.ns += atof(m[2])
+		t.bytes += atof(m[3])
+		t.allocs += atof(m[4])
+		t.runs++
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: reading stdin: %v", err)
+	}
+	if len(totals) == 0 {
+		log.Fatal("benchjson: no benchmark lines on stdin")
+	}
+
+	for _, name := range order {
+		t := totals[name]
+		n := float64(t.runs)
+		if rec.Benchmarks[name] == nil {
+			rec.Benchmarks[name] = map[string]*Metrics{}
+		}
+		rec.Benchmarks[name][*label] = &Metrics{
+			NsPerOp:     t.ns / n,
+			BPerOp:      t.bytes / n,
+			AllocsPerOp: t.allocs / n,
+			Runs:        t.runs,
+		}
+	}
+
+	data, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("benchjson: wrote %d %q entries to %s\n", len(names), *label, *out)
+}
+
+func atof(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		log.Fatalf("benchjson: bad number %q: %v", s, err)
+	}
+	return v
+}

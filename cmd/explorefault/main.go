@@ -29,6 +29,7 @@ func main() {
 	protected := flag.Bool("protected", false, "evaluate the duplication countermeasure (ciphertext-only t-test)")
 	samples := flag.Int("samples", 512, "t-test samples per reward evaluation")
 	workers := flag.Int("workers", 0, "fault-campaign worker goroutines per oracle (0 = GOMAXPROCS; results are identical for every value)")
+	scalar := flag.Bool("scalar", false, "force the scalar reference path instead of the batch cipher kernel (bit-identical, slower)")
 	cache := flag.Bool("cache", true, "memoize oracle evaluations (exact; disable to pay full simulation cost per episode)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	keyHex := flag.String("key", "", "cipher key in hex (default: random from seed)")
@@ -51,6 +52,7 @@ func main() {
 		Episodes:      *episodes,
 		Samples:       *samples,
 		Workers:       *workers,
+		NoBatch:       *scalar,
 		NoOracleCache: !*cache,
 		Seed:          *seed,
 	}

@@ -43,6 +43,7 @@ func main() {
 	bytesFlag := flag.String("bytes", "", "comma-separated byte indices")
 	samples := flag.Int("samples", 2048, "plaintexts per t-test")
 	workers := flag.Int("workers", 0, "fault-campaign worker goroutines (0 = GOMAXPROCS; results are identical for every value)")
+	scalar := flag.Bool("scalar", false, "force the scalar reference path instead of the batch cipher kernel (bit-identical, slower)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	flag.Parse()
 
@@ -82,7 +83,7 @@ func main() {
 	for order := 1; order <= 2; order++ {
 		a, err := explorefault.Assess(pattern, explorefault.AssessConfig{
 			Cipher: *cipher, Round: *round, Samples: *samples,
-			FixedOrder: order, Workers: *workers, Seed: *seed,
+			FixedOrder: order, Workers: *workers, NoBatch: *scalar, Seed: *seed,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -91,7 +92,7 @@ func main() {
 	}
 	full, err := explorefault.Assess(pattern, explorefault.AssessConfig{
 		Cipher: *cipher, Round: *round, Samples: *samples,
-		Workers: *workers, Seed: *seed,
+		Workers: *workers, NoBatch: *scalar, Seed: *seed,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -57,6 +57,9 @@ type DiscoverConfig struct {
 	// Workers is the fault-campaign worker-pool size per oracle; 0 uses
 	// GOMAXPROCS. Results are bit-identical for every value.
 	Workers int
+	// NoBatch forces the scalar reference path even for ciphers with a
+	// batch kernel (bit-identical; for equivalence tests and benchmarks).
+	NoBatch bool
 	// NoOracleCache disables oracle memoization (every episode pays the
 	// full simulation cost, as in the paper's timing runs).
 	NoOracleCache bool
@@ -166,10 +169,11 @@ func Discover(cfg DiscoverConfig) (*DiscoveryResult, error) {
 				Round:   cfg.Round,
 				Samples: cfg.Samples,
 				Workers: cfg.Workers,
+				NoBatch: cfg.NoBatch,
 			}, rng.Split())
 		}
 	} else {
-		factory = assessorOracleFactory(cfg.Cipher, key, cfg.Round, cfg.Samples, cfg.Workers)
+		factory = assessorOracleFactory(cfg.Cipher, key, cfg.Round, cfg.Samples, cfg.Workers, cfg.NoBatch)
 	}
 
 	agentCfg := cfg.Agent
@@ -282,7 +286,7 @@ func diagonalContained(p Pattern) bool {
 // training patterns), abstract to group granularity with a high-sample
 // offline verifier, extend by structural symmetry, deduplicate.
 func harvestModels(cfg DiscoverConfig, key []byte, out *explore.Outcome) ([]Model, error) {
-	verifierFactory := assessorOracleFactory(cfg.Cipher, key, cfg.Round, 2048, cfg.Workers)
+	verifierFactory := assessorOracleFactory(cfg.Cipher, key, cfg.Round, 2048, cfg.Workers, cfg.NoBatch)
 	verifier, err := verifierFactory(prng.New(cfg.Seed ^ 0xfeed))
 	if err != nil {
 		return nil, err

@@ -167,6 +167,9 @@ type AssessConfig struct {
 	// Workers is the fault-campaign worker-pool size; 0 uses GOMAXPROCS.
 	// Results are bit-identical for every value.
 	Workers int
+	// NoBatch forces the scalar reference path even for ciphers with a
+	// batch kernel (bit-identical; for equivalence tests and benchmarks).
+	NoBatch bool
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -185,6 +188,7 @@ func Assess(pattern Pattern, cfg AssessConfig) (Assessment, error) {
 		GroupBits: cfg.GroupBits,
 		Threshold: cfg.Threshold,
 		Workers:   cfg.Workers,
+		NoBatch:   cfg.NoBatch,
 	}, rng.Split())
 	var res leakage.Assessment
 	if cfg.FixedOrder > 0 {
@@ -221,6 +225,7 @@ func AssessProtected(pattern Pattern, cfg AssessConfig) (Assessment, error) {
 		GroupBits: cfg.GroupBits,
 		Threshold: cfg.Threshold,
 		Workers:   cfg.Workers,
+		NoBatch:   cfg.NoBatch,
 	}, rng.Split())
 	if err != nil {
 		return Assessment{}, err
@@ -242,7 +247,7 @@ type CacheStats = explore.CacheStats
 
 // assessorOracleFactory builds the unprotected oracle factory shared by
 // Discover and the bench harness.
-func assessorOracleFactory(cipherName string, key []byte, round, samples, workers int) explore.OracleFactory {
+func assessorOracleFactory(cipherName string, key []byte, round, samples, workers int, noBatch bool) explore.OracleFactory {
 	return func(rng *prng.Source) (explore.Oracle, error) {
 		c, _, err := newKeyedCipher(cipherName, key, rng)
 		if err != nil {
@@ -252,6 +257,7 @@ func assessorOracleFactory(cipherName string, key []byte, round, samples, worker
 			Samples:         samples,
 			StopAtThreshold: true,
 			Workers:         workers,
+			NoBatch:         noBatch,
 		}, rng.Split())
 		return &explore.AssessorOracle{Assessor: a, Round: round}, nil
 	}

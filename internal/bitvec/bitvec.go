@@ -202,6 +202,18 @@ func (v *Vector) Bytes() []byte {
 	return out
 }
 
+// PutBytes writes the vector into dst using the same byte mapping as
+// Bytes, without allocating. dst must hold at least ceil(n/8) bytes.
+func (v *Vector) PutBytes(dst []byte) {
+	nb := (v.n + 7) / 8
+	if len(dst) < nb {
+		panic(fmt.Sprintf("bitvec: destination %d bytes, need %d", len(dst), nb))
+	}
+	for i := 0; i < nb; i++ {
+		dst[i] = byte(v.words[i/8] >> (8 * uint(i%8)))
+	}
+}
+
 // ApplyToBytes XORs the vector into dst in place using the same byte
 // mapping as Bytes. dst must hold at least ceil(n/8) bytes.
 func (v *Vector) ApplyToBytes(dst []byte) {

@@ -96,9 +96,12 @@ func InvSBox(b byte) byte { return invSbox[b] }
 // MixColumns difference patterns).
 func MulGF(a, b byte) byte { return mulGF(a, b) }
 
-// Cipher is an AES-128 instance with an expanded key schedule.
+// Cipher is an AES-128 instance with an expanded key schedule. rkWords
+// holds the round keys as little-endian column words for the T-table
+// batch kernel (see batch.go).
 type Cipher struct {
 	roundKeys [NumRounds + 1][16]byte
+	rkWords   [NumRounds + 1][4]uint32
 }
 
 // New expands an AES-128 key. The key must be exactly 16 bytes.
@@ -134,6 +137,7 @@ func (c *Cipher) expandKey(key []byte) {
 		for i := 0; i < 4; i++ {
 			copy(c.roundKeys[r][4*i:4*i+4], w[4*r+i][:])
 		}
+		loadWords(&c.rkWords[r], c.roundKeys[r][:])
 	}
 }
 

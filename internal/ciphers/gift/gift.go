@@ -102,6 +102,10 @@ type Cipher struct {
 	// keyU and keyV are the per-round key words: 16-bit for GIFT-64,
 	// 32-bit for GIFT-128, stored widened.
 	keyU, keyV []uint32
+	// rkMask[r-1] is round r's full AddRoundKey state mask (key bits,
+	// round constant and the fixed 1), precomputed so both the scalar
+	// round and the bitsliced kernel XOR two words per round.
+	rkMask []state
 }
 
 // New creates a GIFT instance. The key must be 16 bytes, interpreted in
@@ -153,6 +157,17 @@ func (c *Cipher) expandKey(key []byte) {
 		copy(k[:6], k[2:8])
 		k[6] = n0
 		k[7] = n1
+	}
+	c.rkMask = make([]state, c.rounds)
+	for r := 1; r <= c.rounds; r++ {
+		if c.variant == GIFT64 {
+			c.rkMask[r-1][0] = KeyMask64(uint16(c.keyU[r-1]), uint16(c.keyV[r-1])) | ConstMask64(r)
+		} else {
+			klo, khi := KeyMask128(c.keyU[r-1], c.keyV[r-1])
+			clo, chi := ConstMask128(r)
+			c.rkMask[r-1][0] = klo | clo
+			c.rkMask[r-1][1] = khi | chi
+		}
 	}
 }
 
@@ -279,49 +294,20 @@ func (c *Cipher) Encrypt(dst, src []byte, fault *ciphers.Fault, trace *ciphers.T
 	}
 }
 
-// addRoundKey64 XORs U into bits 4i+1 and V into bits 4i, the round
-// constant into bits 23,19,15,11,7,3 and the fixed 1 into bit 63.
+// addRoundKey64 XORs round r's precomputed state mask: U bits at
+// positions 4i+1, V bits at 4i, the round constant at bits
+// 23,19,15,11,7,3 and the fixed 1 at bit 63 (see KeyMask64/ConstMask64).
 func (c *Cipher) addRoundKey64(s *state, r int) {
-	u, v := uint16(c.keyU[r-1]), uint16(c.keyV[r-1])
-	var mask uint64
-	for i := 0; i < 16; i++ {
-		mask |= uint64(u>>uint(i)&1) << (4*uint(i) + 1)
-		mask |= uint64(v>>uint(i)&1) << (4 * uint(i))
-	}
-	rc := roundConstants[r-1]
-	for i := 0; i < 6; i++ {
-		mask |= uint64(rc>>uint(i)&1) << (4*uint(i) + 3)
-	}
-	mask |= 1 << 63
-	s[0] ^= mask
+	s[0] ^= c.rkMask[r-1][0]
 }
 
-// addRoundKey128 XORs U into bits 4i+2 and V into bits 4i+1, the round
-// constant into bits 23,19,15,11,7,3 and the fixed 1 into bit 127.
+// addRoundKey128 XORs round r's precomputed state mask: U bits at
+// positions 4i+2, V bits at 4i+1, the round constant at bits
+// 23,19,15,11,7,3 and the fixed 1 at bit 127 (see
+// KeyMask128/ConstMask128).
 func (c *Cipher) addRoundKey128(s *state, r int) {
-	u, v := c.keyU[r-1], c.keyV[r-1]
-	var lo, hi uint64
-	for i := 0; i < 32; i++ {
-		bitU := 4*uint(i) + 2
-		bitV := 4*uint(i) + 1
-		if bitU < 64 {
-			lo |= uint64(u>>uint(i)&1) << bitU
-		} else {
-			hi |= uint64(u>>uint(i)&1) << (bitU - 64)
-		}
-		if bitV < 64 {
-			lo |= uint64(v>>uint(i)&1) << bitV
-		} else {
-			hi |= uint64(v>>uint(i)&1) << (bitV - 64)
-		}
-	}
-	rc := roundConstants[r-1]
-	for i := 0; i < 6; i++ {
-		lo |= uint64(rc>>uint(i)&1) << (4*uint(i) + 3)
-	}
-	hi |= 1 << 63
-	s[0] ^= lo
-	s[1] ^= hi
+	s[0] ^= c.rkMask[r-1][0]
+	s[1] ^= c.rkMask[r-1][1]
 }
 
 // Decrypt inverts Encrypt (no fault/trace support; used in tests and

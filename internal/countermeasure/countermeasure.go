@@ -82,6 +82,9 @@ type OracleConfig struct {
 	// Workers is the campaign worker-pool size; 0 uses GOMAXPROCS.
 	// Results are bit-identical for every value.
 	Workers int
+	// NoBatch forces the scalar reference path even for ciphers with a
+	// batch kernel (bit-identical; for equivalence tests and benchmarks).
+	NoBatch bool
 	// RefSeed overrides the uniform-reference stream (0 shares the
 	// canonical process-wide reference table entry).
 	RefSeed uint64
@@ -184,29 +187,16 @@ func (o *Oracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
 	groups := 8 * bb / o.cfg.GroupBits
 	seed := evaluate.PatternSeed(o.seed, pattern, o.cfg.Round)
 
+	be, batch := o.cipher.(ciphers.BatchEncrypter)
+	batch = batch && !o.cfg.NoBatch
 	var muted atomic.Int64
 	accs, err := evaluate.RunSharded(o.cfg.Samples, o.cfg.Workers, 1, groups, o.cfg.MaxOrder, seed,
 		func(rng *prng.Source, shard, n int, shardAccs []*stats.Accumulator) error {
-			prot := NewProtected(o.cipher, rng)
-			pt := make([]byte, bb)
-			clean := make([]byte, bb)
-			faulty := make([]byte, bb)
-			mask1 := make([]byte, bb)
-			mask2 := make([]byte, bb)
-			row := make([]float64, groups)
-			shardMuted := 0
-			for s := 0; s < n; s++ {
-				rng.Fill(pt)
-				o.cipher.Encrypt(clean, pt, nil, nil)
-				f1 := o.drawFault(&p1, mask1, rng)
-				f2 := o.drawFault(&p2, mask2, rng)
-				if prot.Encrypt(faulty, pt, f1, f2) {
-					shardMuted++
-				}
-				for g := range row {
-					row[g] = groupValue(clean, faulty, g, o.cfg.GroupBits)
-				}
-				shardAccs[0].Add(row)
+			var shardMuted int
+			if batch {
+				shardMuted = o.collectBatch(be.NewBatchKernel(), &p1, &p2, rng, n, shardAccs[0])
+			} else {
+				shardMuted = o.collectScalar(&p1, &p2, rng, n, shardAccs[0])
 			}
 			muted.Add(int64(shardMuted))
 			return nil
@@ -220,20 +210,100 @@ func (o *Oracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
 	return res.T, nil
 }
 
-// drawFault returns the branch fault for this sample, or nil when the
-// branch pattern is empty.
-func (o *Oracle) drawFault(p *bitvec.Vector, mask []byte, rng *prng.Source) *ciphers.Fault {
+// collectScalar runs one shard through the reference path: one Encrypt
+// per (sample, branch), with every buffer and the branch Fault structs
+// reused across samples.
+func (o *Oracle) collectScalar(p1, p2 *bitvec.Vector, rng *prng.Source, n int, acc *stats.Accumulator) int {
+	prot := NewProtected(o.cipher, rng)
+	bb := o.cipher.BlockBytes()
+	groups := 8 * bb / o.cfg.GroupBits
+	pt := make([]byte, bb)
+	clean := make([]byte, bb)
+	faulty := make([]byte, bb)
+	mask1 := make([]byte, bb)
+	mask2 := make([]byte, bb)
+	row := make([]float64, groups)
+	fault1 := &ciphers.Fault{Round: o.cfg.Round, Mask: mask1}
+	fault2 := &ciphers.Fault{Round: o.cfg.Round, Mask: mask2}
+	muted := 0
+	for s := 0; s < n; s++ {
+		rng.Fill(pt)
+		o.cipher.Encrypt(clean, pt, nil, nil)
+		var f1, f2 *ciphers.Fault
+		if o.drawMask(p1, mask1, rng) != nil {
+			f1 = fault1
+		}
+		if o.drawMask(p2, mask2, rng) != nil {
+			f2 = fault2
+		}
+		if prot.Encrypt(faulty, pt, f1, f2) {
+			muted++
+		}
+		for g := range row {
+			row[g] = groupValue(clean, faulty, g, o.cfg.GroupBits)
+		}
+		acc.Add(row)
+	}
+	return muted
+}
+
+// collectBatch runs one shard through the cipher's batch kernel: a single
+// three-fork EncryptForks call per sample computes the clean ciphertext
+// and both computational branches, sharing the rounds before the
+// injection point across all three. Forking stays per-sample rather than
+// across the shard because the mute strings drawn on detection interleave
+// with the fault draws of later samples — batching samples would reorder
+// the PRNG stream. The released outputs, the muted count and the
+// accumulator contents are bit-identical to collectScalar.
+func (o *Oracle) collectBatch(kern ciphers.BatchKernel, p1, p2 *bitvec.Vector, rng *prng.Source, n int, acc *stats.Accumulator) int {
+	bb := o.cipher.BlockBytes()
+	groups := 8 * bb / o.cfg.GroupBits
+	pt := make([]byte, bb)
+	clean := make([]byte, bb)
+	faulty := make([]byte, bb)
+	out2 := make([]byte, bb)
+	mask1 := make([]byte, bb)
+	mask2 := make([]byte, bb)
+	row := make([]float64, groups)
+	masks := [][]byte{nil, nil, nil}
+	states := [][]byte{nil, nil, nil}
+	// Branch 1's ciphertext lands directly in faulty: on a match it is
+	// the released output, on a mismatch the mute string overwrites it —
+	// the same releases Protected.Encrypt produces.
+	cts := [][]byte{clean, faulty, out2}
+	muted := 0
+	for s := 0; s < n; s++ {
+		rng.Fill(pt)
+		masks[1] = o.drawMask(p1, mask1, rng)
+		masks[2] = o.drawMask(p2, mask2, rng)
+		kern.EncryptForks(o.cfg.Round, nil, 1, pt, masks, states, cts)
+		if !bytes.Equal(faulty, out2) {
+			rng.Fill(faulty)
+			muted++
+		}
+		for g := range row {
+			row[g] = groupValue(clean, faulty, g, o.cfg.GroupBits)
+		}
+		acc.Add(row)
+	}
+	return muted
+}
+
+// drawMask fills mask with the branch fault value for this sample and
+// returns it, or returns nil — consuming no randomness — when the branch
+// pattern is empty (no fault in that branch).
+func (o *Oracle) drawMask(p *bitvec.Vector, mask []byte, rng *prng.Source) []byte {
 	if p.IsZero() {
 		return nil
 	}
 	switch o.cfg.Mode {
 	case fault.FlipAll:
-		copy(mask, p.Bytes())
+		p.PutBytes(mask)
 	default:
 		m := bitvec.RandomMask(p, rng)
-		copy(mask, m.Bytes())
+		m.PutBytes(mask)
 	}
-	return &ciphers.Fault{Round: o.cfg.Round, Mask: mask}
+	return mask
 }
 
 // groupValue extracts the differential group g of width groupBits.

@@ -61,6 +61,10 @@ type Config struct {
 	// GOMAXPROCS, 1 forces the serial path. Results are identical for
 	// every value (see RunSharded).
 	Workers int
+	// NoBatch forces the scalar reference path even for ciphers with a
+	// batch kernel. Both paths are bit-identical; the knob exists for
+	// equivalence tests and benchmarks.
+	NoBatch bool
 	// Seed is the base seed of the engine. Each assessment derives its
 	// campaign seed from (Seed, pattern, round), making assessments pure
 	// functions of their inputs.
@@ -184,6 +188,7 @@ func (e *Engine) assess(pattern *bitvec.Vector, round, fixedOrder int) (Assessme
 		Samples:   e.cfg.Samples,
 		Points:    points,
 		GroupBits: e.cfg.GroupBits,
+		NoBatch:   e.cfg.NoBatch,
 	}
 	if err := cp.Validate(); err != nil {
 		return Assessment{}, err

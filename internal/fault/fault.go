@@ -130,6 +130,11 @@ type Campaign struct {
 	// 4 (nibbles) or 8 (bytes). Zero selects the cipher's native
 	// substitution width (Cipher.GroupBits()).
 	GroupBits int
+	// NoBatch forces the scalar reference path even when the cipher
+	// provides a batch kernel (ciphers.BatchEncrypter). Both paths are
+	// bit-identical; the knob exists for equivalence tests and
+	// benchmarks.
+	NoBatch bool
 }
 
 // Validate normalizes defaults (GroupBits, Points) and reports
@@ -186,6 +191,11 @@ type Result struct {
 	Matrices [][][]float64 // Matrices[i] belongs to Points[i]
 }
 
+// batchBlock is the number of traces drawn and encrypted per batch call:
+// the bitsliced GIFT kernel packs exactly this many traces per uint64
+// lane, and it divides evaluate.ShardSize so shards batch evenly.
+const batchBlock = 64
+
 // Collect runs the campaign: for each of Samples random plaintexts it
 // encrypts once cleanly and once with a fault drawn from the pattern, and
 // records the grouped XOR differential at every observation point.
@@ -193,33 +203,19 @@ func (cp *Campaign) Collect(rng *prng.Source) (*Result, error) {
 	if err := cp.Validate(); err != nil {
 		return nil, err
 	}
-	n := cp.Cipher.BlockBytes()
-	cleanTr := ciphers.NewTrace(cp.Cipher)
-	faultTr := ciphers.NewTrace(cp.Cipher)
-	pt := make([]byte, n)
-	out := make([]byte, n)
-	mask := make([]byte, n)
-
+	groups := cp.Groups()
 	res := &Result{Points: cp.Points, Matrices: make([][][]float64, len(cp.Points))}
 	for i := range res.Matrices {
+		// One flat backing array per point instead of one row per sample.
+		backing := make([]float64, cp.Samples*groups)
 		res.Matrices[i] = make([][]float64, cp.Samples)
-	}
-	groups := cp.Groups()
-	f := &ciphers.Fault{Round: cp.Round, Mask: mask}
-	diff := make([]byte, n)
-	for s := 0; s < cp.Samples; s++ {
-		rng.Fill(pt)
-		cp.drawMask(mask, rng)
-		cp.Cipher.Encrypt(out, pt, nil, cleanTr)
-		cp.Cipher.Encrypt(out, pt, f, faultTr)
-		for pi, p := range cp.Points {
-			a, b := pointState(cleanTr, p), pointState(faultTr, p)
-			for j := range diff {
-				diff[j] = a[j] ^ b[j]
-			}
-			res.Matrices[pi][s] = groupValues(diff, cp.GroupBits, groups)
+		for s := range res.Matrices[i] {
+			res.Matrices[i][s] = backing[s*groups : (s+1)*groups]
 		}
 	}
+	cp.forEachDiff(rng, cp.Samples, func(s, pi int, diff []byte) {
+		groupValuesInto(res.Matrices[pi][s], diff, cp.GroupBits, groups)
+	})
 	return res, nil
 }
 
@@ -234,52 +230,98 @@ func (cp *Campaign) CollectInto(rng *prng.Source, n int, accs []*stats.Accumulat
 	if len(accs) != len(cp.Points) {
 		return fmt.Errorf("fault: %d accumulators for %d observation points", len(accs), len(cp.Points))
 	}
-	bb := cp.Cipher.BlockBytes()
-	cleanTr := ciphers.NewTrace(cp.Cipher)
-	faultTr := ciphers.NewTrace(cp.Cipher)
-	pt := make([]byte, bb)
-	out := make([]byte, bb)
-	mask := make([]byte, bb)
-	diff := make([]byte, bb)
 	groups := cp.Groups()
 	row := make([]float64, groups)
-	f := &ciphers.Fault{Round: cp.Round, Mask: mask}
-	for s := 0; s < n; s++ {
-		rng.Fill(pt)
-		cp.drawMask(mask, rng)
-		cp.Cipher.Encrypt(out, pt, nil, cleanTr)
-		cp.Cipher.Encrypt(out, pt, f, faultTr)
-		for pi, p := range cp.Points {
-			a, b := pointState(cleanTr, p), pointState(faultTr, p)
-			for j := range diff {
-				diff[j] = a[j] ^ b[j]
-			}
-			groupValuesInto(row, diff, cp.GroupBits, groups)
-			accs[pi].Add(row)
-		}
-	}
+	cp.forEachDiff(rng, n, func(s, pi int, diff []byte) {
+		groupValuesInto(row, diff, cp.GroupBits, groups)
+		accs[pi].Add(row)
+	})
 	return nil
 }
 
-// drawMask fills mask with the fault value for one trace.
-func (cp *Campaign) drawMask(mask []byte, rng *prng.Source) {
-	switch cp.Mode {
-	case FlipAll:
-		copy(mask, cp.Pattern.Bytes())
-	default:
-		m := bitvec.RandomMask(&cp.Pattern, rng)
-		copy(mask, m.Bytes())
+// forEachDiff runs n paired (clean, faulty) traces and calls emit with
+// the raw XOR differential of every observation point, in (sample, point)
+// order. The campaign must be validated.
+//
+// Traces are processed in blocks: each block first draws every
+// plaintext and fault mask — in the same per-sample interleaving a
+// trace-at-a-time loop would use, so the PRNG stream is independent of
+// the block size — and then encrypts the whole block through the
+// cipher's batch kernel (shared-prefix forking, word-oriented rounds)
+// or, for ciphers without one, through the scalar reference path. Both
+// engines produce bit-identical differentials, and neither allocates per
+// sample.
+func (cp *Campaign) forEachDiff(rng *prng.Source, n int, emit func(s, pi int, diff []byte)) {
+	bb := cp.Cipher.BlockBytes()
+	np := len(cp.Points)
+	block := batchBlock
+	if n < block {
+		block = n
+	}
+	pts := make([]byte, block*bb)
+	maskBuf := make([]byte, block*bb)
+	clean := make([]byte, block*np*bb)
+	faulty := make([]byte, block*np*bb)
+	diff := make([]byte, bb)
+	bpts := make([]ciphers.BatchPoint, np)
+	for i, p := range cp.Points {
+		bpts[i] = p.batchPoint()
+	}
+	masks := [][]byte{nil, maskBuf}
+	states := [][]byte{clean, faulty}
+	noCts := [][]byte{nil, nil}
+	var kern ciphers.BatchKernel
+	if be, ok := cp.Cipher.(ciphers.BatchEncrypter); ok && !cp.NoBatch {
+		kern = be.NewBatchKernel()
+	}
+	for base := 0; base < n; base += block {
+		bn := block
+		if left := n - base; left < bn {
+			bn = left
+		}
+		for i := 0; i < bn; i++ {
+			rng.Fill(pts[i*bb : (i+1)*bb])
+			cp.drawMask(maskBuf[i*bb:(i+1)*bb], rng)
+		}
+		if kern != nil {
+			kern.EncryptForks(cp.Round, bpts, bn, pts, masks, states, noCts)
+		} else {
+			ciphers.ScalarForks(cp.Cipher, cp.Round, bpts, bn, pts, masks, states, noCts)
+		}
+		for i := 0; i < bn; i++ {
+			for pi := 0; pi < np; pi++ {
+				off := (i*np + pi) * bb
+				a, b := clean[off:off+bb], faulty[off:off+bb]
+				for j := 0; j < bb; j++ {
+					diff[j] = a[j] ^ b[j]
+				}
+				emit(base+i, pi, diff)
+			}
+		}
 	}
 }
 
-func pointState(tr *ciphers.Trace, p Point) []byte {
+// batchPoint maps an observation point onto the ciphers batch API.
+func (p Point) batchPoint() ciphers.BatchPoint {
 	switch p.Kind {
 	case RoundInput:
-		return tr.Inputs[p.Round-1]
+		return ciphers.BatchPoint{Round: p.Round}
 	case PostSub:
-		return tr.PostSub[p.Round-1]
+		return ciphers.BatchPoint{Round: p.Round, PostSub: true}
 	default:
-		return tr.Ciphertext
+		return ciphers.BatchPoint{}
+	}
+}
+
+// drawMask fills mask with the fault value for one trace, without
+// allocating.
+func (cp *Campaign) drawMask(mask []byte, rng *prng.Source) {
+	switch cp.Mode {
+	case FlipAll:
+		cp.Pattern.PutBytes(mask)
+	default:
+		m := bitvec.RandomMask(&cp.Pattern, rng)
+		m.PutBytes(mask)
 	}
 }
 

@@ -49,6 +49,9 @@ type Config struct {
 	// Workers is the campaign worker-pool size; 0 uses GOMAXPROCS.
 	// Results are bit-identical for every value.
 	Workers int
+	// NoBatch forces the scalar reference path even for ciphers with a
+	// batch kernel (bit-identical; for equivalence tests and benchmarks).
+	NoBatch bool
 	// RefSeed overrides the uniform-reference stream (0 shares the
 	// canonical process-wide reference table entry).
 	RefSeed uint64
@@ -82,6 +85,7 @@ func NewAssessor(c ciphers.Cipher, cfg Config, rng *prng.Source) *Assessor {
 		Mode:            cfg.Mode,
 		StopAtThreshold: cfg.StopAtThreshold,
 		Workers:         cfg.Workers,
+		NoBatch:         cfg.NoBatch,
 		Seed:            rng.Uint64(),
 		RefSeed:         cfg.RefSeed,
 	})

@@ -61,6 +61,18 @@ func (a *Accumulator) MaxOrder() int { return a.maxOrder }
 // N returns the number of accumulated rows.
 func (a *Accumulator) N() int { return a.n }
 
+// RawSums returns copies of the raw power sums and (for maxOrder >= 2,
+// else nil) the pairwise cross sums. Two accumulators fed the same rows
+// in the same order have byte-identical raw sums, which is what the
+// batch-versus-scalar equivalence tests assert.
+func (a *Accumulator) RawSums() (pow, cross []float64) {
+	pow = append([]float64(nil), a.pow...)
+	if a.cross != nil {
+		cross = append([]float64(nil), a.cross...)
+	}
+	return pow, cross
+}
+
 // Add folds one row of group values into the running sums.
 func (a *Accumulator) Add(row []float64) {
 	if len(row) != a.groups {
