@@ -1,8 +1,9 @@
 GO ?= go
 BENCH_OUT ?= BENCH_pr2.json
 BENCH_LABEL ?= after
+FUZZTIME ?= 10s
 
-.PHONY: all build test check vet race bench bench-all fmt
+.PHONY: all build test check vet race bench bench-all fuzz fmt
 
 all: build
 
@@ -36,6 +37,14 @@ bench:
 # Every benchmark in the repo, including the paper-table harness runs.
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Fuzz smoke: each native fuzz target for FUZZTIME (go test allows one
+# -fuzz target per invocation). The checked-in seed corpora under
+# testdata/fuzz/ always run as part of `make test` too.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzEncryptDecrypt$$' -fuzztime $(FUZZTIME) ./internal/ciphers
+	$(GO) test -run '^$$' -fuzz '^FuzzBatchScalarEquivalence$$' -fuzztime $(FUZZTIME) ./internal/ciphers
+	$(GO) test -run '^$$' -fuzz '^FuzzAccumulatorMerge$$' -fuzztime $(FUZZTIME) ./internal/stats
 
 fmt:
 	gofmt -l -w .

@@ -12,27 +12,44 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strconv"
 	"strings"
 
 	explorefault "repro"
+	"repro/internal/obs"
 )
 
 func main() {
-	cipher := flag.String("cipher", "gift64", "target cipher: aes128 or gift64")
-	nibbles := flag.String("nibbles", "8,9,10,11,12,14", "GIFT fault-model nibbles")
-	round := flag.Int("round", 25, "GIFT fault round")
-	pairs := flag.Int("pairs", 256, "faulty encryptions to collect")
-	seed := flag.Uint64("seed", 1, "experiment seed")
-	keyHex := flag.String("key", "", "victim key in hex (default: random from seed)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dfa:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI body: it parses args, mounts the key-recovery
+// attack, and writes human output to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dfa", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cipher := fs.String("cipher", "gift64", "target cipher: aes128 or gift64")
+	nibbles := fs.String("nibbles", "8,9,10,11,12,14", "GIFT fault-model nibbles")
+	round := fs.Int("round", 25, "GIFT fault round")
+	pairs := fs.Int("pairs", 256, "faulty encryptions to collect")
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	keyHex := fs.String("key", "", "victim key in hex (default: random from seed)")
+	eventsPath := fs.String("events", "", "write structured JSONL run events to this file")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var key []byte
 	if *keyHex != "" {
 		var err error
 		if key, err = hex.DecodeString(*keyHex); err != nil {
-			log.Fatalf("bad -key: %v", err)
+			return fmt.Errorf("bad -key: %v", err)
 		}
 	}
 
@@ -42,25 +59,41 @@ func main() {
 		for _, part := range strings.Split(*nibbles, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
-				log.Fatalf("bad -nibbles: %v", err)
+				return fmt.Errorf("bad -nibbles: %v", err)
 			}
 			ns = append(ns, v)
 		}
 		pattern = explorefault.PatternFromGroups(64, 4, ns...)
-		fmt.Printf("GIFT-64 DFA: fault model nibbles %v at round %d, %d pairs\n", ns, *round, *pairs)
+		fmt.Fprintf(stdout, "GIFT-64 DFA: fault model nibbles %v at round %d, %d pairs\n", ns, *round, *pairs)
 	} else {
-		fmt.Println("AES-128 Piret–Quisquater DFA: single-byte faults at round 9")
+		fmt.Fprintln(stdout, "AES-128 Piret–Quisquater DFA: single-byte faults at round 9")
 	}
+
+	_, events, cleanup, err := obs.Setup(*metricsAddr, *eventsPath, stderr)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	events.Emit(obs.EventRunStarted, map[string]any{
+		"binary": "dfa", "cipher": *cipher, "round": *round,
+		"pairs": *pairs, "seed": *seed,
+	})
 
 	res, err := explorefault.VerifyKeyRecovery(pattern, explorefault.VerifyConfig{
 		Cipher: *cipher, Key: key, Round: *round, Pairs: *pairs, Seed: *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("recovered key bits : %d / %d\n", res.RecoveredBits, res.TotalKeyBits)
-	fmt.Printf("faulty encryptions : %d\n", res.FaultsUsed)
-	fmt.Printf("offline complexity : ~2^%.1f\n", res.OfflineLog2)
-	fmt.Printf("verified correct   : %v\n", res.Correct)
-	fmt.Printf("detail             : %s\n", res.Notes)
+	fmt.Fprintf(stdout, "recovered key bits : %d / %d\n", res.RecoveredBits, res.TotalKeyBits)
+	fmt.Fprintf(stdout, "faulty encryptions : %d\n", res.FaultsUsed)
+	fmt.Fprintf(stdout, "offline complexity : ~2^%.1f\n", res.OfflineLog2)
+	fmt.Fprintf(stdout, "verified correct   : %v\n", res.Correct)
+	fmt.Fprintf(stdout, "detail             : %s\n", res.Notes)
+
+	events.Emit(obs.EventRunFinished, map[string]any{
+		"binary": "dfa", "recovered_bits": res.RecoveredBits,
+		"total_key_bits": res.TotalKeyBits, "correct": res.Correct,
+	})
+	return nil
 }

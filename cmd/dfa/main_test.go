@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-key", "zz"},
+		{"-cipher", "gift64", "-nibbles", "notanumber"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v): expected error, got nil", args)
+		}
+	}
+}
+
+func TestRunTinyEndToEnd(t *testing.T) {
+	evPath := filepath.Join(t.TempDir(), "run.jsonl")
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-cipher", "gift64", "-nibbles", "8,9,10,11,12,14",
+		"-round", "25", "-pairs", "64", "-seed", "1", "-events", evPath,
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errb.String())
+	}
+	for _, want := range []string{"GIFT-64 DFA", "recovered key bits", "offline complexity"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+
+	data, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatalf("events file: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected exactly run_started + run_finished, got %d lines", len(lines))
+	}
+	var last struct {
+		Event  string `json:"event"`
+		Fields map[string]any `json:"fields"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Event != "run_finished" {
+		t.Errorf("last event = %q, want run_finished", last.Event)
+	}
+	if _, ok := last.Fields["recovered_bits"]; !ok {
+		t.Errorf("run_finished missing recovered_bits: %v", last.Fields)
+	}
+}

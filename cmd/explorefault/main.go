@@ -8,41 +8,69 @@
 //	go run ./cmd/explorefault -cipher gift64 -round 25 -episodes 1000
 //	go run ./cmd/explorefault -cipher aes128 -round 8 -episodes 2000
 //	go run ./cmd/explorefault -cipher aes128 -round 9 -protected
+//	go run ./cmd/explorefault -cipher gift64 -round 25 \
+//	    -events run.jsonl -metrics-addr localhost:6060
 package main
 
 import (
 	"encoding/hex"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
 	explorefault "repro"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
 func main() {
-	cipher := flag.String("cipher", "gift64", "target cipher: "+fmt.Sprint(explorefault.Ciphers()))
-	round := flag.Int("round", 25, "fault-injection round (1-based)")
-	episodes := flag.Int("episodes", 1000, "training episode budget")
-	protected := flag.Bool("protected", false, "evaluate the duplication countermeasure (ciphertext-only t-test)")
-	samples := flag.Int("samples", 512, "t-test samples per reward evaluation")
-	workers := flag.Int("workers", 0, "fault-campaign worker goroutines per oracle (0 = GOMAXPROCS; results are identical for every value)")
-	scalar := flag.Bool("scalar", false, "force the scalar reference path instead of the batch cipher kernel (bit-identical, slower)")
-	cache := flag.Bool("cache", true, "memoize oracle evaluations (exact; disable to pay full simulation cost per episode)")
-	seed := flag.Uint64("seed", 1, "experiment seed")
-	keyHex := flag.String("key", "", "cipher key in hex (default: random from seed)")
-	verbose := flag.Bool("v", false, "print training progress")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "explorefault:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI body: it parses args, executes the discovery
+// session, and writes human output to stdout and diagnostics to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("explorefault", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cipher := fs.String("cipher", "gift64", "target cipher: "+fmt.Sprint(explorefault.Ciphers()))
+	round := fs.Int("round", 25, "fault-injection round (1-based)")
+	episodes := fs.Int("episodes", 1000, "training episode budget")
+	protected := fs.Bool("protected", false, "evaluate the duplication countermeasure (ciphertext-only t-test)")
+	samples := fs.Int("samples", 512, "t-test samples per reward evaluation")
+	workers := fs.Int("workers", 0, "fault-campaign worker goroutines per oracle (0 = GOMAXPROCS; results are identical for every value)")
+	scalar := fs.Bool("scalar", false, "force the scalar reference path instead of the batch cipher kernel (bit-identical, slower)")
+	cache := fs.Bool("cache", true, "memoize oracle evaluations (exact; disable to pay full simulation cost per episode)")
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	keyHex := fs.String("key", "", "cipher key in hex (default: random from seed)")
+	eventsPath := fs.String("events", "", "write structured JSONL run events to this file")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	verbose := fs.Bool("v", false, "print training progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var key []byte
 	if *keyHex != "" {
 		var err error
 		if key, err = hex.DecodeString(*keyHex); err != nil {
-			log.Fatalf("bad -key: %v", err)
+			return fmt.Errorf("bad -key: %v", err)
 		}
 	}
+
+	metrics, events, cleanup, err := obs.Setup(*metricsAddr, *eventsPath, stderr)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	events.Emit(obs.EventRunStarted, map[string]any{
+		"binary": "explorefault", "cipher": *cipher, "round": *round,
+		"episodes": *episodes, "protected": *protected, "seed": *seed,
+	})
 
 	cfg := explorefault.DiscoverConfig{
 		Cipher:        *cipher,
@@ -55,11 +83,13 @@ func main() {
 		NoBatch:       *scalar,
 		NoOracleCache: !*cache,
 		Seed:          *seed,
+		Metrics:       metrics,
+		Events:        events,
 	}
 	if *verbose {
 		cfg.Progress = func(p explorefault.Progress) {
 			if p.Episodes%100 < 8 {
-				fmt.Fprintf(os.Stderr,
+				fmt.Fprintf(stderr,
 					"episode %5d: exploitable %.2f, avg bits %5.1f, best %3d, entropy %.2f\n",
 					p.Episodes, p.AvgLeaky, p.AvgBits, p.BestLeakyN, p.Entropy)
 			}
@@ -69,26 +99,27 @@ func main() {
 	start := time.Now()
 	res, err := explorefault.Discover(cfg)
 	if err != nil {
-		log.Fatal(err)
+		events.Emit(obs.EventRunFinished, map[string]any{"binary": "explorefault", "error": err.Error()})
+		return err
 	}
 
-	fmt.Printf("cipher: %s, round %d, protected=%v, key %x\n", *cipher, *round, *protected, res.Key)
-	fmt.Printf("trained %d episodes in %s (%.0f episodes/min, %.0f steps/min)\n",
+	fmt.Fprintf(stdout, "cipher: %s, round %d, protected=%v, key %x\n", *cipher, *round, *protected, res.Key)
+	fmt.Fprintf(stdout, "trained %d episodes in %s (%.0f episodes/min, %.0f steps/min)\n",
 		res.Episodes, time.Since(start).Round(time.Second), res.EpisodesPerMin, res.StepsPerMin)
 	if lookups := res.Cache.Hits + res.Cache.Misses; lookups > 0 {
-		fmt.Printf("oracle cache: %d hits / %d lookups (%.0f%% hit rate, %d evictions)\n",
+		fmt.Fprintf(stdout, "oracle cache: %d hits / %d lookups (%.0f%% hit rate, %d evictions)\n",
 			res.Cache.Hits, lookups, 100*res.Cache.HitRate(), res.Cache.Evictions)
 	}
-	fmt.Println()
-	fmt.Printf("converged pattern: %s\n", res.Converged.String())
-	fmt.Printf("  leakage t = %.1f, exploitable = %v\n\n", res.ConvergedT, res.ConvergedLeaky)
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "converged pattern: %s\n", res.Converged.String())
+	fmt.Fprintf(stdout, "  leakage t = %.1f, exploitable = %v\n\n", res.ConvergedT, res.ConvergedLeaky)
 
 	if len(res.Models) > 0 {
 		tb := report.NewTable("verified fault models", "model", "t statistic")
 		for _, m := range res.Models {
 			tb.AddRow(m.String(), fmt.Sprintf("%.1f", m.T))
 		}
-		tb.Render(os.Stdout)
+		tb.Render(stdout)
 	}
 
 	tb := report.NewTable("training census (per 1000-episode window)",
@@ -98,5 +129,11 @@ func main() {
 			b.LeakyEpisodes, b.SingleBitModels, b.MultiBitModels,
 			fmt.Sprintf("%.1f", b.AvgBitsSelected))
 	}
-	tb.Render(os.Stdout)
+	tb.Render(stdout)
+
+	events.Emit(obs.EventRunFinished, map[string]any{
+		"binary": "explorefault", "episodes": res.Episodes,
+		"converged_leaky": res.ConvergedLeaky, "models": len(res.Models),
+	})
+	return nil
 }

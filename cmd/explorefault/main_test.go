@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-key", "zz"},            // invalid hex
+		{"-cipher", "nosuch"},     // unknown cipher
+		{"-events", "/dev/null/nope/run.jsonl"}, // unopenable events file
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v): expected error, got nil", args)
+		}
+	}
+}
+
+func TestRunTinyEndToEnd(t *testing.T) {
+	evPath := filepath.Join(t.TempDir(), "run.jsonl")
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-cipher", "gift64", "-round", "25",
+		"-episodes", "8", "-samples", "64", "-seed", "1",
+		"-events", evPath,
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errb.String())
+	}
+	for _, want := range []string{"cipher: gift64, round 25", "converged pattern:", "training census"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+
+	data, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatalf("events file: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("expected >= 3 events, got %d", len(lines))
+	}
+	var first, last struct {
+		TS    string `json:"ts"`
+		Seq   uint64 `json:"seq"`
+		Event string `json:"event"`
+	}
+	for i, line := range lines {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("event line %d not JSON: %v", i, err)
+		}
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if first.Event != "run_started" {
+		t.Errorf("first event = %q, want run_started", first.Event)
+	}
+	if last.Event != "run_finished" {
+		t.Errorf("last event = %q, want run_finished", last.Event)
+	}
+	if first.TS == "" || first.Seq != 0 {
+		t.Errorf("first event envelope: ts=%q seq=%d", first.TS, first.Seq)
+	}
+	if last.Seq != uint64(len(lines)-1) {
+		t.Errorf("last seq = %d, want %d (gap-free 0-based sequence)", last.Seq, len(lines)-1)
+	}
+}

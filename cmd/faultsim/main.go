@@ -11,13 +11,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strconv"
 	"strings"
 
 	explorefault "repro"
+	"repro/internal/obs"
 )
 
 func parseInts(s string) ([]int, error) {
@@ -36,82 +39,115 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	cipher := flag.String("cipher", "aes128", "target cipher: "+fmt.Sprint(explorefault.Ciphers()))
-	round := flag.Int("round", 8, "fault-injection round (1-based)")
-	bits := flag.String("bits", "", "comma-separated state bit indices")
-	nibbles := flag.String("nibbles", "", "comma-separated nibble indices")
-	bytesFlag := flag.String("bytes", "", "comma-separated byte indices")
-	samples := flag.Int("samples", 2048, "plaintexts per t-test")
-	workers := flag.Int("workers", 0, "fault-campaign worker goroutines (0 = GOMAXPROCS; results are identical for every value)")
-	scalar := flag.Bool("scalar", false, "force the scalar reference path instead of the batch cipher kernel (bit-identical, slower)")
-	seed := flag.Uint64("seed", 1, "experiment seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI body: it parses args, runs the assessment and
+// propagation profile, and writes human output to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cipher := fs.String("cipher", "aes128", "target cipher: "+fmt.Sprint(explorefault.Ciphers()))
+	round := fs.Int("round", 8, "fault-injection round (1-based)")
+	bits := fs.String("bits", "", "comma-separated state bit indices")
+	nibbles := fs.String("nibbles", "", "comma-separated nibble indices")
+	bytesFlag := fs.String("bytes", "", "comma-separated byte indices")
+	samples := fs.Int("samples", 2048, "plaintexts per t-test")
+	workers := fs.Int("workers", 0, "fault-campaign worker goroutines (0 = GOMAXPROCS; results are identical for every value)")
+	scalar := fs.Bool("scalar", false, "force the scalar reference path instead of the batch cipher kernel (bit-identical, slower)")
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	eventsPath := fs.String("events", "", "write structured JSONL run events to this file")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	info, err := explorefault.LookupCipher(*cipher)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	stateBits := 8 * info.BlockBytes
 
 	pattern := explorefault.NewPattern(stateBits)
-	if vs, err := parseInts(*bits); err != nil {
-		log.Fatal(err)
-	} else {
-		for _, b := range vs {
-			pattern.Set(b)
-		}
+	vs, err := parseInts(*bits)
+	if err != nil {
+		return fmt.Errorf("bad -bits: %v", err)
+	}
+	for _, b := range vs {
+		pattern.Set(b)
 	}
 	if vs, err := parseInts(*nibbles); err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("bad -nibbles: %v", err)
 	} else if len(vs) > 0 {
 		p := explorefault.PatternFromGroups(stateBits, 4, vs...)
 		pattern.Or(&p)
 	}
 	if vs, err := parseInts(*bytesFlag); err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("bad -bytes: %v", err)
 	} else if len(vs) > 0 {
 		p := explorefault.PatternFromGroups(stateBits, 8, vs...)
 		pattern.Or(&p)
 	}
 	if pattern.IsZero() {
-		log.Fatal("empty pattern: pass -bits, -nibbles or -bytes")
+		return errors.New("empty pattern: pass -bits, -nibbles or -bytes")
 	}
 
-	fmt.Printf("cipher %s, fault at round %d, pattern %s (%d bits)\n\n",
+	metrics, events, cleanup, err := obs.Setup(*metricsAddr, *eventsPath, stderr)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	events.Emit(obs.EventRunStarted, map[string]any{
+		"binary": "faultsim", "cipher": *cipher, "round": *round,
+		"bits": pattern.Count(), "samples": *samples, "seed": *seed,
+	})
+
+	fmt.Fprintf(stdout, "cipher %s, fault at round %d, pattern %s (%d bits)\n\n",
 		*cipher, *round, pattern.String(), pattern.Count())
 
 	for order := 1; order <= 2; order++ {
 		a, err := explorefault.Assess(pattern, explorefault.AssessConfig{
 			Cipher: *cipher, Round: *round, Samples: *samples,
 			FixedOrder: order, Workers: *workers, NoBatch: *scalar, Seed: *seed,
+			Metrics: metrics, Events: events,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("order-%d t-test: t = %8.2f at %s\n", order, a.T, a.Point)
+		fmt.Fprintf(stdout, "order-%d t-test: t = %8.2f at %s\n", order, a.T, a.Point)
 	}
 	full, err := explorefault.Assess(pattern, explorefault.AssessConfig{
 		Cipher: *cipher, Round: *round, Samples: *samples,
 		Workers: *workers, NoBatch: *scalar, Seed: *seed,
+		Metrics: metrics, Events: events,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("verdict: t = %.2f (threshold %.1f) -> exploitable = %v\n\n",
+	fmt.Fprintf(stdout, "verdict: t = %.2f (threshold %.1f) -> exploitable = %v\n\n",
 		full.T, full.Threshold, full.Leaky)
 
 	prof, err := explorefault.Propagate(pattern, *cipher, nil, *round, *samples, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("propagation profile (round inputs after injection):")
+	fmt.Fprintln(stdout, "propagation profile (round inputs after injection):")
 	for r := *round + 1; r <= info.Rounds; r++ {
-		fmt.Printf("  round %2d: %6.2f active groups, %.2f bits entropy, max |corr| %.3f\n",
+		fmt.Fprintf(stdout, "  round %2d: %6.2f active groups, %.2f bits entropy, max |corr| %.3f\n",
 			r, prof.ActiveGroups[r-1], prof.Entropy[r-1], prof.MaxAbsCorr[r-1])
 	}
 	if prof.DistinguisherRound > 0 {
-		fmt.Printf("deepest distinguisher: round %d input\n", prof.DistinguisherRound)
+		fmt.Fprintf(stdout, "deepest distinguisher: round %d input\n", prof.DistinguisherRound)
 	} else {
-		fmt.Println("no distinguisher found after the injection round")
+		fmt.Fprintln(stdout, "no distinguisher found after the injection round")
 	}
+
+	events.Emit(obs.EventRunFinished, map[string]any{
+		"binary": "faultsim", "t": full.T, "leaky": full.Leaky,
+		"distinguisher_round": prof.DistinguisherRound,
+	})
+	return nil
 }

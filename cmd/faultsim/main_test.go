@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-cipher", "nosuch", "-bits", "0"},
+		{"-bits", "notanumber"},
+		{"-cipher", "gift64"}, // empty pattern
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v): expected error, got nil", args)
+		}
+	}
+}
+
+func TestRunTinyEndToEnd(t *testing.T) {
+	evPath := filepath.Join(t.TempDir(), "run.jsonl")
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-cipher", "gift64", "-round", "25", "-nibbles", "8,9",
+		"-samples", "64", "-seed", "1", "-events", evPath,
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errb.String())
+	}
+	for _, want := range []string{"order-1 t-test", "order-2 t-test", "verdict:", "propagation profile"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+
+	data, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatalf("events file: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	kinds := make(map[string]int)
+	for i, line := range lines {
+		var e struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("event line %d not JSON: %v", i, err)
+		}
+		kinds[e.Event]++
+	}
+	if kinds["run_started"] != 1 || kinds["run_finished"] != 1 {
+		t.Errorf("run event counts = %v", kinds)
+	}
+	// Three assessments (order 1, order 2, full) each emit a campaign pair.
+	if kinds["campaign_started"] == 0 || kinds["campaign_started"] != kinds["campaign_finished"] {
+		t.Errorf("campaign event counts = %v", kinds)
+	}
+}

@@ -1,6 +1,7 @@
 package explorefault
 
 import (
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/countermeasure"
 	"repro/internal/explore"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/rl/ppo"
 )
@@ -74,6 +76,16 @@ type DiscoverConfig struct {
 	MaxHarvest int
 	// Progress, if non-nil, receives training summaries.
 	Progress func(Progress)
+	// Metrics, if non-nil, receives run-time instrumentation across the
+	// whole stack: campaign and oracle throughput, cache hit/miss
+	// latencies, episode and PPO-update rates (see internal/obs).
+	// Training results are bit-identical with metrics on or off.
+	Metrics *Metrics
+	// Events, if non-nil, receives structured JSONL run events:
+	// session started/finished, per-episode and per-PPO-update records,
+	// per-oracle-evaluation records with cache verdicts, and
+	// model_abstracted/model_verified events from the harvest pipeline.
+	Events *EventEmitter
 }
 
 // Progress re-exports the session progress record.
@@ -170,10 +182,11 @@ func Discover(cfg DiscoverConfig) (*DiscoveryResult, error) {
 				Samples: cfg.Samples,
 				Workers: cfg.Workers,
 				NoBatch: cfg.NoBatch,
+				Metrics: cfg.Metrics,
 			}, rng.Split())
 		}
 	} else {
-		factory = assessorOracleFactory(cfg.Cipher, key, cfg.Round, cfg.Samples, cfg.Workers, cfg.NoBatch)
+		factory = assessorOracleFactory(cfg.Cipher, key, cfg.Round, cfg.Samples, cfg.Workers, cfg.NoBatch, cfg.Metrics)
 	}
 
 	agentCfg := cfg.Agent
@@ -204,6 +217,8 @@ func Discover(cfg DiscoverConfig) (*DiscoveryResult, error) {
 			Capacity: cfg.CacheCapacity,
 		},
 		Progress: cfg.Progress,
+		Metrics:  cfg.Metrics,
+		Events:   cfg.Events,
 	})
 	if err != nil {
 		return nil, err
@@ -286,7 +301,7 @@ func diagonalContained(p Pattern) bool {
 // training patterns), abstract to group granularity with a high-sample
 // offline verifier, extend by structural symmetry, deduplicate.
 func harvestModels(cfg DiscoverConfig, key []byte, out *explore.Outcome) ([]Model, error) {
-	verifierFactory := assessorOracleFactory(cfg.Cipher, key, cfg.Round, 2048, cfg.Workers, cfg.NoBatch)
+	verifierFactory := assessorOracleFactory(cfg.Cipher, key, cfg.Round, 2048, cfg.Workers, cfg.NoBatch, cfg.Metrics)
 	verifier, err := verifierFactory(prng.New(cfg.Seed ^ 0xfeed))
 	if err != nil {
 		return nil, err
@@ -334,6 +349,12 @@ func harvestModels(cfg DiscoverConfig, key []byte, out *explore.Outcome) ([]Mode
 		}
 	}
 
+	for _, p := range candidates {
+		cfg.Events.Emit(obs.EventModelAbstracted, map[string]any{
+			"pattern": hex.EncodeToString(p.Bytes()),
+			"bits":    p.Count(),
+		})
+	}
 	models, err := abstraction.Harvest(verifier, candidates, abstraction.HarvestConfig{
 		MaxPatterns:    cfg.MaxHarvest,
 		ExtendSymmetry: true,
@@ -342,6 +363,13 @@ func harvestModels(cfg DiscoverConfig, key []byte, out *explore.Outcome) ([]Mode
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, m := range models {
+		cfg.Events.Emit(obs.EventModelVerified, map[string]any{
+			"model":   m.String(),
+			"pattern": hex.EncodeToString(m.Pattern.Bytes()),
+			"t":       m.T,
+		})
 	}
 	sort.SliceStable(models, func(i, j int) bool {
 		if models[i].Class != models[j].Class {

@@ -25,6 +25,7 @@ package explorefault
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/abstraction"
 	"repro/internal/bitvec"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/countermeasure"
 	"repro/internal/explore"
 	"repro/internal/leakage"
+	"repro/internal/obs"
 	"repro/internal/prng"
 )
 
@@ -170,6 +172,14 @@ type AssessConfig struct {
 	// NoBatch forces the scalar reference path even for ciphers with a
 	// batch kernel (bit-identical; for equivalence tests and benchmarks).
 	NoBatch bool
+	// Metrics, if non-nil, receives engine and campaign instrumentation
+	// (counters, gauges, latency histograms; see internal/obs). Nil
+	// keeps the clock- and allocation-free fast path, and results are
+	// bit-identical either way.
+	Metrics *obs.Registry
+	// Events, if non-nil, receives campaign_started/campaign_finished
+	// structured run events for the assessment.
+	Events *obs.Emitter
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -189,6 +199,8 @@ func Assess(pattern Pattern, cfg AssessConfig) (Assessment, error) {
 		Threshold: cfg.Threshold,
 		Workers:   cfg.Workers,
 		NoBatch:   cfg.NoBatch,
+		Metrics:   cfg.Metrics,
+		Events:    cfg.Events,
 	}, rng.Split())
 	var res leakage.Assessment
 	if cfg.FixedOrder > 0 {
@@ -226,6 +238,8 @@ func AssessProtected(pattern Pattern, cfg AssessConfig) (Assessment, error) {
 		Threshold: cfg.Threshold,
 		Workers:   cfg.Workers,
 		NoBatch:   cfg.NoBatch,
+		Metrics:   cfg.Metrics,
+		Events:    cfg.Events,
 	}, rng.Split())
 	if err != nil {
 		return Assessment{}, err
@@ -245,9 +259,35 @@ func AssessProtected(pattern Pattern, cfg AssessConfig) (Assessment, error) {
 // CacheStats re-exports the oracle-memoization counters.
 type CacheStats = explore.CacheStats
 
+// Metrics is the run-time metrics registry of internal/obs: atomic
+// counters, gauges and fixed-bucket histograms with a nil-is-disabled
+// zero-cost contract. Construct one with NewMetrics and read it with
+// Snapshot or the debug HTTP endpoint (ServeMetrics).
+type Metrics = obs.Registry
+
+// EventEmitter writes structured JSONL run events (see internal/obs for
+// the event catalogue). A nil emitter disables event output.
+type EventEmitter = obs.Emitter
+
+// NewMetrics returns an enabled metrics registry for
+// AssessConfig/DiscoverConfig.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewEventEmitter wraps w with a JSONL run-event emitter.
+func NewEventEmitter(w io.Writer) *EventEmitter { return obs.NewEmitter(w) }
+
+// OpenEventLog creates (or truncates) a JSONL run-event file; Close the
+// returned emitter to release it.
+func OpenEventLog(path string) (*EventEmitter, error) { return obs.OpenEmitter(path) }
+
+// ServeMetrics binds addr (e.g. "localhost:6060") and serves the debug
+// endpoint: /metrics (JSON snapshot), /debug/vars (expvar) and
+// /debug/pprof. Close the returned server to stop it.
+func ServeMetrics(addr string, m *Metrics) (*obs.Server, error) { return obs.Serve(addr, m) }
+
 // assessorOracleFactory builds the unprotected oracle factory shared by
 // Discover and the bench harness.
-func assessorOracleFactory(cipherName string, key []byte, round, samples, workers int, noBatch bool) explore.OracleFactory {
+func assessorOracleFactory(cipherName string, key []byte, round, samples, workers int, noBatch bool, metrics *obs.Registry) explore.OracleFactory {
 	return func(rng *prng.Source) (explore.Oracle, error) {
 		c, _, err := newKeyedCipher(cipherName, key, rng)
 		if err != nil {
@@ -258,6 +298,7 @@ func assessorOracleFactory(cipherName string, key []byte, round, samples, worker
 			StopAtThreshold: true,
 			Workers:         workers,
 			NoBatch:         noBatch,
+			Metrics:         metrics,
 		}, rng.Split())
 		return &explore.AssessorOracle{Assessor: a, Round: round}, nil
 	}

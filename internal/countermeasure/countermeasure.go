@@ -18,13 +18,16 @@ package countermeasure
 
 import (
 	"bytes"
+	"encoding/hex"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/ciphers"
 	"repro/internal/evaluate"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/stats"
 )
@@ -85,6 +88,13 @@ type OracleConfig struct {
 	// NoBatch forces the scalar reference path even for ciphers with a
 	// batch kernel (bit-identical; for equivalence tests and benchmarks).
 	NoBatch bool
+	// Metrics, if non-nil, receives oracle instrumentation: evaluation
+	// counts and latencies, per-shard wall times, and mute-rate
+	// counters. Results are bit-identical with metrics on or off.
+	Metrics *obs.Registry
+	// Events, if non-nil, receives campaign_started/campaign_finished
+	// run events per evaluation.
+	Events *obs.Emitter
 	// RefSeed overrides the uniform-reference stream (0 shares the
 	// canonical process-wide reference table entry).
 	RefSeed uint64
@@ -189,15 +199,35 @@ func (o *Oracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
 
 	be, batch := o.cipher.(ciphers.BatchEncrypter)
 	batch = batch && !o.cfg.NoBatch
+
+	m, events := o.cfg.Metrics, o.cfg.Events
+	var start time.Time
+	if m != nil || events != nil {
+		start = time.Now()
+		m.Counter("countermeasure.evaluations_total").Inc()
+		events.Emit(obs.EventCampaignStarted, map[string]any{
+			"cipher":    o.cipher.Name(),
+			"round":     o.cfg.Round,
+			"pattern":   hex.EncodeToString(pattern.Bytes()),
+			"bits":      pattern.Count(),
+			"samples":   o.cfg.Samples,
+			"protected": true,
+			"batch":     batch,
+		})
+	}
+	shardHist := m.Histogram("countermeasure.shard_seconds", obs.LatencyBuckets)
+
 	var muted atomic.Int64
 	accs, err := evaluate.RunSharded(o.cfg.Samples, o.cfg.Workers, 1, groups, o.cfg.MaxOrder, seed,
 		func(rng *prng.Source, shard, n int, shardAccs []*stats.Accumulator) error {
+			st := shardHist.Start()
 			var shardMuted int
 			if batch {
 				shardMuted = o.collectBatch(be.NewBatchKernel(), &p1, &p2, rng, n, shardAccs[0])
 			} else {
 				shardMuted = o.collectScalar(&p1, &p2, rng, n, shardAccs[0])
 			}
+			st.Stop()
 			muted.Add(int64(shardMuted))
 			return nil
 		})
@@ -207,6 +237,23 @@ func (o *Oracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
 	o.LastMutedRate = float64(muted.Load()) / float64(o.cfg.Samples)
 	ref := evaluate.Reference(o.cfg.Samples, o.cfg.GroupBits, groups, o.cfg.MaxOrder, o.cfg.RefSeed)
 	res := accs[0].MaxT(o.cfg.MaxOrder, ref)
+	if m != nil || events != nil {
+		wall := time.Since(start)
+		m.Counter("countermeasure.muted_total").Add(uint64(muted.Load()))
+		m.Counter("countermeasure.samples_total").Add(uint64(o.cfg.Samples))
+		m.Histogram("countermeasure.evaluate_seconds", obs.LatencyBuckets).Observe(wall.Seconds())
+		m.Gauge("countermeasure.last_muted_rate").Set(o.LastMutedRate)
+		events.Emit(obs.EventCampaignFinished, map[string]any{
+			"cipher":      o.cipher.Name(),
+			"round":       o.cfg.Round,
+			"pattern":     hex.EncodeToString(pattern.Bytes()),
+			"t":           res.T,
+			"leaky":       res.T > o.cfg.Threshold,
+			"muted_rate":  o.LastMutedRate,
+			"protected":   true,
+			"duration_ms": float64(wall) / float64(time.Millisecond),
+		})
+	}
 	return res.T, nil
 }
 

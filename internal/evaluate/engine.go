@@ -21,12 +21,16 @@
 package evaluate
 
 import (
+	"encoding/hex"
 	"fmt"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/ciphers"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/stats"
 )
@@ -65,6 +69,18 @@ type Config struct {
 	// batch kernel. Both paths are bit-identical; the knob exists for
 	// equivalence tests and benchmarks.
 	NoBatch bool
+	// Metrics, if non-nil, receives engine instrumentation: assessment
+	// counts and latencies, per-shard wall times, worker utilization,
+	// and the campaign throughput counters of internal/fault. A nil
+	// registry keeps the engine on the allocation- and clock-free fast
+	// path, and instrumentation never touches a PRNG stream, so
+	// assessments are bit-identical with metrics on or off.
+	Metrics *obs.Registry
+	// Events, if non-nil, receives campaign_started/campaign_finished
+	// run events per assessment. Intended for standalone assessments;
+	// training sessions emit episode-level events instead (see
+	// internal/explore).
+	Events *obs.Emitter
 	// Seed is the base seed of the engine. Each assessment derives its
 	// campaign seed from (Seed, pattern, round), making assessments pure
 	// functions of their inputs.
@@ -189,6 +205,7 @@ func (e *Engine) assess(pattern *bitvec.Vector, round, fixedOrder int) (Assessme
 		Points:    points,
 		GroupBits: e.cfg.GroupBits,
 		NoBatch:   e.cfg.NoBatch,
+		Metrics:   e.cfg.Metrics,
 	}
 	if err := cp.Validate(); err != nil {
 		return Assessment{}, err
@@ -199,9 +216,36 @@ func (e *Engine) assess(pattern *bitvec.Vector, round, fixedOrder int) (Assessme
 	}
 	groups := cp.Groups()
 	seed := PatternSeed(e.cfg.Seed, pattern, round)
-	accs, err := RunSharded(e.cfg.Samples, e.workers(), len(cp.Points), groups, maxOrder, seed,
+	workers := e.workers()
+
+	// Instrumentation: resolved once per assessment, nil no-ops when
+	// disabled; the clock is read only when metrics or events are on.
+	m, events := e.cfg.Metrics, e.cfg.Events
+	var start time.Time
+	if m != nil || events != nil {
+		start = time.Now()
+		m.Counter("evaluate.assessments_total").Inc()
+		events.Emit(obs.EventCampaignStarted, map[string]any{
+			"cipher":  e.cipher.Name(),
+			"round":   round,
+			"pattern": hex.EncodeToString(pattern.Bytes()),
+			"bits":    pattern.Count(),
+			"samples": e.cfg.Samples,
+			"workers": workers,
+			"batch":   !e.cfg.NoBatch,
+		})
+	}
+	shardHist := m.Histogram("evaluate.shard_seconds", obs.LatencyBuckets)
+	var busyNanos atomic.Int64
+
+	accs, err := RunSharded(e.cfg.Samples, workers, len(cp.Points), groups, maxOrder, seed,
 		func(rng *prng.Source, shard, n int, shardAccs []*stats.Accumulator) error {
-			return cp.CollectInto(rng, n, shardAccs)
+			st := shardHist.Start()
+			err := cp.CollectInto(rng, n, shardAccs)
+			if d := st.Stop(); d > 0 {
+				busyNanos.Add(int64(d))
+			}
+			return err
 		})
 	if err != nil {
 		return Assessment{}, err
@@ -227,6 +271,28 @@ func (e *Engine) assess(pattern *bitvec.Vector, round, fixedOrder int) (Assessme
 		}
 	}
 	out.Leaky = out.T > e.cfg.Threshold
+	if m != nil || events != nil {
+		wall := time.Since(start)
+		secs := wall.Seconds()
+		m.Histogram("evaluate.assess_seconds", obs.LatencyBuckets).Observe(secs)
+		if secs > 0 {
+			m.Histogram("evaluate.traces_per_sec", obs.RateBuckets).
+				Observe(float64(e.cfg.Samples) / secs)
+			if busy := busyNanos.Load(); busy > 0 {
+				m.Gauge("evaluate.worker_utilization").
+					Set(float64(busy) / (float64(workers) * float64(wall)))
+			}
+		}
+		events.Emit(obs.EventCampaignFinished, map[string]any{
+			"cipher":      e.cipher.Name(),
+			"round":       round,
+			"pattern":     hex.EncodeToString(pattern.Bytes()),
+			"t":           out.T,
+			"leaky":       out.Leaky,
+			"shards":      (e.cfg.Samples + ShardSize - 1) / ShardSize,
+			"duration_ms": float64(wall) / float64(time.Millisecond),
+		})
+	}
 	return out, nil
 }
 

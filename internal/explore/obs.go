@@ -1,0 +1,133 @@
+package explore
+
+import (
+	"encoding/hex"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/obs"
+)
+
+// instrumentedOracle wraps an oracle (typically already cache-wrapped)
+// with metrics and run events. It is only constructed when observability
+// is enabled, so the disabled training path keeps its exact pre-existing
+// call graph; the wrapper itself draws no randomness and therefore cannot
+// perturb training determinism.
+type instrumentedOracle struct {
+	inner Oracle
+	cache *CachedOracle // nil when memoization is disabled
+	env   int
+	evals *obs.Counter
+	all   *obs.Histogram
+	hit   *obs.Histogram
+	miss  *obs.Histogram
+	ev    *obs.Emitter
+}
+
+var _ Oracle = (*instrumentedOracle)(nil)
+
+func newInstrumentedOracle(inner Oracle, cache *CachedOracle, env int, m *obs.Registry, ev *obs.Emitter) *instrumentedOracle {
+	return &instrumentedOracle{
+		inner: inner,
+		cache: cache,
+		env:   env,
+		evals: m.Counter("oracle.evaluations_total"),
+		all:   m.Histogram("oracle.evaluate_seconds", obs.LatencyBuckets),
+		hit:   m.Histogram("oracle.cache_hit_seconds", obs.LatencyBuckets),
+		miss:  m.Histogram("oracle.cache_miss_seconds", obs.LatencyBuckets),
+		ev:    ev,
+	}
+}
+
+// Evaluate implements Oracle, timing the inner evaluation and attributing
+// it to the cache-hit or cache-miss latency band.
+func (o *instrumentedOracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
+	var hitsBefore uint64
+	if o.cache != nil {
+		hitsBefore = o.cache.Stats().Hits
+	}
+	start := time.Now()
+	t, err := o.inner.Evaluate(pattern)
+	d := time.Since(start)
+	if err != nil {
+		return t, err
+	}
+	o.evals.Inc()
+	o.all.Observe(d.Seconds())
+	cached := false
+	if o.cache != nil {
+		cached = o.cache.Stats().Hits > hitsBefore
+		if cached {
+			o.hit.Observe(d.Seconds())
+		} else {
+			o.miss.Observe(d.Seconds())
+		}
+	}
+	o.ev.Emit(obs.EventOracleEval, map[string]any{
+		"env":         o.env,
+		"pattern":     hex.EncodeToString(pattern.Bytes()),
+		"bits":        pattern.Count(),
+		"t":           t,
+		"leaky":       t > o.inner.Threshold(),
+		"cached":      cached,
+		"duration_ms": float64(d) / float64(time.Millisecond),
+	})
+	return t, err
+}
+
+// StateBits implements Oracle.
+func (o *instrumentedOracle) StateBits() int { return o.inner.StateBits() }
+
+// Threshold implements Oracle.
+func (o *instrumentedOracle) Threshold() float64 { return o.inner.Threshold() }
+
+// InjectionRound forwards the inner oracle's round so wrapper stacking
+// keeps memoization keys and diagnostics intact.
+func (o *instrumentedOracle) InjectionRound() int {
+	if r, ok := o.inner.(Rounder); ok {
+		return r.InjectionRound()
+	}
+	return 0
+}
+
+// sessionObs holds the per-session instrument handles, resolved once at
+// session construction. The zero value (observability disabled) keeps
+// every update a nil-handle no-op.
+type sessionObs struct {
+	enabled     bool
+	events      *obs.Emitter
+	episodes    *obs.Counter
+	leaky       *obs.Counter
+	updates     *obs.Counter
+	updTime     *obs.Histogram
+	epsPerMin   *obs.Gauge
+	leakyPer1K  *obs.Gauge
+	entropy     *obs.Gauge
+	cacheHits   *obs.Gauge
+	cacheMisses *obs.Gauge
+	cacheEvict  *obs.Gauge
+}
+
+func newSessionObs(m *obs.Registry, ev *obs.Emitter) sessionObs {
+	return sessionObs{
+		enabled:     m != nil || ev != nil,
+		events:      ev,
+		episodes:    m.Counter("explore.episodes_total"),
+		leaky:       m.Counter("explore.leaky_episodes_total"),
+		updates:     m.Counter("explore.ppo_updates_total"),
+		updTime:     m.Histogram("explore.ppo_update_seconds", obs.LatencyBuckets),
+		epsPerMin:   m.Gauge("explore.episodes_per_min"),
+		leakyPer1K:  m.Gauge("explore.leaky_per_1k_episodes"),
+		entropy:     m.Gauge("explore.policy_entropy"),
+		cacheHits:   m.Gauge("oracle.cache_hits"),
+		cacheMisses: m.Gauge("oracle.cache_misses"),
+		cacheEvict:  m.Gauge("oracle.cache_evictions"),
+	}
+}
+
+// syncCache mirrors the cumulative memoization counters into gauges.
+func (so *sessionObs) syncCache(cs CacheStats) {
+	so.cacheHits.Set(float64(cs.Hits))
+	so.cacheMisses.Set(float64(cs.Misses))
+	so.cacheEvict.Set(float64(cs.Evictions))
+}

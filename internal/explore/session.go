@@ -1,10 +1,12 @@
 package explore
 
 import (
+	"encoding/hex"
 	"fmt"
 	"time"
 
 	"repro/internal/bitvec"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/rl"
 	"repro/internal/rl/ppo"
@@ -56,6 +58,16 @@ type SessionConfig struct {
 	// Progress, if non-nil, is called after every PPO update with a
 	// running summary.
 	Progress func(Progress)
+	// Metrics, if non-nil, receives training instrumentation: episode
+	// and leaky-episode counters, PPO update latencies, oracle
+	// evaluation latencies split by cache hit/miss, and policy-entropy
+	// and discovery-rate gauges. Instrumentation draws no randomness,
+	// so training is bit-identical with metrics on or off.
+	Metrics *obs.Registry
+	// Events, if non-nil, receives structured run events: session
+	// started/finished, one event per episode and per PPO update, and
+	// one per oracle evaluation (with its cache-hit verdict).
+	Events *obs.Emitter
 }
 
 func (c *SessionConfig) setDefaults() {
@@ -128,6 +140,7 @@ type Session struct {
 	rng     *prng.Source
 	evalEnv *Env            // env reserved for final-rollout evaluation
 	caches  []*CachedOracle // memoizing wrappers, for stats (nil entries when disabled)
+	obs     sessionObs      // instrument handles; zero value when disabled
 }
 
 // NewSession builds a session: NumEnvs oracles/environments plus one extra
@@ -137,13 +150,20 @@ func NewSession(factory OracleFactory, cfg SessionConfig) (*Session, error) {
 	cfg.setDefaults()
 	root := prng.New(cfg.Seed)
 	s := &Session{cfg: cfg, log: &Log{}, rng: root}
+	s.obs = newSessionObs(cfg.Metrics, cfg.Events)
+	env := 0
 	wrap := func(o Oracle) Oracle {
-		if cfg.OracleCache.Disable {
-			return o
+		var cache *CachedOracle
+		if !cfg.OracleCache.Disable {
+			cache = NewCachedOracle(o, cfg.OracleCache.Capacity)
+			s.caches = append(s.caches, cache)
+			o = cache
 		}
-		c := NewCachedOracle(o, cfg.OracleCache.Capacity)
-		s.caches = append(s.caches, c)
-		return c
+		if s.obs.enabled {
+			o = newInstrumentedOracle(o, cache, env, cfg.Metrics, cfg.Events)
+		}
+		env++
+		return o
 	}
 	for i := 0; i < cfg.NumEnvs; i++ {
 		oracle, err := factory(root.Split())
@@ -196,6 +216,16 @@ func (s *Session) Run() (*Outcome, error) {
 	var steps int
 	bestLeakyN := 0
 	sinceLeaky := 0
+	leakyTotal := 0
+
+	if s.obs.enabled {
+		s.obs.events.Emit(obs.EventSessionStarted, map[string]any{
+			"envs":       len(s.envs),
+			"episodes":   s.cfg.Episodes,
+			"state_bits": s.raw[0].ObsSize(),
+			"seed":       s.cfg.Seed,
+		})
+	}
 
 	for episodes < s.cfg.Episodes {
 		// One CollectEpisodes call yields NumEnvs episodes; a final
@@ -213,16 +243,28 @@ func (s *Session) Run() (*Outcome, error) {
 		}
 		steps += batch.Len()
 		var sumRet, sumBits, leaky float64
-		for _, ep := range eps {
+		for i, ep := range eps {
 			info := s.raw[ep.EnvIndex].LastEpisode()
 			s.log.Add(info)
 			sumRet += ep.Return
 			sumBits += float64(info.Distinct)
 			if info.Leaky {
 				leaky++
+				leakyTotal++
 				if info.Distinct > bestLeakyN {
 					bestLeakyN = info.Distinct
 				}
+			}
+			if s.obs.enabled {
+				s.obs.events.Emit(obs.EventEpisode, map[string]any{
+					"episode": episodes + i + 1,
+					"env":     ep.EnvIndex,
+					"pattern": hex.EncodeToString(info.Pattern.Bytes()),
+					"bits":    info.Distinct,
+					"t":       info.T,
+					"leaky":   info.Leaky,
+					"reward":  info.Reward,
+				})
 			}
 		}
 		episodes += len(eps)
@@ -235,7 +277,28 @@ func (s *Session) Run() (*Outcome, error) {
 				sinceLeaky = 0
 			}
 		}
+		updTimer := s.obs.updTime.Start()
 		stats := s.agent.Update(batch)
+		updDur := updTimer.Stop()
+		if s.obs.enabled {
+			n := float64(len(eps))
+			s.obs.episodes.Add(uint64(len(eps)))
+			s.obs.leaky.Add(uint64(leaky))
+			s.obs.updates.Inc()
+			s.obs.entropy.Set(stats.Entropy)
+			s.obs.leakyPer1K.Set(1000 * float64(leakyTotal) / float64(episodes))
+			if mins := time.Since(start).Minutes(); mins > 0 {
+				s.obs.epsPerMin.Set(float64(episodes) / mins)
+			}
+			s.obs.syncCache(s.cacheStats())
+			s.obs.events.Emit(obs.EventPPOUpdate, map[string]any{
+				"episodes":    episodes,
+				"entropy":     stats.Entropy,
+				"avg_return":  sumRet / n,
+				"avg_leaky":   leaky / n,
+				"duration_ms": float64(updDur) / float64(time.Millisecond),
+			})
+		}
 		if s.cfg.Progress != nil {
 			n := float64(len(eps))
 			cache := s.cacheStats()
@@ -264,6 +327,21 @@ func (s *Session) Run() (*Outcome, error) {
 	}
 	s.readOutConverged(out)
 	out.Cache = s.cacheStats()
+	if s.obs.enabled {
+		s.obs.syncCache(out.Cache)
+		s.obs.events.Emit(obs.EventSessionFinished, map[string]any{
+			"episodes":         out.Episodes,
+			"duration_ms":      float64(out.Duration) / float64(time.Millisecond),
+			"episodes_per_min": out.EpisodesPerMin,
+			"steps_per_min":    out.StepsPerMin,
+			"converged":        hex.EncodeToString(out.Converged.Bytes()),
+			"converged_t":      out.ConvergedT,
+			"converged_leaky":  out.ConvergedLeaky,
+			"cache_hits":       out.Cache.Hits,
+			"cache_misses":     out.Cache.Misses,
+			"cache_evictions":  out.Cache.Evictions,
+		})
+	}
 	return out, nil
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/ciphers"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/stats"
 )
@@ -135,6 +136,11 @@ type Campaign struct {
 	// bit-identical; the knob exists for equivalence tests and
 	// benchmarks.
 	NoBatch bool
+	// Metrics, if non-nil, receives campaign throughput counters
+	// (traces, batch versus scalar encryption path). Instrumentation
+	// never touches the PRNG stream, so results are bit-identical with
+	// metrics on or off; a nil registry costs one branch per block.
+	Metrics *obs.Registry
 }
 
 // Validate normalizes defaults (GroupBits, Points) and reports
@@ -274,6 +280,14 @@ func (cp *Campaign) forEachDiff(rng *prng.Source, n int, emit func(s, pi int, di
 	if be, ok := cp.Cipher.(ciphers.BatchEncrypter); ok && !cp.NoBatch {
 		kern = be.NewBatchKernel()
 	}
+	// Handles are resolved once per call (not per trace); all of them are
+	// nil no-ops when cp.Metrics is nil.
+	traces := cp.Metrics.Counter("campaign.traces_total")
+	pathBlocks := cp.Metrics.Counter("campaign.scalar_blocks_total")
+	if kern != nil {
+		pathBlocks = cp.Metrics.Counter("campaign.batch_blocks_total")
+	}
+	collectTimer := cp.Metrics.Histogram("campaign.collect_seconds", obs.LatencyBuckets).Start()
 	for base := 0; base < n; base += block {
 		bn := block
 		if left := n - base; left < bn {
@@ -288,6 +302,8 @@ func (cp *Campaign) forEachDiff(rng *prng.Source, n int, emit func(s, pi int, di
 		} else {
 			ciphers.ScalarForks(cp.Cipher, cp.Round, bpts, bn, pts, masks, states, noCts)
 		}
+		traces.Add(uint64(bn))
+		pathBlocks.Inc()
 		for i := 0; i < bn; i++ {
 			for pi := 0; pi < np; pi++ {
 				off := (i*np + pi) * bb
@@ -299,6 +315,7 @@ func (cp *Campaign) forEachDiff(rng *prng.Source, n int, emit func(s, pi int, di
 			}
 		}
 	}
+	collectTimer.Stop()
 }
 
 // batchPoint maps an observation point onto the ciphers batch API.

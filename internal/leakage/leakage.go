@@ -16,6 +16,7 @@ import (
 	"repro/internal/ciphers"
 	"repro/internal/evaluate"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/prng"
 )
 
@@ -52,6 +53,13 @@ type Config struct {
 	// NoBatch forces the scalar reference path even for ciphers with a
 	// batch kernel (bit-identical; for equivalence tests and benchmarks).
 	NoBatch bool
+	// Metrics, if non-nil, receives engine and campaign instrumentation
+	// (see evaluate.Config.Metrics). Assessments are bit-identical with
+	// metrics on or off.
+	Metrics *obs.Registry
+	// Events, if non-nil, receives campaign_started/campaign_finished
+	// run events per assessment (see evaluate.Config.Events).
+	Events *obs.Emitter
 	// RefSeed overrides the uniform-reference stream (0 shares the
 	// canonical process-wide reference table entry).
 	RefSeed uint64
@@ -86,6 +94,8 @@ func NewAssessor(c ciphers.Cipher, cfg Config, rng *prng.Source) *Assessor {
 		StopAtThreshold: cfg.StopAtThreshold,
 		Workers:         cfg.Workers,
 		NoBatch:         cfg.NoBatch,
+		Metrics:         cfg.Metrics,
+		Events:          cfg.Events,
 		Seed:            rng.Uint64(),
 		RefSeed:         cfg.RefSeed,
 	})

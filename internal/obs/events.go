@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event kinds emitted by the instrumented subsystems. Every event is one
+// JSON object per line with the fixed envelope {"ts", "seq", "event"} plus
+// kind-specific fields under "fields"; see EXAMPLES under examples/ and
+// the schema golden test for the exact shapes.
+const (
+	// EventRunStarted / EventRunFinished bracket one CLI invocation.
+	EventRunStarted  = "run_started"
+	EventRunFinished = "run_finished"
+	// EventCampaignStarted / EventCampaignFinished bracket one fault
+	// campaign (a full sharded assessment of one pattern).
+	EventCampaignStarted  = "campaign_started"
+	EventCampaignFinished = "campaign_finished"
+	// EventOracleEval records one oracle evaluation, including whether it
+	// was served from the memoization cache.
+	EventOracleEval = "oracle_eval"
+	// EventEpisode records one finished RL training episode.
+	EventEpisode = "episode"
+	// EventPPOUpdate records one PPO policy update.
+	EventPPOUpdate = "ppo_update"
+	// EventSessionStarted / EventSessionFinished bracket one discovery
+	// training session.
+	EventSessionStarted  = "session_started"
+	EventSessionFinished = "session_finished"
+	// EventModelAbstracted records one abstracted fault model entering
+	// verification; EventModelVerified its offline verification verdict.
+	EventModelAbstracted = "model_abstracted"
+	EventModelVerified   = "model_verified"
+)
+
+// Event is the JSONL envelope: a wall-clock timestamp, a process-local
+// monotonic sequence number (total order even when timestamps collide),
+// the event kind, and free-form fields.
+type Event struct {
+	TS     string         `json:"ts"`
+	Seq    uint64         `json:"seq"`
+	Event  string         `json:"event"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Emitter writes structured run events as JSON Lines. It is safe for
+// concurrent use; a nil *Emitter is the disabled state and every method
+// no-ops, so instrumented code never branches on configuration. Marshal
+// or write failures increment a drop counter instead of failing the run —
+// observability must not turn a healthy campaign into a failed one.
+type Emitter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	closer  io.Closer
+	seq     uint64
+	dropped uint64
+	now     func() time.Time
+}
+
+// NewEmitter wraps an io.Writer. The caller keeps ownership of w.
+func NewEmitter(w io.Writer) *Emitter {
+	return &Emitter{w: w, now: time.Now}
+}
+
+// OpenEmitter creates (or truncates) a JSONL file and returns an emitter
+// owning it; Close releases the file.
+func OpenEmitter(path string) (*Emitter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening events file: %w", err)
+	}
+	e := NewEmitter(f)
+	e.closer = f
+	return e, nil
+}
+
+// SetClock replaces the timestamp source (golden tests pin it).
+// No-op on a nil emitter.
+func (e *Emitter) SetClock(now func() time.Time) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.now = now
+	e.mu.Unlock()
+}
+
+// Emit writes one event line. No-op on a nil emitter.
+func (e *Emitter) Emit(event string, fields map[string]any) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ev := Event{
+		TS:     e.now().UTC().Format(time.RFC3339Nano),
+		Seq:    e.seq,
+		Event:  event,
+		Fields: fields,
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		e.dropped++
+		return
+	}
+	line = append(line, '\n')
+	if _, err := e.w.Write(line); err != nil {
+		e.dropped++
+		return
+	}
+	e.seq++
+}
+
+// Dropped returns how many events were lost to marshal or write errors.
+func (e *Emitter) Dropped() uint64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
+}
+
+// Close releases the underlying file when the emitter owns one.
+// No-op (nil error) on a nil emitter or a borrowed writer.
+func (e *Emitter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closer == nil {
+		return nil
+	}
+	c := e.closer
+	e.closer = nil
+	return c.Close()
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the debug mux for a registry:
+//
+//	/metrics        JSON Snapshot of every instrument
+//	/debug/vars     expvar (cmdline, memstats)
+//	/debug/pprof/   the full net/http/pprof suite
+//
+// The mux is standalone (not http.DefaultServeMux), so importing this
+// package never adds handlers to binaries that do not opt in.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Encoding errors past the header can only be client
+		// disconnects; there is nothing useful to do with them.
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.addr
+}
+
+// Close shuts the listener down. No-op on a nil server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Serve binds addr and serves Handler(r) in a background goroutine. Bind
+// errors are returned synchronously so a mistyped -metrics-addr fails the
+// run instead of silently serving nothing.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: binding metrics endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// ErrServerClosed after Close is the expected shutdown path.
+		_ = srv.Serve(ln)
+	}()
+	return &Server{srv: srv, addr: ln.Addr().String()}, nil
+}

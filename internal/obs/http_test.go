@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHandlerMetricsEndpoint: /metrics serves a JSON snapshot of the
+// registry and /debug/pprof/ is mounted.
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("campaign.traces_total").Add(42)
+	r.Gauge("evaluate.worker_utilization").Set(0.75)
+	r.Histogram("evaluate.shard_seconds", LatencyBuckets).Observe(0.001)
+
+	ts := httptest.NewServer(Handler(r))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d: %s", resp.StatusCode, body)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if s.Counters["campaign.traces_total"] != 42 {
+		t.Errorf("counter = %d", s.Counters["campaign.traces_total"])
+	}
+	if s.Gauges["evaluate.worker_utilization"] != 0.75 {
+		t.Errorf("gauge = %v", s.Gauges["evaluate.worker_utilization"])
+	}
+	if h := s.Histograms["evaluate.shard_seconds"]; h.Count != 1 || h.Sum != 0.001 {
+		t.Errorf("histogram = %+v", h)
+	}
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeBindsAndCloses: Serve binds synchronously (port 0 picks a free
+// port), serves the handler, and Close shuts it down; a nil server Close
+// is a no-op.
+func TestServeBindsAndCloses(t *testing.T) {
+	r := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package obs is the run-time observability layer of the repository: a
+// lightweight, allocation-conscious metrics registry (atomic counters,
+// gauges and fixed-bucket histograms), a structured JSONL run-event
+// emitter, and an optional debug HTTP endpoint exposing metric snapshots
+// plus net/http/pprof.
+//
+// # The nil-registry zero-cost pattern
+//
+// Observability must never perturb the measurement: the same binaries
+// serve long discovery runs (where an operator wants throughput and
+// latency attribution) and bit-identical determinism tests (where any
+// instrumentation overhead is a regression). The package therefore makes
+// the disabled state the zero value: a nil *Registry is valid, every
+// lookup on it returns a nil instrument handle, and every instrument
+// method on a nil handle is a single predictable-branch no-op. Callers
+// resolve handles once per campaign or session — not per trace — so the
+// enabled hot-path cost is one atomic add per block of work and the
+// disabled cost is a nil check. No instrument ever touches a PRNG stream,
+// which preserves the repository's bit-identical determinism guarantees
+// with metrics on or off.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named instruments. Instruments are created on first
+// lookup and live for the registry lifetime; lookups take a mutex,
+// updates are lock-free atomics. A nil *Registry is the disabled state:
+// lookups return nil handles whose methods no-op.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	start      time.Time
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		start:      time.Now(),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+// Returns nil (a valid no-op handle) when r is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+// Returns nil (a valid no-op handle) when r is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (ascending; an implicit +Inf bucket is appended) on
+// first use. Later lookups of the same name ignore the bounds argument.
+// Returns nil (a valid no-op handle) when r is nil.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n. No-op on a nil handle.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil handle.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically updated float64 level.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value. No-op on a nil handle.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(floatBits(v))
+	}
+}
+
+// Add adjusts the gauge by delta. No-op on a nil handle.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(bitsFloat(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (zero on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return bitsFloat(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution: per-bucket atomic counts plus
+// a running sum and total count, sufficient for rate, mean and quantile
+// band reporting without per-observation allocation.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; len(counts) = len(bounds)+1
+	counts []atomic.Uint64 // counts[i] observes v <= bounds[i]; last bucket is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil handle.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			return
+		}
+	}
+}
+
+// Start begins a timer that will observe its elapsed seconds into h on
+// Stop. On a nil handle the returned timer is inert and Start does not
+// read the clock.
+func (h *Histogram) Start() Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Timer measures one latency observation; the zero Timer is inert.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Stop observes the elapsed time since Start into the histogram and
+// returns it; an inert timer returns zero without reading the clock.
+func (t Timer) Stop() time.Duration {
+	if t.h == nil {
+		return 0
+	}
+	d := time.Since(t.start)
+	t.h.Observe(d.Seconds())
+	return d
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   float64 `json:"sum"`
+	// Bounds are the bucket upper bounds; Counts[i] observed
+	// v <= Bounds[i], with one final overflow (+Inf) bucket, so
+	// len(Counts) == len(Bounds)+1.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+}
+
+// Mean returns Sum/Count (zero for an empty histogram).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot is a point-in-time export of every instrument in a registry.
+type Snapshot struct {
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Counters      map[string]uint64            `json:"counters"`
+	Gauges        map[string]float64           `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot exports the current value of every instrument. Individual
+// reads are atomic; the snapshot as a whole is not a consistent cut
+// across instruments (concurrent writers may land between reads), which
+// is the usual and sufficient contract for monitoring. A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	start := r.start
+	r.mu.Unlock()
+
+	s.UptimeSeconds = time.Since(start).Seconds()
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range histograms {
+		hs := HistogramSnapshot{
+			Sum:    bitsFloat(h.sum.Load()),
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+		}
+		// Read the total last so count >= sum(bucket counts) never
+		// underreports a concurrent observation's bucket increment.
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		hs.Count = h.count.Load()
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// LatencyBuckets is the default bucket layout for latency histograms:
+// exponential from 10µs to ~84s in ×2.5 steps.
+var LatencyBuckets = ExpBuckets(10e-6, 2.5, 10)
+
+// RateBuckets is the default bucket layout for throughput histograms
+// (items/sec): exponential from 100 to ~95M in ×4 steps.
+var RateBuckets = ExpBuckets(100, 4, 10)
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryIsZeroCostAndSafe: the disabled state is a nil registry;
+// every lookup and every instrument method must be a safe no-op.
+func TestNilRegistryIsZeroCostAndSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", LatencyBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	c.Inc()
+	c.Add(10)
+	g.Set(1.5)
+	g.Add(2.5)
+	h.Observe(0.1)
+	if d := h.Start().Stop(); d != 0 {
+		t.Errorf("inert timer returned %v, want 0", d)
+	}
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+// TestRegistryHandleIdentity: repeated lookups return the same instrument,
+// so callers can resolve handles once and share them.
+func TestRegistryHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("counter lookups not idempotent")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("gauge lookups not idempotent")
+	}
+	if r.Histogram("x", LatencyBuckets) != r.Histogram("x", nil) {
+		t.Error("histogram lookups not idempotent (bounds must be ignored after creation)")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucket convention: counts[i]
+// observes v <= bounds[i], values above the last bound land in the
+// overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{
+		0.5, // below first bound -> bucket 0
+		1,   // exactly on a bound is inclusive -> bucket 0
+		1.0000001, 9, // bucket 1
+		10.5,  // bucket 2
+		1e9,   // overflow bucket
+		100,   // bucket 2 (inclusive upper bound)
+		-3,    // negative observations still land in bucket 0
+	} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	wantCounts := []uint64{3, 2, 2, 1}
+	if len(s.Counts) != len(wantCounts) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Counts), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if s.Counts[i] != want {
+			t.Errorf("bucket %d count = %d, want %d (counts %v)", i, s.Counts[i], want, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("total count = %d, want 8", s.Count)
+	}
+	wantSum := 0.5 + 1 + 1.0000001 + 9 + 10.5 + 1e9 + 100 - 3
+	if s.Sum != wantSum {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	if got := s.Mean(); got != wantSum/8 {
+		t.Errorf("mean = %v, want %v", got, wantSum/8)
+	}
+}
+
+// TestExpBuckets: the helper produces ascending exponential bounds.
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(10e-6, 2.5, 10)
+	if len(b) != 10 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if b[0] != 10e-6 {
+		t.Errorf("b[0] = %v", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Errorf("bounds not ascending at %d: %v", i, b)
+		}
+		if math.Abs(b[i]/b[i-1]-2.5) > 1e-12 {
+			t.Errorf("growth factor at %d = %v", i, b[i]/b[i-1])
+		}
+	}
+}
+
+// TestConcurrentWritersSnapshotConsistency hammers one registry from many
+// goroutines while a reader snapshots it; with deterministic totals at the
+// end. Run under -race this is also the data-race proof for the atomics.
+func TestConcurrentWritersSnapshotConsistency(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+
+	var readerWG, writerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() { // concurrent snapshot reader
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			// A mid-flight snapshot must never over-report: per-bucket
+			// counts are read before the total, so sum(buckets) >= count
+			// would only break if increments were lost or misordered.
+			for name, h := range s.Histograms {
+				var buckets uint64
+				for _, c := range h.Counts {
+					buckets += c
+				}
+				if buckets < h.Count {
+					t.Errorf("%s: bucket sum %d < count %d", name, buckets, h.Count)
+					return
+				}
+			}
+		}
+	}()
+
+	writerWG.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer writerWG.Done()
+			c := r.Counter("writes")
+			g := r.Gauge("adds")
+			h := r.Histogram("values", []float64{0.25, 0.5, 0.75})
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / perWriter)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	s := r.Snapshot()
+	if got := s.Counters["writes"]; got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := s.Gauges["adds"]; got != writers*perWriter {
+		t.Errorf("gauge = %v, want %d (CAS add must not lose updates)", got, writers*perWriter)
+	}
+	h := s.Histograms["values"]
+	if h.Count != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", h.Count, writers*perWriter)
+	}
+	var buckets uint64
+	for _, c := range h.Counts {
+		buckets += c
+	}
+	if buckets != h.Count {
+		t.Errorf("final bucket sum %d != count %d", buckets, h.Count)
+	}
+}
+
+// TestGaugeSetAndValue round-trips float values exactly (bit storage).
+func TestGaugeSetAndValue(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	for _, v := range []float64{0, 1.5, -2.25, math.Inf(1), 1e-300} {
+		g.Set(v)
+		if got := g.Value(); got != v {
+			t.Errorf("Set(%v) read back %v", v, got)
+		}
+	}
+	g.Set(0)
+	g.Add(0.1)
+	g.Add(0.2)
+	want := float64(0.1) + float64(0.2) // runtime addition, not constant folding
+	if got := g.Value(); got != want {
+		t.Errorf("Add accumulation = %v, want %v", got, want)
+	}
+}

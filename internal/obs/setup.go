@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Setup wires the observability flag pair shared by the CLIs: eventsPath
+// (a JSONL run-event file, empty to disable) and metricsAddr (a debug
+// HTTP endpoint, empty to disable). When either is set a live Registry
+// is returned so events and endpoint snapshots share one instrument set;
+// when both are empty the registry and emitter are nil, which is the
+// zero-cost disabled state. The returned cleanup stops the endpoint and
+// closes the event file (nil-safe, call it exactly once).
+func Setup(metricsAddr, eventsPath string, diag io.Writer) (*Registry, *Emitter, func(), error) {
+	var (
+		metrics *Registry
+		events  *Emitter
+		server  *Server
+	)
+	if eventsPath != "" {
+		var err error
+		events, err = OpenEmitter(eventsPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		metrics = NewRegistry()
+	}
+	if metricsAddr != "" {
+		if metrics == nil {
+			metrics = NewRegistry()
+		}
+		var err error
+		server, err = Serve(metricsAddr, metrics)
+		if err != nil {
+			events.Close()
+			return nil, nil, nil, err
+		}
+		if diag != nil {
+			fmt.Fprintf(diag, "metrics: http://%s/metrics (pprof under /debug/pprof)\n", server.Addr())
+		}
+	}
+	cleanup := func() {
+		server.Close()
+		events.Close()
+	}
+	return metrics, events, cleanup, nil
+}

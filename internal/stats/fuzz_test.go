@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"testing"
+)
+
+// FuzzAccumulatorMerge checks the streaming-moment invariants the sharded
+// campaign depends on: splitting a sample stream at any point, feeding
+// the halves into separate accumulators and merging must reproduce the
+// sequential accumulator exactly, and merge must be order-independent.
+// Rows are small integers, for which the float64 power sums are exact, so
+// every comparison is bit-exact (this is the same property that makes the
+// worker-count-independent campaign results bit-identical).
+func FuzzAccumulatorMerge(f *testing.F) {
+	f.Add(byte(2), byte(2), byte(3), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(byte(1), byte(1), byte(0), []byte{0})
+	f.Add(byte(5), byte(3), byte(7), []byte{15, 0, 3, 9, 12, 1, 2, 4, 8, 15, 7, 11, 5, 14, 6, 10})
+	f.Fuzz(func(t *testing.T, groupsSel, orderSel, splitSel byte, data []byte) {
+		groups := 1 + int(groupsSel)%6
+		maxOrder := 1 + int(orderSel)%3
+
+		// Decode rows of small-int group values (nibble range, matching
+		// the cipher differential values fed to the real accumulators).
+		var rows [][]float64
+		for len(data) >= groups {
+			row := make([]float64, groups)
+			for j := 0; j < groups; j++ {
+				row[j] = float64(data[j] % 16)
+			}
+			rows = append(rows, row)
+			data = data[groups:]
+		}
+		if len(rows) == 0 {
+			t.Skip("not enough data for one row")
+		}
+		split := int(splitSel) % (len(rows) + 1)
+
+		seq := NewAccumulator(groups, maxOrder)
+		left := NewAccumulator(groups, maxOrder)
+		right := NewAccumulator(groups, maxOrder)
+		for i, row := range rows {
+			seq.Add(row)
+			if i < split {
+				left.Add(row)
+			} else {
+				right.Add(row)
+			}
+		}
+
+		merged := NewAccumulator(groups, maxOrder)
+		merged.Merge(left)
+		merged.Merge(right)
+		requireEqual(t, "left+right", seq, merged)
+
+		reversed := NewAccumulator(groups, maxOrder)
+		reversed.Merge(right)
+		reversed.Merge(left)
+		requireEqual(t, "right+left", seq, reversed)
+	})
+}
+
+// requireEqual asserts two accumulators hold bit-identical sums.
+func requireEqual(t *testing.T, label string, want, got *Accumulator) {
+	t.Helper()
+	if want.N() != got.N() {
+		t.Fatalf("%s: N = %d, want %d", label, got.N(), want.N())
+	}
+	wantPow, wantCross := want.RawSums()
+	gotPow, gotCross := got.RawSums()
+	for i := range wantPow {
+		if wantPow[i] != gotPow[i] {
+			t.Fatalf("%s: pow[%d] = %v, want %v (not bit-identical)", label, i, gotPow[i], wantPow[i])
+		}
+	}
+	for i := range wantCross {
+		if wantCross[i] != gotCross[i] {
+			t.Fatalf("%s: cross[%d] = %v, want %v (not bit-identical)", label, i, gotCross[i], wantCross[i])
+		}
+	}
+}

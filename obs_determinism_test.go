@@ -1,0 +1,122 @@
+package explorefault_test
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	explorefault "repro"
+)
+
+// TestObservabilityDoesNotPerturbResults is the zero-cost pattern's
+// correctness half: enabling the metrics registry and the event emitter
+// must leave every campaign and discovery result bit-identical, because
+// instrumentation never touches a PRNG stream. The table covers the
+// unprotected oracle, the countermeasure oracle, and a full discovery
+// session, each run with observability off, metrics only, and metrics
+// plus events.
+func TestObservabilityDoesNotPerturbResults(t *testing.T) {
+	type variant struct {
+		name    string
+		metrics bool
+		events  bool
+	}
+	variants := []variant{
+		{"off", false, false},
+		{"metrics", true, false},
+		{"metrics+events", true, true},
+	}
+	instrument := func(v variant, cfg *explorefault.AssessConfig) {
+		if v.metrics {
+			cfg.Metrics = explorefault.NewMetrics()
+		}
+		if v.events {
+			cfg.Events = explorefault.NewEventEmitter(io.Discard)
+		}
+	}
+
+	t.Run("assess", func(t *testing.T) {
+		pattern := explorefault.PatternFromGroups(64, 4, 5)
+		var want uint64
+		for i, v := range variants {
+			cfg := explorefault.AssessConfig{
+				Cipher: "gift64", Round: 25, Samples: 640, Workers: 4, Seed: 9,
+			}
+			instrument(v, &cfg)
+			res, err := explorefault.Assess(pattern, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bits := math.Float64bits(res.T)
+			if i == 0 {
+				want = bits
+				continue
+			}
+			if bits != want {
+				t.Errorf("%s: T bits %x != off bits %x", v.name, bits, want)
+			}
+		}
+	})
+
+	t.Run("assess_protected", func(t *testing.T) {
+		pattern := explorefault.PatternFromBits(128, 12, 64+12)
+		var want uint64
+		for i, v := range variants {
+			cfg := explorefault.AssessConfig{
+				Cipher: "gift64", Round: 25, Samples: 640, Workers: 4, Seed: 13,
+			}
+			instrument(v, &cfg)
+			res, err := explorefault.AssessProtected(pattern, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bits := math.Float64bits(res.T)
+			if i == 0 {
+				want = bits
+				continue
+			}
+			if bits != want {
+				t.Errorf("%s: T bits %x != off bits %x", v.name, bits, want)
+			}
+		}
+	})
+
+	t.Run("discover", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("multi-variant training run")
+		}
+		var want string
+		for i, v := range variants {
+			cfg := explorefault.DiscoverConfig{
+				Cipher:      "gift64",
+				Round:       25,
+				Episodes:    24,
+				NumEnvs:     4,
+				Samples:     128,
+				Seed:        7,
+				SkipHarvest: true,
+			}
+			if v.metrics {
+				cfg.Metrics = explorefault.NewMetrics()
+			}
+			if v.events {
+				cfg.Events = explorefault.NewEventEmitter(io.Discard)
+			}
+			res, err := explorefault.Discover(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := discoverFingerprint(res)
+			if i == 0 {
+				want = fp
+				continue
+			}
+			if fp != want {
+				t.Errorf("%s: outcome diverged from uninstrumented run:\n got %s\nwant %s", v.name, fp, want)
+			}
+			if v.metrics && cfg.Metrics.Snapshot().Counters["explore.episodes_total"] == 0 {
+				t.Errorf("%s: instrumentation enabled but episode counter never moved", v.name)
+			}
+		}
+	})
+}
