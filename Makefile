@@ -3,7 +3,7 @@ BENCH_OUT ?= BENCH_pr2.json
 BENCH_LABEL ?= after
 FUZZTIME ?= 10s
 
-.PHONY: all build test check vet race bench bench-all fuzz fmt
+.PHONY: all build test check vet race bench bench-all fuzz smoke-resume fmt
 
 all: build
 
@@ -45,6 +45,13 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzEncryptDecrypt$$' -fuzztime $(FUZZTIME) ./internal/ciphers
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchScalarEquivalence$$' -fuzztime $(FUZZTIME) ./internal/ciphers
 	$(GO) test -run '^$$' -fuzz '^FuzzAccumulatorMerge$$' -fuzztime $(FUZZTIME) ./internal/stats
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
+
+# Kill-and-resume smoke: SIGINT a checkpointing discovery run mid-training,
+# verify the event log survived intact, resume, and compare against an
+# uninterrupted reference run.
+smoke-resume:
+	sh scripts/smoke_resume.sh
 
 fmt:
 	gofmt -l -w .

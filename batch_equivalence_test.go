@@ -1,6 +1,7 @@
 package explorefault_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -111,7 +112,7 @@ func TestBatchScalarEquivalence(t *testing.T) {
 							t.Fatal(err)
 						}
 						for _, workers := range []int{1, 4} {
-							accs, err := evaluate.RunSharded(samples, workers, len(points), cp.Groups(), 2, 99,
+							accs, err := evaluate.RunSharded(context.Background(), samples, workers, len(points), cp.Groups(), 2, 99,
 								func(rng *prng.Source, shard, n int, shardAccs []*stats.Accumulator) error {
 									return cp.CollectInto(rng, n, shardAccs)
 								})

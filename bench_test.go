@@ -13,6 +13,7 @@
 package explorefault_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -326,7 +327,7 @@ func BenchmarkCampaignCollect(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				_, err := evaluate.RunSharded(cp.Samples, workers, len(cp.Points),
+				_, err := evaluate.RunSharded(context.Background(), cp.Samples, workers, len(cp.Points),
 					cp.Groups(), 2, uint64(i),
 					func(rng *prng.Source, shard, n int, accs []*stats.Accumulator) error {
 						return cp.CollectInto(rng, n, accs)
@@ -368,7 +369,7 @@ func BenchmarkCampaignCollect(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				_, err := evaluate.RunSharded(cp.Samples, 1, len(cp.Points),
+				_, err := evaluate.RunSharded(context.Background(), cp.Samples, 1, len(cp.Points),
 					cp.Groups(), 2, uint64(i),
 					func(rng *prng.Source, shard, n int, accs []*stats.Accumulator) error {
 						return cp.CollectInto(rng, n, accs)
@@ -489,7 +490,7 @@ func BenchmarkOracleEvaluate(b *testing.B) {
 	b.Run("serial-cold", func(b *testing.B) {
 		oracle := makeOracle(1)
 		for i := 0; i < b.N; i++ {
-			if _, err := oracle.Evaluate(&pattern); err != nil {
+			if _, err := oracle.Evaluate(context.Background(), &pattern); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -497,19 +498,19 @@ func BenchmarkOracleEvaluate(b *testing.B) {
 	b.Run("parallel-cold", func(b *testing.B) {
 		oracle := makeOracle(0)
 		for i := 0; i < b.N; i++ {
-			if _, err := oracle.Evaluate(&pattern); err != nil {
+			if _, err := oracle.Evaluate(context.Background(), &pattern); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("cached-warm", func(b *testing.B) {
 		oracle := explore.NewCachedOracle(makeOracle(0), 0)
-		if _, err := oracle.Evaluate(&pattern); err != nil {
+		if _, err := oracle.Evaluate(context.Background(), &pattern); err != nil {
 			b.Fatal(err) // populate the cache
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := oracle.Evaluate(&pattern); err != nil {
+			if _, err := oracle.Evaluate(context.Background(), &pattern); err != nil {
 				b.Fatal(err)
 			}
 		}

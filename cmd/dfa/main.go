@@ -9,28 +9,41 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	explorefault "repro"
 	"repro/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// First SIGINT/SIGTERM cancels the run context so the event log and
+	// metrics endpoint are flushed and closed on the way out; a second
+	// signal force-kills.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "dfa:", err)
 		os.Exit(1)
 	}
 }
 
 // run is the testable CLI body: it parses args, mounts the key-recovery
-// attack, and writes human output to stdout.
-func run(args []string, stdout, stderr io.Writer) error {
+// attack, and writes human output to stdout. The attack itself is short;
+// ctx is checked between setup and the attack.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("dfa", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cipher := fs.String("cipher", "gift64", "target cipher: aes128 or gift64")
@@ -79,6 +92,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"pairs": *pairs, "seed": *seed,
 	})
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	res, err := explorefault.VerifyKeyRecovery(pattern, explorefault.VerifyConfig{
 		Cipher: *cipher, Key: key, Round: *round, Pairs: *pairs, Seed: *seed,
 	})

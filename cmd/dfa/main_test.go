@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -17,7 +18,7 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
-		if err := run(args, &out, &errb); err == nil {
+		if err := run(context.Background(), args, &out, &errb); err == nil {
 			t.Errorf("run(%v): expected error, got nil", args)
 		}
 	}
@@ -26,7 +27,7 @@ func TestRunFlagErrors(t *testing.T) {
 func TestRunTinyEndToEnd(t *testing.T) {
 	evPath := filepath.Join(t.TempDir(), "run.jsonl")
 	var out, errb bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-cipher", "gift64", "-nibbles", "8,9,10,11,12,14",
 		"-round", "25", "-pairs", "64", "-seed", "1", "-events", evPath,
 	}, &out, &errb)
@@ -48,7 +49,7 @@ func TestRunTinyEndToEnd(t *testing.T) {
 		t.Fatalf("expected exactly run_started + run_finished, got %d lines", len(lines))
 	}
 	var last struct {
-		Event  string `json:"event"`
+		Event  string         `json:"event"`
 		Fields map[string]any `json:"fields"`
 	}
 	if err := json.Unmarshal([]byte(lines[1]), &last); err != nil {

@@ -13,11 +13,15 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	explorefault "repro"
@@ -26,7 +30,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// First SIGINT/SIGTERM cancels the run context: the session stops at
+	// the next episode boundary, writes a final checkpoint, and the event
+	// log and metrics endpoint are flushed and closed on the way out. A
+	// second signal restores default handling, so Ctrl-C twice force-kills.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "explorefault:", err)
 		os.Exit(1)
 	}
@@ -34,7 +48,8 @@ func main() {
 
 // run is the testable CLI body: it parses args, executes the discovery
 // session, and writes human output to stdout and diagnostics to stderr.
-func run(args []string, stdout, stderr io.Writer) error {
+// Cancelling ctx stops the session at the next episode boundary.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("explorefault", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cipher := fs.String("cipher", "gift64", "target cipher: "+fmt.Sprint(explorefault.Ciphers()))
@@ -49,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	keyHex := fs.String("key", "", "cipher key in hex (default: random from seed)")
 	eventsPath := fs.String("events", "", "write structured JSONL run events to this file")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	checkpointPath := fs.String("checkpoint", "", "snapshot training state to this file (atomic; written at update boundaries and on interrupt)")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "episodes between periodic checkpoint writes (0 = default cadence)")
+	resume := fs.Bool("resume", false, "restore training state from -checkpoint before running (missing file starts fresh)")
 	verbose := fs.Bool("v", false, "print training progress")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,19 +90,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"episodes": *episodes, "protected": *protected, "seed": *seed,
 	})
 
+	if *resume && *checkpointPath == "" {
+		return errors.New("-resume requires -checkpoint")
+	}
 	cfg := explorefault.DiscoverConfig{
-		Cipher:        *cipher,
-		Key:           key,
-		Round:         *round,
-		Protected:     *protected,
-		Episodes:      *episodes,
-		Samples:       *samples,
-		Workers:       *workers,
-		NoBatch:       *scalar,
-		NoOracleCache: !*cache,
-		Seed:          *seed,
-		Metrics:       metrics,
-		Events:        events,
+		Cipher:          *cipher,
+		Key:             key,
+		Round:           *round,
+		Protected:       *protected,
+		Episodes:        *episodes,
+		Samples:         *samples,
+		Workers:         *workers,
+		NoBatch:         *scalar,
+		NoOracleCache:   !*cache,
+		Seed:            *seed,
+		Metrics:         metrics,
+		Events:          events,
+		Checkpoint:      *checkpointPath,
+		CheckpointEvery: *checkpointEvery,
+		Resume:          *resume,
 	}
 	if *verbose {
 		cfg.Progress = func(p explorefault.Progress) {
@@ -97,9 +121,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	start := time.Now()
-	res, err := explorefault.Discover(cfg)
+	res, err := explorefault.DiscoverContext(ctx, cfg)
 	if err != nil {
 		events.Emit(obs.EventRunFinished, map[string]any{"binary": "explorefault", "error": err.Error()})
+		if errors.Is(err, context.Canceled) && *checkpointPath != "" {
+			fmt.Fprintf(stderr, "interrupted; training state saved to %s (resume with -resume)\n", *checkpointPath)
+		}
 		return err
 	}
 

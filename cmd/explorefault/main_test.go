@@ -2,23 +2,27 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunFlagErrors(t *testing.T) {
 	cases := [][]string{
 		{"-no-such-flag"},
-		{"-key", "zz"},            // invalid hex
-		{"-cipher", "nosuch"},     // unknown cipher
+		{"-key", "zz"},                          // invalid hex
+		{"-cipher", "nosuch"},                   // unknown cipher
 		{"-events", "/dev/null/nope/run.jsonl"}, // unopenable events file
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
-		if err := run(args, &out, &errb); err == nil {
+		if err := run(context.Background(), args, &out, &errb); err == nil {
 			t.Errorf("run(%v): expected error, got nil", args)
 		}
 	}
@@ -27,7 +31,7 @@ func TestRunFlagErrors(t *testing.T) {
 func TestRunTinyEndToEnd(t *testing.T) {
 	evPath := filepath.Join(t.TempDir(), "run.jsonl")
 	var out, errb bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-cipher", "gift64", "-round", "25",
 		"-episodes", "8", "-samples", "64", "-seed", "1",
 		"-events", evPath,
@@ -77,5 +81,75 @@ func TestRunTinyEndToEnd(t *testing.T) {
 	}
 	if last.Seq != uint64(len(lines)-1) {
 		t.Errorf("last seq = %d, want %d (gap-free 0-based sequence)", last.Seq, len(lines)-1)
+	}
+}
+
+// TestRunInterruptAndResume drives the CLI body the way a SIGINT does:
+// cancel mid-run, then rerun with -resume and require the same converged
+// pattern an uninterrupted run prints. The event log of the interrupted
+// run must still be complete, parseable JSONL.
+func TestRunInterruptAndResume(t *testing.T) {
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "train.ckpt")
+	evPath := filepath.Join(dir, "run.jsonl")
+	args := func(extra ...string) []string {
+		return append([]string{
+			"-cipher", "gift64", "-round", "25",
+			"-episodes", "12", "-samples", "64", "-seed", "3",
+		}, extra...)
+	}
+
+	var ref bytes.Buffer
+	if err := run(context.Background(), args(), &ref, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt after ~200ms — partway through the 12-episode run on most
+	// machines, and the eager initial checkpoint covers the rest.
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	var out, errb bytes.Buffer
+	err := run(ctx, args("-checkpoint", ckPath, "-checkpoint-every", "1", "-events", evPath), &out, &errb)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	if _, statErr := os.Stat(ckPath); statErr != nil {
+		t.Fatalf("no checkpoint after interrupted run: %v", statErr)
+	}
+	// Every event line must parse — the log is closed cleanly, never
+	// truncated mid-record.
+	data, readErr := os.ReadFile(evPath)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("event line %d not JSON after interrupt: %v\n%s", i, err, line)
+		}
+	}
+
+	var resumed bytes.Buffer
+	if err := run(context.Background(), args("-checkpoint", ckPath, "-resume"), &resumed, io.Discard); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	pick := func(s, prefix string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				return line
+			}
+		}
+		t.Fatalf("no %q line in output:\n%s", prefix, s)
+		return ""
+	}
+	if got, want := pick(resumed.String(), "converged pattern:"), pick(ref.String(), "converged pattern:"); got != want {
+		t.Errorf("resumed converged line %q, want %q", got, want)
+	}
+}
+
+func TestRunResumeRequiresCheckpoint(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(context.Background(), []string{"-resume"}, &out, &errb); err == nil {
+		t.Error("-resume without -checkpoint accepted")
 	}
 }

@@ -11,17 +11,39 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	iofs "io/fs" // the flag set below takes the fs name
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	explorefault "repro"
+	"repro/internal/checkpoint"
 	"repro/internal/obs"
 )
+
+// stageCheckpointKind tags faultsim stage checkpoints inside the envelope
+// of internal/checkpoint (distinct from explore-session checkpoints).
+const stageCheckpointKind = "faultsim-stages"
+
+// stageCheckpoint persists per-stage results of one assessment run, so an
+// interrupted multi-stage run (order-1, order-2, full verdict,
+// propagation) resumes after the last finished stage instead of repeating
+// multi-second campaigns. Key is the canonical argument string; a file
+// written for different arguments is discarded, not misapplied. Workers
+// and -scalar are excluded from the key because results are bit-identical
+// across them.
+type stageCheckpoint struct {
+	Key     string
+	Assess  map[string]explorefault.Assessment
+	Profile *explorefault.PropagationProfile
+}
 
 func parseInts(s string) ([]int, error) {
 	if s == "" {
@@ -39,15 +61,25 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// First SIGINT/SIGTERM cancels the run context: the campaign stops at
+	// the next shard boundary and the event log is flushed and closed on
+	// the way out. A second signal force-kills.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
 }
 
 // run is the testable CLI body: it parses args, runs the assessment and
-// propagation profile, and writes human output to stdout.
-func run(args []string, stdout, stderr io.Writer) error {
+// propagation profile, and writes human output to stdout. Cancelling ctx
+// stops the in-flight campaign at the next shard boundary.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cipher := fs.String("cipher", "aes128", "target cipher: "+fmt.Sprint(explorefault.Ciphers()))
@@ -61,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	eventsPath := fs.String("events", "", "write structured JSONL run events to this file")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	checkpointPath := fs.String("checkpoint", "", "persist per-stage results to this file; rerunning with the same arguments resumes after the last finished stage")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,34 +138,83 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"bits": pattern.Count(), "samples": *samples, "seed": *seed,
 	})
 
+	// Stage checkpointing: load any prior partial run for these exact
+	// arguments, then persist after every finished stage so an interrupt
+	// costs at most one stage.
+	ck := stageCheckpoint{
+		Key: fmt.Sprintf("%s|r%d|%s|s=%d|seed=%d",
+			*cipher, *round, pattern.String(), *samples, *seed),
+	}
+	if *checkpointPath != "" {
+		var prior stageCheckpoint
+		err := checkpoint.Load(*checkpointPath, stageCheckpointKind, &prior)
+		if err != nil && !errors.Is(err, iofs.ErrNotExist) {
+			return fmt.Errorf("loading -checkpoint: %w", err)
+		}
+		if err == nil && prior.Key == ck.Key {
+			ck = prior
+		}
+	}
+	if ck.Assess == nil {
+		ck.Assess = map[string]explorefault.Assessment{}
+	}
+	saveStages := func(stage string) error {
+		if *checkpointPath == "" {
+			return nil
+		}
+		if err := checkpoint.Save(*checkpointPath, stageCheckpointKind, &ck); err != nil {
+			return err
+		}
+		events.Emit(obs.EventCheckpointSaved, map[string]any{
+			"binary": "faultsim", "stage": stage, "path": *checkpointPath,
+		})
+		return nil
+	}
+	assessStage := func(stage string, fixedOrder int) (explorefault.Assessment, error) {
+		if a, ok := ck.Assess[stage]; ok {
+			return a, nil
+		}
+		a, err := explorefault.AssessContext(ctx, pattern, explorefault.AssessConfig{
+			Cipher: *cipher, Round: *round, Samples: *samples,
+			FixedOrder: fixedOrder, Workers: *workers, NoBatch: *scalar, Seed: *seed,
+			Metrics: metrics, Events: events,
+		})
+		if err != nil {
+			return a, err
+		}
+		ck.Assess[stage] = a
+		return a, saveStages(stage)
+	}
+
 	fmt.Fprintf(stdout, "cipher %s, fault at round %d, pattern %s (%d bits)\n\n",
 		*cipher, *round, pattern.String(), pattern.Count())
 
 	for order := 1; order <= 2; order++ {
-		a, err := explorefault.Assess(pattern, explorefault.AssessConfig{
-			Cipher: *cipher, Round: *round, Samples: *samples,
-			FixedOrder: order, Workers: *workers, NoBatch: *scalar, Seed: *seed,
-			Metrics: metrics, Events: events,
-		})
+		a, err := assessStage(fmt.Sprintf("order%d", order), order)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "order-%d t-test: t = %8.2f at %s\n", order, a.T, a.Point)
 	}
-	full, err := explorefault.Assess(pattern, explorefault.AssessConfig{
-		Cipher: *cipher, Round: *round, Samples: *samples,
-		Workers: *workers, NoBatch: *scalar, Seed: *seed,
-		Metrics: metrics, Events: events,
-	})
+	full, err := assessStage("full", 0)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "verdict: t = %.2f (threshold %.1f) -> exploitable = %v\n\n",
 		full.T, full.Threshold, full.Leaky)
 
-	prof, err := explorefault.Propagate(pattern, *cipher, nil, *round, *samples, *seed)
-	if err != nil {
-		return err
+	prof := ck.Profile
+	if prof == nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if prof, err = explorefault.Propagate(pattern, *cipher, nil, *round, *samples, *seed); err != nil {
+			return err
+		}
+		ck.Profile = prof
+		if err := saveStages("propagation"); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintln(stdout, "propagation profile (round inputs after injection):")
 	for r := *round + 1; r <= info.Rounds; r++ {

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -18,7 +21,7 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
-		if err := run(args, &out, &errb); err == nil {
+		if err := run(context.Background(), args, &out, &errb); err == nil {
 			t.Errorf("run(%v): expected error, got nil", args)
 		}
 	}
@@ -27,7 +30,7 @@ func TestRunFlagErrors(t *testing.T) {
 func TestRunTinyEndToEnd(t *testing.T) {
 	evPath := filepath.Join(t.TempDir(), "run.jsonl")
 	var out, errb bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-cipher", "gift64", "-round", "25", "-nibbles", "8,9",
 		"-samples", "64", "-seed", "1", "-events", evPath,
 	}, &out, &errb)
@@ -61,5 +64,72 @@ func TestRunTinyEndToEnd(t *testing.T) {
 	// Three assessments (order 1, order 2, full) each emit a campaign pair.
 	if kinds["campaign_started"] == 0 || kinds["campaign_started"] != kinds["campaign_finished"] {
 		t.Errorf("campaign event counts = %v", kinds)
+	}
+}
+
+// TestRunStageCheckpoint: with -checkpoint, a cancelled run persists the
+// stages it finished, and the rerun serves them from the file (campaign
+// events only for the stages that actually execute) while printing the
+// same verdicts.
+func TestRunStageCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "stages.ckpt")
+	args := []string{
+		"-cipher", "gift64", "-round", "25", "-nibbles", "8,9",
+		"-samples", "64", "-seed", "1", "-checkpoint", ckPath,
+	}
+
+	var ref bytes.Buffer
+	if err := run(context.Background(), args, &ref, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckPath); err != nil {
+		t.Fatalf("no stage checkpoint written: %v", err)
+	}
+
+	// Rerun with identical arguments: all stages come from the file, so
+	// no campaign runs at all.
+	evPath := filepath.Join(dir, "rerun.jsonl")
+	var out bytes.Buffer
+	if err := run(context.Background(), append(args, "-events", evPath), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != ref.String() {
+		t.Errorf("checkpointed rerun output differs:\n%s\nwant:\n%s", out.String(), ref.String())
+	}
+	data, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "campaign_started") {
+		t.Error("rerun re-executed campaigns despite a complete stage checkpoint")
+	}
+
+	// Different arguments must not reuse the file's results.
+	var other bytes.Buffer
+	if err := run(context.Background(), []string{
+		"-cipher", "gift64", "-round", "25", "-nibbles", "8,10",
+		"-samples", "64", "-seed", "1", "-checkpoint", ckPath,
+	}, &other, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if other.String() == ref.String() {
+		t.Error("stage checkpoint reused for a different pattern")
+	}
+}
+
+// TestRunCancelledMidStages: cancellation surfaces as context.Canceled and
+// leaves a loadable checkpoint holding the finished stages.
+func TestRunCancelledMidStages(t *testing.T) {
+	ckPath := filepath.Join(t.TempDir(), "stages.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	err := run(ctx, []string{
+		"-cipher", "gift64", "-round", "25", "-nibbles", "8,9",
+		"-samples", "64", "-seed", "1", "-checkpoint", ckPath,
+	}, &out, io.Discard)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }

@@ -1,8 +1,11 @@
 package explorefault
 
 import (
+	"context"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io/fs"
 	"sort"
 	"time"
 
@@ -71,6 +74,20 @@ type DiscoverConfig struct {
 	// SkipHarvest skips the abstraction/extension pipeline (used by
 	// benches that only need training-rate numbers).
 	SkipHarvest bool
+	// Checkpoint, when non-empty, is a file path the session snapshots
+	// its training state to (atomically) at PPO-update boundaries and on
+	// cancellation, so an interrupted run can be resumed bit-identically.
+	Checkpoint string
+	// CheckpointEvery is the periodic-write cadence in episodes
+	// (default explore.DefaultCheckpointEvery). Snapshots only land on
+	// update boundaries, so the effective cadence rounds up to a multiple
+	// of NumEnvs.
+	CheckpointEvery int
+	// Resume restores training state from Checkpoint before running. A
+	// missing checkpoint file starts fresh; a checkpoint from a different
+	// configuration (seed, cipher, round, ...) is an error. Episodes may
+	// be raised between runs to extend a finished session.
+	Resume bool
 	// MaxHarvest bounds how many raw log patterns are abstracted
 	// (default 24).
 	MaxHarvest int
@@ -143,8 +160,17 @@ type DiscoveryResult struct {
 
 // Discover runs an RL fault-model discovery session: train PPO on the
 // bit-selection MDP, read out the converged pattern, and harvest verified
-// fault models (§III). It is the paper's headline entry point.
+// fault models (§III). It is the paper's headline entry point, and is
+// DiscoverContext with a background context (never cancelled).
 func Discover(cfg DiscoverConfig) (*DiscoveryResult, error) {
+	return DiscoverContext(context.Background(), cfg)
+}
+
+// DiscoverContext is Discover with cancellation. When ctx is cancelled the
+// session stops at the next episode-batch boundary (never mid-trace, so
+// PRNG streams stay intact), writes a final checkpoint when
+// cfg.Checkpoint is set, and returns ctx.Err().
+func DiscoverContext(ctx context.Context, cfg DiscoverConfig) (*DiscoveryResult, error) {
 	if cfg.Round == 0 {
 		return nil, fmt.Errorf("explorefault: DiscoverConfig.Round is required")
 	}
@@ -206,6 +232,14 @@ func Discover(cfg DiscoverConfig) (*DiscoveryResult, error) {
 	if cfg.RewardAtEachStep {
 		envCfg.Timing = explore.EachStep
 	}
+	// The checkpoint label folds the oracle-side configuration (cipher,
+	// round, key, samples, protection) into the session fingerprint —
+	// the explore package cannot see those, but they determine every
+	// reward, so a resume across them must be refused. Workers, NoBatch
+	// and cache settings are excluded: results are bit-identical across
+	// them by construction.
+	label := fmt.Sprintf("%s|r%d|p=%v|s=%d|key=%x",
+		cfg.Cipher, cfg.Round, cfg.Protected, cfg.Samples, key)
 	sess, err := explore.NewSession(factory, explore.SessionConfig{
 		NumEnvs:  cfg.NumEnvs,
 		Episodes: cfg.Episodes,
@@ -216,14 +250,30 @@ func Discover(cfg DiscoverConfig) (*DiscoveryResult, error) {
 			Disable:  cfg.NoOracleCache,
 			Capacity: cfg.CacheCapacity,
 		},
-		Progress: cfg.Progress,
-		Metrics:  cfg.Metrics,
-		Events:   cfg.Events,
+		Progress:        cfg.Progress,
+		Metrics:         cfg.Metrics,
+		Events:          cfg.Events,
+		Checkpoint:      cfg.Checkpoint,
+		CheckpointEvery: cfg.CheckpointEvery,
+		CheckpointLabel: label,
 	})
 	if err != nil {
 		return nil, err
 	}
-	out, err := sess.Run()
+	if cfg.Resume && cfg.Checkpoint != "" {
+		ck, err := explore.LoadCheckpoint(cfg.Checkpoint)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Nothing to resume from yet: start fresh.
+		case err != nil:
+			return nil, fmt.Errorf("explorefault: resume: %w", err)
+		default:
+			if err := sess.RestoreCheckpoint(ck); err != nil {
+				return nil, fmt.Errorf("explorefault: resume: %w", err)
+			}
+		}
+	}
+	out, err := sess.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +325,7 @@ func Discover(cfg DiscoverConfig) (*DiscoveryResult, error) {
 		return res, nil
 	}
 
-	res.Models, err = harvestModels(cfg, key, out)
+	res.Models, err = harvestModels(ctx, cfg, key, out)
 	return res, err
 }
 
@@ -300,7 +350,7 @@ func diagonalContained(p Pattern) bool {
 // candidate raw patterns (converged + the most frequent and largest leaky
 // training patterns), abstract to group granularity with a high-sample
 // offline verifier, extend by structural symmetry, deduplicate.
-func harvestModels(cfg DiscoverConfig, key []byte, out *explore.Outcome) ([]Model, error) {
+func harvestModels(ctx context.Context, cfg DiscoverConfig, key []byte, out *explore.Outcome) ([]Model, error) {
 	verifierFactory := assessorOracleFactory(cfg.Cipher, key, cfg.Round, 2048, cfg.Workers, cfg.NoBatch, cfg.Metrics)
 	verifier, err := verifierFactory(prng.New(cfg.Seed ^ 0xfeed))
 	if err != nil {
@@ -355,7 +405,7 @@ func harvestModels(cfg DiscoverConfig, key []byte, out *explore.Outcome) ([]Mode
 			"bits":    p.Count(),
 		})
 	}
-	models, err := abstraction.Harvest(verifier, candidates, abstraction.HarvestConfig{
+	models, err := abstraction.Harvest(ctx, verifier, candidates, abstraction.HarvestConfig{
 		MaxPatterns:    cfg.MaxHarvest,
 		ExtendSymmetry: true,
 		IsAES:          cfg.Cipher == "aes128",

@@ -24,6 +24,7 @@
 package explorefault
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -185,8 +186,15 @@ type AssessConfig struct {
 }
 
 // Assess measures the information leakage of a fault pattern: the
-// standalone exploitability oracle (§III-C).
+// standalone exploitability oracle (§III-C). It is AssessContext with a
+// background context (never cancelled).
 func Assess(pattern Pattern, cfg AssessConfig) (Assessment, error) {
+	return AssessContext(context.Background(), pattern, cfg)
+}
+
+// AssessContext is Assess with cancellation: ctx aborts the underlying
+// fault campaign at the next shard boundary and returns ctx.Err().
+func AssessContext(ctx context.Context, pattern Pattern, cfg AssessConfig) (Assessment, error) {
 	rng := prng.New(cfg.Seed)
 	c, _, err := newKeyedCipher(cfg.Cipher, cfg.Key, rng)
 	if err != nil {
@@ -204,9 +212,9 @@ func Assess(pattern Pattern, cfg AssessConfig) (Assessment, error) {
 	}, rng.Split())
 	var res leakage.Assessment
 	if cfg.FixedOrder > 0 {
-		res, err = a.AssessOrder(&pattern, cfg.Round, cfg.FixedOrder)
+		res, err = a.AssessOrder(ctx, &pattern, cfg.Round, cfg.FixedOrder)
 	} else {
-		res, err = a.Assess(&pattern, cfg.Round)
+		res, err = a.Assess(ctx, &pattern, cfg.Round)
 	}
 	if err != nil {
 		return Assessment{}, err
@@ -224,7 +232,14 @@ func Assess(pattern Pattern, cfg AssessConfig) (Assessment, error) {
 // pattern against the duplication countermeasure (§IV-C): pattern bits
 // [0, T) fault branch 1 and [T, 2T) fault branch 2, and the t-test runs
 // on released ciphertexts only (muted outputs are random strings).
+// It is AssessProtectedContext with a background context.
 func AssessProtected(pattern Pattern, cfg AssessConfig) (Assessment, error) {
+	return AssessProtectedContext(context.Background(), pattern, cfg)
+}
+
+// AssessProtectedContext is AssessProtected with cancellation: ctx aborts
+// the underlying fault campaign at the next shard boundary.
+func AssessProtectedContext(ctx context.Context, pattern Pattern, cfg AssessConfig) (Assessment, error) {
 	rng := prng.New(cfg.Seed)
 	c, _, err := newKeyedCipher(cfg.Cipher, cfg.Key, rng)
 	if err != nil {
@@ -244,7 +259,7 @@ func AssessProtected(pattern Pattern, cfg AssessConfig) (Assessment, error) {
 	if err != nil {
 		return Assessment{}, err
 	}
-	t, err := oracle.Evaluate(&pattern)
+	t, err := oracle.Evaluate(ctx, &pattern)
 	if err != nil {
 		return Assessment{}, err
 	}

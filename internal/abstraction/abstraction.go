@@ -8,6 +8,7 @@
 package abstraction
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,7 +20,7 @@ import (
 // this interface; the indirection keeps the dependency arrow pointing
 // here.
 type Verifier interface {
-	Evaluate(pattern *bitvec.Vector) (float64, error)
+	Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64, error)
 	Threshold() float64
 	StateBits() int
 }
@@ -160,8 +161,8 @@ func classify(groups []int, groupBits int, isAES bool) Class {
 // pattern as exploitable") the verified sub-models — each touched group
 // on its own, each AES-diagonal-restricted sub-pattern — plus the raw
 // pattern itself when only that verifies.
-func AbstractAll(v Verifier, pattern *bitvec.Vector, groupBits int, isAES bool) ([]Model, error) {
-	m, err := Abstract(v, pattern, groupBits, isAES)
+func AbstractAll(ctx context.Context, v Verifier, pattern *bitvec.Vector, groupBits int, isAES bool) ([]Model, error) {
+	m, err := Abstract(ctx, v, pattern, groupBits, isAES)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +174,7 @@ func AbstractAll(v Verifier, pattern *bitvec.Vector, groupBits int, isAES bool) 
 		// individual groups, which yields the single-nibble/byte rows of
 		// Table III from multi-group discoveries.
 		if len(groups) > 1 && len(groups) <= 4 {
-			subs, err := perGroupModels(v, pattern.Len(), groups, groupBits, isAES)
+			subs, err := perGroupModels(ctx, v, pattern.Len(), groups, groupBits, isAES)
 			if err != nil {
 				return nil, err
 			}
@@ -186,7 +187,7 @@ func AbstractAll(v Verifier, pattern *bitvec.Vector, groupBits int, isAES bool) 
 		out = append(out, m) // the raw pattern leaks even though the widening does not
 	}
 	// Per-group sub-models.
-	subs, err := perGroupModels(v, pattern.Len(), groups, groupBits, isAES)
+	subs, err := perGroupModels(ctx, v, pattern.Len(), groups, groupBits, isAES)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +209,7 @@ func AbstractAll(v Verifier, pattern *bitvec.Vector, groupBits int, isAES bool) 
 					sub.Set(g*groupBits + j)
 				}
 			}
-			t, err := v.Evaluate(&sub)
+			t, err := v.Evaluate(ctx, &sub)
 			if err != nil {
 				return nil, err
 			}
@@ -225,14 +226,14 @@ func AbstractAll(v Verifier, pattern *bitvec.Vector, groupBits int, isAES bool) 
 }
 
 // perGroupModels verifies each touched group as a standalone model.
-func perGroupModels(v Verifier, stateBits int, groups []int, groupBits int, isAES bool) ([]Model, error) {
+func perGroupModels(ctx context.Context, v Verifier, stateBits int, groups []int, groupBits int, isAES bool) ([]Model, error) {
 	var out []Model
 	for _, g := range groups {
 		sub := bitvec.New(stateBits)
 		for j := 0; j < groupBits; j++ {
 			sub.Set(g*groupBits + j)
 		}
-		t, err := v.Evaluate(&sub)
+		t, err := v.Evaluate(ctx, &sub)
 		if err != nil {
 			return nil, err
 		}
@@ -251,12 +252,12 @@ func perGroupModels(v Verifier, stateBits int, groups []int, groupBits int, isAE
 // widened model with v, and returns the result. If the widened model does
 // not verify but the raw pattern does, the raw pattern is returned as a
 // RawPattern model; a single-bit raw pattern is reported as BitModel.
-func Abstract(v Verifier, pattern *bitvec.Vector, groupBits int, isAES bool) (Model, error) {
+func Abstract(ctx context.Context, v Verifier, pattern *bitvec.Vector, groupBits int, isAES bool) (Model, error) {
 	if pattern.IsZero() {
 		return Model{}, fmt.Errorf("abstraction: empty pattern")
 	}
 	if pattern.Count() == 1 {
-		t, err := v.Evaluate(pattern)
+		t, err := v.Evaluate(ctx, pattern)
 		if err != nil {
 			return Model{}, err
 		}
@@ -267,7 +268,7 @@ func Abstract(v Verifier, pattern *bitvec.Vector, groupBits int, isAES bool) (Mo
 		}, nil
 	}
 	groups, widened := Widen(pattern, groupBits)
-	t, err := v.Evaluate(&widened)
+	t, err := v.Evaluate(ctx, &widened)
 	if err != nil {
 		return Model{}, err
 	}
@@ -279,7 +280,7 @@ func Abstract(v Verifier, pattern *bitvec.Vector, groupBits int, isAES bool) (Mo
 		}, nil
 	}
 	// Widened model failed: report the specific multi-bit pattern.
-	rawT, err := v.Evaluate(pattern)
+	rawT, err := v.Evaluate(ctx, pattern)
 	if err != nil {
 		return Model{}, err
 	}
@@ -351,7 +352,7 @@ func key(groups []int) string {
 
 // Extend verifies the structural siblings of a model and returns those
 // that pass the t-test, as fully-formed models.
-func Extend(v Verifier, m Model, isAES bool) ([]Model, error) {
+func Extend(ctx context.Context, v Verifier, m Model, isAES bool) ([]Model, error) {
 	if m.Class == RawPattern || m.Class == BitModel {
 		return nil, nil
 	}
@@ -363,7 +364,7 @@ func Extend(v Verifier, m Model, isAES bool) ([]Model, error) {
 				pattern.Set(grp*m.GroupBits + j)
 			}
 		}
-		t, err := v.Evaluate(&pattern)
+		t, err := v.Evaluate(ctx, &pattern)
 		if err != nil {
 			return nil, err
 		}
@@ -413,7 +414,7 @@ type HarvestConfig struct {
 // Harvest abstracts a set of raw leaky patterns (typically from the
 // training log plus the converged pattern) into a deduplicated, verified
 // model list, optionally extended by symmetry.
-func Harvest(v Verifier, patterns []bitvec.Vector, cfg HarvestConfig) ([]Model, error) {
+func Harvest(ctx context.Context, v Verifier, patterns []bitvec.Vector, cfg HarvestConfig) ([]Model, error) {
 	if cfg.MaxPatterns == 0 {
 		cfg.MaxPatterns = 32
 	}
@@ -430,7 +431,7 @@ func Harvest(v Verifier, patterns []bitvec.Vector, cfg HarvestConfig) ([]Model, 
 		if i >= cfg.MaxPatterns {
 			break
 		}
-		ms, err := AbstractAll(v, &p, cfg.GroupBits, cfg.IsAES)
+		ms, err := AbstractAll(ctx, v, &p, cfg.GroupBits, cfg.IsAES)
 		if err != nil {
 			return nil, err
 		}
@@ -441,7 +442,7 @@ func Harvest(v Verifier, patterns []bitvec.Vector, cfg HarvestConfig) ([]Model, 
 			seen[m.Key()] = true
 			models = append(models, m)
 			if cfg.ExtendSymmetry && len(m.Groups) <= totalGroups/2 {
-				sibs, err := Extend(v, m, cfg.IsAES)
+				sibs, err := Extend(ctx, v, m, cfg.IsAES)
 				if err != nil {
 					return nil, err
 				}

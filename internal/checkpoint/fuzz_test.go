@@ -1,0 +1,40 @@
+package checkpoint
+
+import "testing"
+
+// FuzzCheckpointDecode feeds arbitrary bytes to Decode and asserts the
+// contract that matters for resume safety: hostile input (truncations,
+// bit flips, version skew, garbage) must produce an error — one of the
+// envelope sentinels or a gob decode error — and must never panic or
+// succeed. Only bytes that byte-for-byte round-trip through Encode may
+// decode cleanly.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid, err := Encode("session", sample())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(nil))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("EFCKPT"))
+	skew := append([]byte(nil), valid...)
+	skew[7] = 99
+	f.Add(skew)
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)-3] ^= 0x40
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got samplePayload
+		err := Decode(data, "session", &got) // must not panic
+		if err == nil {
+			reenc, encErr := Encode("session", got)
+			if encErr != nil {
+				t.Fatalf("decoded payload fails to re-encode: %v", encErr)
+			}
+			if string(reenc) != string(data) {
+				t.Fatalf("Decode accepted bytes that are not a canonical encoding")
+			}
+		}
+	})
+}

@@ -18,6 +18,7 @@ package countermeasure
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
 	"fmt"
 	"sync/atomic"
@@ -184,8 +185,9 @@ func (o *Oracle) SplitPattern(pattern *bitvec.Vector) (b1, b2 bitvec.Vector) {
 // sharded worker pool and runs the order-1..G t-test against the shared
 // uniform reference. Evaluate is a pure function of the oracle seed and
 // the pattern; only LastMutedRate makes an Oracle value unsafe to share
-// between goroutines.
-func (o *Oracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
+// between goroutines. A done ctx aborts the campaign at the next shard
+// boundary and returns ctx.Err().
+func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64, error) {
 	if pattern.Len() != o.StateBits() {
 		return 0, fmt.Errorf("countermeasure: pattern width %d, want %d", pattern.Len(), o.StateBits())
 	}
@@ -218,7 +220,7 @@ func (o *Oracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
 	shardHist := m.Histogram("countermeasure.shard_seconds", obs.LatencyBuckets)
 
 	var muted atomic.Int64
-	accs, err := evaluate.RunSharded(o.cfg.Samples, o.cfg.Workers, 1, groups, o.cfg.MaxOrder, seed,
+	accs, err := evaluate.RunSharded(ctx, o.cfg.Samples, o.cfg.Workers, 1, groups, o.cfg.MaxOrder, seed,
 		func(rng *prng.Source, shard, n int, shardAccs []*stats.Accumulator) error {
 			st := shardHist.Start()
 			var shardMuted int

@@ -9,6 +9,7 @@
 package coverage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -168,7 +169,7 @@ func Scan(c ciphers.Cipher, cfg Config, rng *prng.Source) (*Report, error) {
 		if cfg.ExhaustiveBits {
 			for b := 0; b < stateBits; b++ {
 				p := bitvec.FromBits(stateBits, b)
-				res, err := assessor.Assess(&p, round)
+				res, err := assessor.Assess(context.Background(), &p, round)
 				if err != nil {
 					return nil, err
 				}
@@ -188,7 +189,7 @@ func Scan(c ciphers.Cipher, cfg Config, rng *prng.Source) (*Report, error) {
 				for j := 0; j < gb; j++ {
 					p.Set(g*gb + j)
 				}
-				res, err := assessor.Assess(&p, round)
+				res, err := assessor.Assess(context.Background(), &p, round)
 				if err != nil {
 					return nil, err
 				}
@@ -202,7 +203,7 @@ func Scan(c ciphers.Cipher, cfg Config, rng *prng.Source) (*Report, error) {
 			st := SizeClassStats{Bits: size}
 			for k := 0; k < cfg.RandomPerSize; k++ {
 				p := randomPattern(stateBits, size, rng)
-				res, err := assessor.Assess(&p, round)
+				res, err := assessor.Assess(context.Background(), &p, round)
 				if err != nil {
 					return nil, err
 				}

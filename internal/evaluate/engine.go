@@ -21,6 +21,7 @@
 package evaluate
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"runtime"
@@ -170,25 +171,26 @@ func (e *Engine) workers() int {
 
 // Assess measures the information leakage of injecting the pattern at the
 // given round, sweeping t-test orders 1..MaxOrder at every observation
-// point. The pattern width must match the cipher state width.
-func (e *Engine) Assess(pattern *bitvec.Vector, round int) (Assessment, error) {
-	return e.assess(pattern, round, 0)
+// point. The pattern width must match the cipher state width. A done ctx
+// aborts the campaign at the next shard boundary and returns ctx.Err().
+func (e *Engine) Assess(ctx context.Context, pattern *bitvec.Vector, round int) (Assessment, error) {
+	return e.assess(ctx, pattern, round, 0)
 }
 
 // AssessOrder runs a single fixed-order assessment (used by the Table I
 // harness to contrast first- and second-order statistics). It ignores
 // StopAtThreshold and may exceed Config.MaxOrder.
-func (e *Engine) AssessOrder(pattern *bitvec.Vector, round, order int) (Assessment, error) {
+func (e *Engine) AssessOrder(ctx context.Context, pattern *bitvec.Vector, round, order int) (Assessment, error) {
 	if order < 1 {
 		return Assessment{}, fmt.Errorf("evaluate: order %d out of range", order)
 	}
-	return e.assess(pattern, round, order)
+	return e.assess(ctx, pattern, round, order)
 }
 
 // assess is the shared implementation; fixedOrder 0 sweeps 1..MaxOrder
 // with the StopAtThreshold short-circuit, fixedOrder >= 1 tests exactly
 // that order at every point.
-func (e *Engine) assess(pattern *bitvec.Vector, round, fixedOrder int) (Assessment, error) {
+func (e *Engine) assess(ctx context.Context, pattern *bitvec.Vector, round, fixedOrder int) (Assessment, error) {
 	if pattern.IsZero() {
 		return Assessment{}, fmt.Errorf("evaluate: empty fault pattern")
 	}
@@ -238,10 +240,10 @@ func (e *Engine) assess(pattern *bitvec.Vector, round, fixedOrder int) (Assessme
 	shardHist := m.Histogram("evaluate.shard_seconds", obs.LatencyBuckets)
 	var busyNanos atomic.Int64
 
-	accs, err := RunSharded(e.cfg.Samples, workers, len(cp.Points), groups, maxOrder, seed,
+	accs, err := RunSharded(ctx, e.cfg.Samples, workers, len(cp.Points), groups, maxOrder, seed,
 		func(rng *prng.Source, shard, n int, shardAccs []*stats.Accumulator) error {
 			st := shardHist.Start()
-			err := cp.CollectInto(rng, n, shardAccs)
+			err := cp.CollectIntoContext(ctx, rng, n, shardAccs)
 			if d := st.Stop(); d > 0 {
 				busyNanos.Add(int64(d))
 			}

@@ -1,6 +1,7 @@
 package evaluate
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -43,7 +44,7 @@ func TestEngineWorkerDeterminism(t *testing.T) {
 	var got []Assessment
 	for _, workers := range []int{1, 4, 7} {
 		e := New(c, Config{Samples: ShardSize*2 + 100, Seed: 99, Workers: workers})
-		a, err := e.Assess(&pattern, 25)
+		a, err := e.Assess(context.Background(), &pattern, 25)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,11 +66,11 @@ func TestEngineIsPure(t *testing.T) {
 	c := giftCipher(t)
 	pattern := nibblePattern(64, 3)
 	e := New(c, Config{Samples: 300, Seed: 7})
-	a1, err := e.Assess(&pattern, 25)
+	a1, err := e.Assess(context.Background(), &pattern, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := e.Assess(&pattern, 25)
+	a2, err := e.Assess(context.Background(), &pattern, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestEngineMatchesMatrixPath(t *testing.T) {
 	const seed = 1234
 	cfg := Config{Samples: samples, Seed: seed, MaxOrder: 2}
 	e := New(c, cfg)
-	got, err := e.Assess(&pattern, 25)
+	got, err := e.Assess(context.Background(), &pattern, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestEngineStopAtThreshold(t *testing.T) {
 	// observation point, so the sweep stops there.
 	pattern := nibblePattern(64, 5)
 	e := New(c, Config{Samples: 1024, Seed: 3, StopAtThreshold: true})
-	a, err := e.Assess(&pattern, 25)
+	a, err := e.Assess(context.Background(), &pattern, 25)
 	if err != nil {
 		t.Fatal(err)
 	}

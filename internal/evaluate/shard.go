@@ -1,6 +1,7 @@
 package evaluate
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,8 +27,16 @@ func ShardSeed(campaignSeed uint64, shard int) uint64 {
 // called with the shard's own deterministic PRNG, its index, its sample
 // count, and one fresh accumulator per point; shard results are merged in
 // shard-index order, so the output is bit-identical for any worker count.
-func RunSharded(samples, workers, points, groups, maxOrder int, campaignSeed uint64,
+//
+// Cancellation is checked at shard boundaries: once ctx is done no new
+// shard starts, in-flight shards run to completion (a shard never splits
+// its PRNG substream), all workers are joined, and ctx.Err() is returned.
+func RunSharded(ctx context.Context, samples, workers, points, groups, maxOrder int, campaignSeed uint64,
 	collect func(rng *prng.Source, shard, n int, accs []*stats.Accumulator) error) ([]*stats.Accumulator, error) {
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	numShards := (samples + ShardSize - 1) / ShardSize
 	if numShards < 1 {
@@ -66,6 +75,9 @@ func RunSharded(samples, workers, points, groups, maxOrder int, campaignSeed uin
 
 	if workers == 1 {
 		for shard := 0; shard < numShards; shard++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			runShard(shard)
 		}
 	} else {
@@ -75,7 +87,7 @@ func RunSharded(samples, workers, points, groups, maxOrder int, campaignSeed uin
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					shard := int(next.Add(1)) - 1
 					if shard >= numShards {
 						return
@@ -85,6 +97,9 @@ func RunSharded(samples, workers, points, groups, maxOrder int, campaignSeed uin
 			}()
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	for _, err := range errs {

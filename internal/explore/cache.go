@@ -2,7 +2,9 @@ package explore
 
 import (
 	"container/list"
+	"context"
 	"encoding/binary"
+	"sync"
 
 	"repro/internal/bitvec"
 )
@@ -58,15 +60,23 @@ type cacheEntry struct {
 // keyed by pattern bytes (plus the injection round when the inner oracle
 // implements Rounder). Memoization is exact because engine-backed oracles
 // are pure functions of (seed, pattern, round): a converged policy that
-// replays its terminal pattern pays zero simulation cost. Like the
-// environments that own them, cached oracles are used by one goroutine at
-// a time and are not safe for concurrent use.
+// replays its terminal pattern pays zero simulation cost.
+//
+// Sessions construct one CachedOracle per environment (see NewSession),
+// so the normal training path is contention-free; the mutex exists so
+// that a cache shared across goroutines — vectorized envs handed one
+// oracle instance, or an external caller probing Stats mid-run — is a
+// performance decision, not a data race. Note the lock is held across the
+// inner Evaluate: concurrent lookups of the same missing key serialize
+// rather than duplicating a multi-second campaign.
 type CachedOracle struct {
 	inner    Oracle
 	capacity int
-	entries  map[string]*list.Element
-	lru      *list.List // front = most recent; values are *cacheEntry
-	stats    CacheStats
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent; values are *cacheEntry
+	stats   CacheStats
 }
 
 var _ Oracle = (*CachedOracle)(nil)
@@ -89,7 +99,11 @@ func NewCachedOracle(inner Oracle, capacity int) *CachedOracle {
 func (c *CachedOracle) Inner() Oracle { return c.inner }
 
 // Stats returns the current memoization counters.
-func (c *CachedOracle) Stats() CacheStats { return c.stats }
+func (c *CachedOracle) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 func (c *CachedOracle) key(pattern *bitvec.Vector) string {
 	b := pattern.Bytes()
@@ -104,15 +118,17 @@ func (c *CachedOracle) key(pattern *bitvec.Vector) string {
 }
 
 // Evaluate implements Oracle, serving repeated patterns from the cache.
-func (c *CachedOracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
+func (c *CachedOracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64, error) {
 	k := c.key(pattern)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
 		c.stats.Hits++
 		c.lru.MoveToFront(el)
 		return el.Value.(*cacheEntry).t, nil
 	}
 	c.stats.Misses++
-	t, err := c.inner.Evaluate(pattern)
+	t, err := c.inner.Evaluate(ctx, pattern)
 	if err != nil {
 		return 0, err
 	}

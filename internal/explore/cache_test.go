@@ -1,7 +1,9 @@
 package explore
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/bitvec"
@@ -15,7 +17,7 @@ type countingOracle struct {
 	round int
 }
 
-func (o *countingOracle) Evaluate(p *bitvec.Vector) (float64, error) {
+func (o *countingOracle) Evaluate(_ context.Context, p *bitvec.Vector) (float64, error) {
 	o.evals++
 	return float64(p.Count()*10 + o.round), nil
 }
@@ -32,7 +34,7 @@ func TestCachedOracleHitsAndMisses(t *testing.T) {
 
 	p1, p2 := pat(1), pat(1, 2)
 	for i := 0; i < 3; i++ {
-		got, err := c.Evaluate(&p1)
+		got, err := c.Evaluate(context.Background(), &p1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,7 +42,7 @@ func TestCachedOracleHitsAndMisses(t *testing.T) {
 			t.Fatalf("Evaluate(p1) = %v, want 13", got)
 		}
 	}
-	if _, err := c.Evaluate(&p2); err != nil {
+	if _, err := c.Evaluate(context.Background(), &p2); err != nil {
 		t.Fatal(err)
 	}
 	if inner.evals != 2 {
@@ -59,7 +61,7 @@ func TestCachedOracleEvicts(t *testing.T) {
 
 	mustEval := func(p *bitvec.Vector) {
 		t.Helper()
-		if _, err := c.Evaluate(p); err != nil {
+		if _, err := c.Evaluate(context.Background(), p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -86,7 +88,7 @@ func TestCachedOracleKeyedByRound(t *testing.T) {
 	p := pat(5)
 	for _, round := range []int{1, 2} {
 		c := NewCachedOracle(&countingOracle{round: round}, 4)
-		got, err := c.Evaluate(&p)
+		got, err := c.Evaluate(context.Background(), &p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +132,7 @@ func TestSessionExactEpisodeBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := sess.Run()
+	out, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,5 +141,74 @@ func TestSessionExactEpisodeBudget(t *testing.T) {
 	}
 	if lookups := out.Cache.Hits + out.Cache.Misses; lookups == 0 {
 		t.Error("cache counters never moved although the cache was enabled")
+	}
+}
+
+// TestCachedOracleConcurrentAccess hammers one shared cache from many
+// goroutines. The normal session path constructs one cache per env (see
+// TestSessionBuildsOneCachePerEnv), but sharing must be a performance
+// decision, not a data race — run under -race this is the regression test
+// for the entries/lru/stats mutex.
+func TestCachedOracleConcurrentAccess(t *testing.T) {
+	inner := &countingOracle{round: 2}
+	c := NewCachedOracle(inner, 16)
+	patterns := make([]bitvec.Vector, 24)
+	for i := range patterns {
+		patterns[i] = pat(i%16, (i+5)%16)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := patterns[(g*31+i)%len(patterns)]
+				got, err := c.Evaluate(context.Background(), &p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := float64(p.Count()*10 + 2); got != want {
+					t.Errorf("Evaluate = %v, want %v", got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Errorf("lookups = %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+	// The mutex serializes misses, so the inner oracle runs exactly once
+	// per miss — no duplicated campaigns.
+	if inner.evals != int(st.Misses) {
+		t.Errorf("inner evaluated %d times for %d misses", inner.evals, st.Misses)
+	}
+}
+
+// TestSessionBuildsOneCachePerEnv pins the contention-free construction
+// seam: every env (plus the eval oracle) gets its own memoization cache.
+func TestSessionBuildsOneCachePerEnv(t *testing.T) {
+	sess, err := NewSession(func(rng *prng.Source) (Oracle, error) {
+		return &countingOracle{}, nil
+	}, SessionConfig{NumEnvs: 4, Episodes: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.caches) != 5 {
+		t.Fatalf("session built %d caches, want 5 (4 envs + eval)", len(sess.caches))
+	}
+	seen := map[*CachedOracle]bool{}
+	for _, c := range sess.caches {
+		if c == nil {
+			t.Fatal("nil cache although memoization is enabled")
+		}
+		if seen[c] {
+			t.Fatal("two envs share one cache instance")
+		}
+		seen[c] = true
 	}
 }

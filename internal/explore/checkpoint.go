@@ -1,0 +1,189 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+	"repro/internal/prng"
+	"repro/internal/rl/ppo"
+)
+
+// SessionCheckpointKind tags session checkpoints inside the envelope of
+// internal/checkpoint, so a file of another kind (a faultsim stage
+// checkpoint, say) is rejected with checkpoint.ErrKind instead of being
+// gob-decoded into garbage.
+const SessionCheckpointKind = "explore-session"
+
+// DefaultCheckpointEvery is the periodic-write cadence (in episodes) when
+// SessionConfig.Checkpoint is set but CheckpointEvery is not.
+const DefaultCheckpointEvery = 500
+
+// Checkpoint is a session snapshot taken at a PPO update boundary. It
+// captures every piece of mutable training state — agent parameters and
+// optimizer moments, all PRNG positions, the run counters, and the
+// episode log (the running Outcome accumulators are derived from it) —
+// so that a session restored from it replays the remaining episodes
+// bit-identically to a never-interrupted run.
+//
+// The oracle memoization cache is deliberately not captured: memoization
+// is exact (engine assessments are pure functions of seed, pattern and
+// round), so a cold cache changes timing and hit/miss counters but not a
+// single result. Dropping it keeps checkpoints small and the format
+// independent of cache internals.
+type Checkpoint struct {
+	// Fingerprint guards resumes: it hashes the session configuration
+	// fields that determine the training stream, and RestoreCheckpoint
+	// refuses a snapshot whose fingerprint does not match the session it
+	// is restored into. Label is a human-readable descriptor (cipher,
+	// round, sample count, ...) folded into the fingerprint by the caller
+	// via SessionConfig.CheckpointLabel.
+	Fingerprint uint64
+	Label       string
+
+	Episodes   int
+	Steps      int
+	BestLeakyN int
+	SinceLeaky int
+	LeakyTotal int
+
+	Agent   ppo.State
+	Root    prng.State
+	EnvRNGs []prng.State // one per env oracle, then the eval oracle
+
+	Records []CheckpointRecord
+}
+
+// CheckpointRecord is one training-log episode in serializable form
+// (bitvec.Vector has unexported fields, so patterns travel as their set
+// bits plus width).
+type CheckpointRecord struct {
+	Width    int
+	Bits     []int
+	Distinct int
+	T        float64
+	Leaky    bool
+	Reward   float64
+}
+
+// LoadCheckpoint reads and validates a session checkpoint file. A missing
+// file surfaces as fs.ErrNotExist; corrupted, truncated, version-skewed
+// or wrong-kind files surface as the sentinel errors of
+// internal/checkpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := checkpoint.Load(path, SessionCheckpointKind, &ck); err != nil {
+		return nil, err
+	}
+	return &ck, nil
+}
+
+// fingerprint hashes the configuration fields that determine the training
+// stream. Episodes is deliberately excluded: the budget only decides
+// where the stream stops, so a checkpoint may be resumed with a larger
+// -episodes to extend a finished run. FinalRollouts is excluded for the
+// same reason (it only shapes the post-training readout).
+func (s *Session) fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%+v|%+v|%x|%x|%x|%d|%s",
+		s.cfg.Seed, s.cfg.NumEnvs, s.raw[0].ObsSize(),
+		s.cfg.Env, s.cfg.Agent,
+		math.Float64bits(s.cfg.Gamma), math.Float64bits(s.cfg.Lambda),
+		math.Float64bits(s.cfg.BootstrapSpike), s.cfg.RespikeAfter,
+		s.cfg.CheckpointLabel)
+	return h.Sum64()
+}
+
+// snapshot captures the session state at the current update boundary.
+// It must only be called between updates (Run's loop does), when no
+// collector goroutines are running.
+func (s *Session) snapshot() *Checkpoint {
+	ck := &Checkpoint{
+		Fingerprint: s.fingerprint(),
+		Label:       s.cfg.CheckpointLabel,
+		Episodes:    s.run.episodes,
+		Steps:       s.run.steps,
+		BestLeakyN:  s.run.bestLeakyN,
+		SinceLeaky:  s.run.sinceLeaky,
+		LeakyTotal:  s.run.leakyTotal,
+		Agent:       s.agent.State(),
+		Root:        s.rng.State(),
+	}
+	for _, r := range s.envRngs {
+		ck.EnvRNGs = append(ck.EnvRNGs, r.State())
+	}
+	for _, rec := range s.log.Records() {
+		ck.Records = append(ck.Records, CheckpointRecord{
+			Width:    rec.Pattern.Len(),
+			Bits:     rec.Pattern.Bits(),
+			Distinct: rec.Distinct,
+			T:        rec.T,
+			Leaky:    rec.Leaky,
+			Reward:   rec.Reward,
+		})
+	}
+	return ck
+}
+
+// RestoreCheckpoint rewinds a freshly constructed session to a snapshot.
+// The session must have been built with the same factory and an
+// equivalent SessionConfig (enforced via the fingerprint); afterwards Run
+// continues from the snapshot's episode count and reproduces the
+// uninterrupted run bit-for-bit. Restoring into a session that already
+// ran is not supported.
+func (s *Session) RestoreCheckpoint(ck *Checkpoint) error {
+	if ck == nil {
+		return errors.New("explore: nil checkpoint")
+	}
+	if got, want := ck.Fingerprint, s.fingerprint(); got != want {
+		return fmt.Errorf("explore: checkpoint %q (fingerprint %016x) does not match this session (%016x); resume requires the same seed, cipher and configuration", ck.Label, got, want)
+	}
+	if len(ck.EnvRNGs) != len(s.envRngs) {
+		return fmt.Errorf("explore: checkpoint has %d oracle PRNG streams, session has %d", len(ck.EnvRNGs), len(s.envRngs))
+	}
+	if len(ck.Records) != ck.Episodes {
+		return fmt.Errorf("explore: checkpoint log has %d records for %d episodes", len(ck.Records), ck.Episodes)
+	}
+	if err := s.agent.Restore(ck.Agent); err != nil {
+		return fmt.Errorf("explore: %w", err)
+	}
+	if err := s.rng.Restore(ck.Root); err != nil {
+		return fmt.Errorf("explore: root rng: %w", err)
+	}
+	for i, st := range ck.EnvRNGs {
+		if err := s.envRngs[i].Restore(st); err != nil {
+			return fmt.Errorf("explore: oracle rng %d: %w", i, err)
+		}
+	}
+	records := make([]Record, len(ck.Records))
+	for i, cr := range ck.Records {
+		records[i] = Record{
+			Episode:  i,
+			Pattern:  bitvec.FromBits(cr.Width, cr.Bits...),
+			Distinct: cr.Distinct,
+			T:        cr.T,
+			Leaky:    cr.Leaky,
+			Reward:   cr.Reward,
+		}
+	}
+	s.log.restore(records)
+	s.run = runCounters{
+		episodes:   ck.Episodes,
+		steps:      ck.Steps,
+		bestLeakyN: ck.BestLeakyN,
+		sinceLeaky: ck.SinceLeaky,
+		leakyTotal: ck.LeakyTotal,
+	}
+	s.resumedAt = ck.Episodes
+	if s.obs.enabled {
+		s.obs.events.Emit(obs.EventCheckpointResumed, map[string]any{
+			"episodes": ck.Episodes,
+			"label":    ck.Label,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/prng"
+	"repro/internal/rl/ppo"
+)
+
+func checkpointTestConfig(path string, episodes int) SessionConfig {
+	return SessionConfig{
+		Seed:            11,
+		NumEnvs:         3,
+		Episodes:        episodes,
+		Agent:           ppo.Config{LearningRate: 1e-3, Epochs: 2},
+		Checkpoint:      path,
+		CheckpointEvery: 1, // snapshot at every update boundary
+		CheckpointLabel: "unit-test",
+	}
+}
+
+func subsetFactory(bits int, allowed ...int) OracleFactory {
+	return func(rng *prng.Source) (Oracle, error) {
+		return newSubsetOracle(bits, allowed...), nil
+	}
+}
+
+// TestSessionCheckpointResumeBitIdentical interrupts a session at an
+// episode boundary (via context cancellation), rebuilds a fresh session
+// from the checkpoint file, and requires the resumed run to reproduce the
+// uninterrupted outcome exactly — converged pattern, log records, and all
+// counters.
+func TestSessionCheckpointResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	allowed := []int{1, 4, 7}
+	const episodes = 30
+
+	runFull := func() *Outcome {
+		sess, err := NewSession(subsetFactory(12, allowed...), checkpointTestConfig("", episodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := runFull()
+
+	for _, k := range []int{0, 9, 21} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			path := filepath.Join(dir, fmt.Sprintf("ck-%d.bin", k))
+
+			// Phase 1: run to ~k episodes, then cancel.
+			ctx, cancel := context.WithCancel(context.Background())
+			cfg := checkpointTestConfig(path, episodes)
+			if k == 0 {
+				cancel() // interrupt before the first episode
+			} else {
+				n := k
+				cfg.Progress = func(p Progress) {
+					if p.Episodes >= n {
+						cancel()
+					}
+				}
+			}
+			sess, err := NewSession(subsetFactory(12, allowed...), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sess.Run(ctx); !errors.Is(err, context.Canceled) {
+				t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+			}
+			cancel()
+
+			// Phase 2: fresh session, restore, run to completion.
+			ck, err := LoadCheckpoint(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ck.Episodes > episodes {
+				t.Fatalf("checkpoint at %d episodes, beyond the %d budget", ck.Episodes, episodes)
+			}
+			resumed, err := NewSession(subsetFactory(12, allowed...), checkpointTestConfig(path, episodes))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := resumed.RestoreCheckpoint(ck); err != nil {
+				t.Fatal(err)
+			}
+			got, err := resumed.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !got.Converged.Equal(&want.Converged) {
+				t.Errorf("converged pattern %s, want %s", got.Converged.String(), want.Converged.String())
+			}
+			if got.ConvergedT != want.ConvergedT || got.ConvergedLeaky != want.ConvergedLeaky {
+				t.Errorf("readout (%v, %v), want (%v, %v)",
+					got.ConvergedT, got.ConvergedLeaky, want.ConvergedT, want.ConvergedLeaky)
+			}
+			if got.Episodes != want.Episodes {
+				t.Errorf("episodes %d, want %d", got.Episodes, want.Episodes)
+			}
+			if !reflect.DeepEqual(got.Log.Records(), want.Log.Records()) {
+				t.Error("resumed training log differs from the uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestSessionCheckpointWrittenEagerly: a loadable checkpoint must exist as
+// soon as Run starts, so an interrupt before the first update boundary
+// still leaves resumable state on disk.
+func TestSessionCheckpointWrittenEagerly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	cfg := checkpointTestConfig(path, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess, err := NewSession(subsetFactory(8, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Episodes != 0 {
+		t.Errorf("eager checkpoint at %d episodes, want 0", ck.Episodes)
+	}
+}
+
+// TestRestoreCheckpointRejectsMismatch: snapshots from a different seed or
+// label (standing in for cipher/round/key differences) must be refused.
+func TestRestoreCheckpointRejectsMismatch(t *testing.T) {
+	sess, err := NewSession(subsetFactory(8, 2), checkpointTestConfig("", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := sess.snapshot()
+
+	otherSeed := checkpointTestConfig("", 6)
+	otherSeed.Seed = 999
+	other, err := NewSession(subsetFactory(8, 2), otherSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.RestoreCheckpoint(ck); err == nil {
+		t.Error("RestoreCheckpoint accepted a snapshot from a different seed")
+	}
+
+	otherLabel := checkpointTestConfig("", 6)
+	otherLabel.CheckpointLabel = "gift64|r25"
+	relabeled, err := NewSession(subsetFactory(8, 2), otherLabel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relabeled.RestoreCheckpoint(ck); err == nil {
+		t.Error("RestoreCheckpoint accepted a snapshot with a different label")
+	}
+
+	if err := sess.RestoreCheckpoint(nil); err == nil {
+		t.Error("RestoreCheckpoint accepted nil")
+	}
+}
+
+// TestBudgetExtensionAfterResume: Episodes is excluded from the
+// fingerprint, so a finished run's checkpoint can seed a longer one.
+func TestBudgetExtensionAfterResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	sess, err := NewSession(subsetFactory(8, 1, 3), checkpointTestConfig(path, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longer, err := NewSession(subsetFactory(8, 1, 3), checkpointTestConfig(path, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := longer.RestoreCheckpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+	out, err := longer.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Episodes != 18 {
+		t.Errorf("extended run stopped at %d episodes, want 18", out.Episodes)
+	}
+}
+
+// TestCancelledBatchNotTrained: rewards of a batch cut short by
+// cancellation must never reach the agent — the session discards the batch
+// before updating, so resumed training sees no placeholder β rewards.
+func TestCancelledBatchNotTrained(t *testing.T) {
+	// blockingOracle cancels the run context on its first evaluation;
+	// Env.evaluate then returns β for every in-flight episode.
+	var cancel context.CancelFunc
+	var once sync.Once
+	factory := func(rng *prng.Source) (Oracle, error) {
+		return &funcOracle{bits: 8, fn: func(ctx context.Context, p *bitvec.Vector) (float64, error) {
+			once.Do(cancel)
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			return 1, nil
+		}}, nil
+	}
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	cfg := checkpointTestConfig(path, 12)
+	cfg.OracleCache = CacheConfig{Disable: true}
+	sess, err := NewSession(factory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctx context.Context
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := sess.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Episodes != 0 {
+		t.Errorf("checkpoint recorded %d episodes from a discarded batch, want 0", ck.Episodes)
+	}
+}
+
+// funcOracle adapts a function to the Oracle interface.
+type funcOracle struct {
+	bits int
+	fn   func(context.Context, *bitvec.Vector) (float64, error)
+}
+
+func (o *funcOracle) Evaluate(ctx context.Context, p *bitvec.Vector) (float64, error) {
+	return o.fn(ctx, p)
+}
+func (o *funcOracle) StateBits() int     { return o.bits }
+func (o *funcOracle) Threshold() float64 { return 4.5 }

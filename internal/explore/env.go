@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -71,6 +72,7 @@ type EpisodeInfo struct {
 type Env struct {
 	oracle Oracle
 	cfg    EnvConfig
+	ctx    context.Context
 
 	state bitvec.Vector
 	obs   []float64
@@ -93,10 +95,23 @@ func NewEnv(oracle Oracle, cfg EnvConfig) *Env {
 	e := &Env{
 		oracle: oracle,
 		cfg:    cfg,
+		ctx:    context.Background(),
 		state:  bitvec.New(oracle.StateBits()),
 		obs:    make([]float64, oracle.StateBits()),
 	}
 	return e
+}
+
+// SetContext installs the context passed to oracle evaluations. Sessions
+// call this with the run context so cancelling the run aborts in-flight
+// campaigns; a cancelled evaluation yields the β penalty and the episode
+// still terminates normally (its batch is discarded by the session, so
+// the placeholder reward never reaches a PPO update).
+func (e *Env) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
 }
 
 // ObsSize implements rl.Env.
@@ -167,10 +182,17 @@ func (e *Env) stateAsObs() []float64 {
 // evaluate runs the oracle on the current pattern and maps the statistic
 // to the configured reward.
 func (e *Env) evaluate() float64 {
-	t, err := e.oracle.Evaluate(&e.state)
+	t, err := e.oracle.Evaluate(e.ctx, &e.state)
 	if err != nil {
-		// Oracle errors indicate misconfiguration (wrong widths), not
-		// runtime conditions; fail loudly.
+		if e.ctx.Err() != nil {
+			// Run cancelled mid-campaign: finish the episode with the
+			// penalty reward so the collector can unwind; the session
+			// discards this batch before any PPO update.
+			e.lastT, e.lastLeaky = 0, false
+			return e.cfg.Beta
+		}
+		// Other oracle errors indicate misconfiguration (wrong widths),
+		// not runtime conditions; fail loudly.
 		panic(fmt.Sprintf("explore: oracle evaluation failed: %v", err))
 	}
 	e.lastT = t

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -18,7 +19,7 @@ type subsetOracle struct {
 	calls   int
 }
 
-func (o *subsetOracle) Evaluate(p *bitvec.Vector) (float64, error) {
+func (o *subsetOracle) Evaluate(_ context.Context, p *bitvec.Vector) (float64, error) {
 	o.calls++
 	if !p.IsZero() && p.SubsetOf(&o.allowed) {
 		return 100, nil
@@ -220,7 +221,7 @@ func TestSessionLearnsSubsetTask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := sess.Run()
+	out, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestSessionProgressCallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Run(); err != nil {
+	if _, err := sess.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if calls == 0 {

@@ -42,6 +42,15 @@ func (l *Log) Add(info EpisodeInfo) int {
 	return idx
 }
 
+// restore replaces the log contents with previously captured records
+// (checkpoint resume). Subsequent Add calls continue the episode
+// numbering where the restored records end.
+func (l *Log) restore(records []Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records = append(l.records[:0], records...)
+}
+
 // Len returns the number of recorded episodes.
 func (l *Log) Len() int {
 	l.mu.Lock()

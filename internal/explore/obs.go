@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"encoding/hex"
 	"time"
 
@@ -41,13 +42,13 @@ func newInstrumentedOracle(inner Oracle, cache *CachedOracle, env int, m *obs.Re
 
 // Evaluate implements Oracle, timing the inner evaluation and attributing
 // it to the cache-hit or cache-miss latency band.
-func (o *instrumentedOracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
+func (o *instrumentedOracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64, error) {
 	var hitsBefore uint64
 	if o.cache != nil {
 		hitsBefore = o.cache.Stats().Hits
 	}
 	start := time.Now()
-	t, err := o.inner.Evaluate(pattern)
+	t, err := o.inner.Evaluate(ctx, pattern)
 	d := time.Since(start)
 	if err != nil {
 		return t, err

@@ -13,6 +13,8 @@
 package explore
 
 import (
+	"context"
+
 	"repro/internal/bitvec"
 	"repro/internal/leakage"
 )
@@ -22,8 +24,10 @@ import (
 // unprotected ciphers use AssessorOracle; the duplication countermeasure
 // provides its own implementation (package countermeasure).
 type Oracle interface {
-	// Evaluate returns the leakage statistic l for the pattern.
-	Evaluate(pattern *bitvec.Vector) (float64, error)
+	// Evaluate returns the leakage statistic l for the pattern. A done
+	// ctx aborts the underlying campaign at its next shard boundary and
+	// returns ctx.Err().
+	Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64, error)
 	// StateBits is the width of patterns this oracle accepts, which is
 	// also the RL action-space size.
 	StateBits() int
@@ -41,8 +45,8 @@ type AssessorOracle struct {
 var _ Oracle = (*AssessorOracle)(nil)
 
 // Evaluate implements Oracle.
-func (o *AssessorOracle) Evaluate(pattern *bitvec.Vector) (float64, error) {
-	res, err := o.Assessor.Assess(pattern, o.Round)
+func (o *AssessorOracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64, error) {
+	res, err := o.Assessor.Assess(ctx, pattern, o.Round)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bitvec"
@@ -26,7 +27,7 @@ func TestRespikeRescuesDeadStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := sess.Run()
+	out, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestNoRespikeStaysDead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := sess.Run()
+	out, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package explore
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"time"
 
 	"repro/internal/bitvec"
+	"repro/internal/checkpoint"
 	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/rl"
@@ -55,6 +57,21 @@ type SessionConfig struct {
 	// memoization is exact); set OracleCache.Disable for ablation runs
 	// that must pay full simulation cost per episode.
 	OracleCache CacheConfig
+	// Checkpoint, if non-empty, is the path the session checkpoints to.
+	// Snapshots are taken at every PPO update boundary and written
+	// atomically every CheckpointEvery episodes, plus once when the run
+	// context is cancelled, so an interrupted run resumes bit-identically
+	// (see Checkpoint and Session.RestoreCheckpoint).
+	Checkpoint string
+	// CheckpointEvery is the minimum number of episodes between periodic
+	// checkpoint writes (default DefaultCheckpointEvery; only meaningful
+	// with Checkpoint set).
+	CheckpointEvery int
+	// CheckpointLabel is a human-readable run descriptor (cipher, round,
+	// sample count, ...) folded into the checkpoint fingerprint, so a
+	// checkpoint cannot be resumed under a different oracle configuration
+	// that this package cannot see into.
+	CheckpointLabel string
 	// Progress, if non-nil, is called after every PPO update with a
 	// running summary.
 	Progress func(Progress)
@@ -129,6 +146,17 @@ type Outcome struct {
 	Cache CacheStats
 }
 
+// runCounters is the mutable per-run progress state. It lives on the
+// Session (not in Run's locals) so checkpoints can capture and restore
+// it.
+type runCounters struct {
+	episodes   int
+	steps      int
+	bestLeakyN int
+	sinceLeaky int
+	leakyTotal int
+}
+
 // Session owns the environments, agent and log of one discovery run.
 type Session struct {
 	cfg     SessionConfig
@@ -138,9 +166,13 @@ type Session struct {
 	runner  *rl.Runner
 	log     *Log
 	rng     *prng.Source
+	envRngs []*prng.Source  // oracle streams in construction order (envs, then eval)
 	evalEnv *Env            // env reserved for final-rollout evaluation
 	caches  []*CachedOracle // memoizing wrappers, for stats (nil entries when disabled)
 	obs     sessionObs      // instrument handles; zero value when disabled
+
+	run       runCounters
+	resumedAt int // episode count restored from a checkpoint; -1 when fresh
 }
 
 // NewSession builds a session: NumEnvs oracles/environments plus one extra
@@ -149,7 +181,7 @@ type Session struct {
 func NewSession(factory OracleFactory, cfg SessionConfig) (*Session, error) {
 	cfg.setDefaults()
 	root := prng.New(cfg.Seed)
-	s := &Session{cfg: cfg, log: &Log{}, rng: root}
+	s := &Session{cfg: cfg, log: &Log{}, rng: root, resumedAt: -1}
 	s.obs = newSessionObs(cfg.Metrics, cfg.Events)
 	env := 0
 	wrap := func(o Oracle) Oracle {
@@ -165,8 +197,16 @@ func NewSession(factory OracleFactory, cfg SessionConfig) (*Session, error) {
 		env++
 		return o
 	}
+	// Oracle PRNG streams are retained on the session so checkpoints can
+	// capture their positions (current oracles draw their seed once at
+	// construction, but the snapshot must not depend on that detail).
+	splitOracleRng := func() *prng.Source {
+		src := root.Split()
+		s.envRngs = append(s.envRngs, src)
+		return src
+	}
 	for i := 0; i < cfg.NumEnvs; i++ {
-		oracle, err := factory(root.Split())
+		oracle, err := factory(splitOracleRng())
 		if err != nil {
 			return nil, fmt.Errorf("explore: building oracle %d: %w", i, err)
 		}
@@ -174,7 +214,7 @@ func NewSession(factory OracleFactory, cfg SessionConfig) (*Session, error) {
 		s.raw = append(s.raw, env)
 		s.envs = append(s.envs, env)
 	}
-	evalOracle, err := factory(root.Split())
+	evalOracle, err := factory(splitOracleRng())
 	if err != nil {
 		return nil, fmt.Errorf("explore: building eval oracle: %w", err)
 	}
@@ -210,29 +250,97 @@ func (s *Session) Log() *Log { return s.log }
 
 // Run trains until the episode budget is exhausted, then reads out the
 // converged pattern.
-func (s *Session) Run() (*Outcome, error) {
+//
+// Cancelling ctx stops the run at the next episode-batch boundary: the
+// in-flight batch is discarded (its oracle campaigns abort at their next
+// shard boundary), the last update-boundary snapshot is written to
+// SessionConfig.Checkpoint (when set), and ctx.Err() is returned. Because
+// snapshots are only taken at update boundaries and training is
+// deterministic, a session restored from that checkpoint replays the
+// discarded episodes exactly and the final Outcome is bit-identical to a
+// never-interrupted run. The post-training readout is not cancellable
+// (it is short relative to training and keeps the outcome deterministic).
+func (s *Session) Run(ctx context.Context) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for _, env := range s.raw {
+		env.SetContext(ctx)
+	}
 	start := time.Now()
-	episodes := 0
-	var steps int
-	bestLeakyN := 0
-	sinceLeaky := 0
-	leakyTotal := 0
+	startEpisodes := s.run.episodes
+	startSteps := s.run.steps
+
+	ckptEnabled := s.cfg.Checkpoint != ""
+	every := s.cfg.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	lastSaved := -1
+	var pending *Checkpoint
+	// saveCheckpoint writes the most recent boundary snapshot. pending is
+	// refreshed after every PPO update, so on cancellation this persists
+	// the state just before the discarded batch.
+	saveCheckpoint := func() error {
+		if pending == nil || pending.Episodes == lastSaved {
+			return nil
+		}
+		if err := checkpoint.Save(s.cfg.Checkpoint, SessionCheckpointKind, pending); err != nil {
+			return err
+		}
+		lastSaved = pending.Episodes
+		if s.obs.enabled {
+			s.obs.events.Emit(obs.EventCheckpointSaved, map[string]any{
+				"episodes": pending.Episodes,
+				"path":     s.cfg.Checkpoint,
+			})
+		}
+		return nil
+	}
+	// cancelled persists the pending snapshot and reports why the run
+	// stopped; a failed save outranks the cancellation (the caller must
+	// know the run is not resumable).
+	cancelled := func(ctxErr error) error {
+		if ckptEnabled {
+			if err := saveCheckpoint(); err != nil {
+				return err
+			}
+		}
+		return ctxErr
+	}
 
 	if s.obs.enabled {
-		s.obs.events.Emit(obs.EventSessionStarted, map[string]any{
+		fields := map[string]any{
 			"envs":       len(s.envs),
 			"episodes":   s.cfg.Episodes,
 			"state_bits": s.raw[0].ObsSize(),
 			"seed":       s.cfg.Seed,
-		})
+		}
+		if s.resumedAt >= 0 {
+			fields["resumed_at"] = s.resumedAt
+		}
+		s.obs.events.Emit(obs.EventSessionStarted, fields)
 	}
 
-	for episodes < s.cfg.Episodes {
+	// An eager first write guarantees a loadable checkpoint exists from
+	// the moment the run starts, even if it is interrupted before the
+	// first update boundary.
+	if ckptEnabled {
+		pending = s.snapshot()
+		if err := saveCheckpoint(); err != nil {
+			return nil, err
+		}
+	}
+
+	for s.run.episodes < s.cfg.Episodes {
+		if err := ctx.Err(); err != nil {
+			return nil, cancelled(err)
+		}
 		// One CollectEpisodes call yields NumEnvs episodes; a final
 		// partial batch over an env prefix lands exactly on the budget
 		// instead of overshooting it by up to NumEnvs-1.
 		runner := s.runner
-		if remaining := s.cfg.Episodes - episodes; remaining < len(s.envs) {
+		if remaining := s.cfg.Episodes - s.run.episodes; remaining < len(s.envs) {
 			runner = rl.NewRunner(s.envs[:remaining], s.agent)
 			runner.Gamma = s.cfg.Gamma
 			runner.Lambda = s.cfg.Lambda
@@ -241,7 +349,13 @@ func (s *Session) Run() (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		steps += batch.Len()
+		if err := ctx.Err(); err != nil {
+			// The batch finished structurally but its rewards may contain
+			// cancellation placeholders; discard it and persist the last
+			// complete boundary.
+			return nil, cancelled(err)
+		}
+		s.run.steps += batch.Len()
 		var sumRet, sumBits, leaky float64
 		for i, ep := range eps {
 			info := s.raw[ep.EnvIndex].LastEpisode()
@@ -250,14 +364,14 @@ func (s *Session) Run() (*Outcome, error) {
 			sumBits += float64(info.Distinct)
 			if info.Leaky {
 				leaky++
-				leakyTotal++
-				if info.Distinct > bestLeakyN {
-					bestLeakyN = info.Distinct
+				s.run.leakyTotal++
+				if info.Distinct > s.run.bestLeakyN {
+					s.run.bestLeakyN = info.Distinct
 				}
 			}
 			if s.obs.enabled {
 				s.obs.events.Emit(obs.EventEpisode, map[string]any{
-					"episode": episodes + i + 1,
+					"episode": s.run.episodes + i + 1,
 					"env":     ep.EnvIndex,
 					"pattern": hex.EncodeToString(info.Pattern.Bytes()),
 					"bits":    info.Distinct,
@@ -267,32 +381,42 @@ func (s *Session) Run() (*Outcome, error) {
 				})
 			}
 		}
-		episodes += len(eps)
+		s.run.episodes += len(eps)
 		if leaky > 0 {
-			sinceLeaky = 0
+			s.run.sinceLeaky = 0
 		} else {
-			sinceLeaky += len(eps)
-			if s.cfg.RespikeAfter > 0 && sinceLeaky >= s.cfg.RespikeAfter && s.cfg.BootstrapSpike > 0 {
+			s.run.sinceLeaky += len(eps)
+			if s.cfg.RespikeAfter > 0 && s.run.sinceLeaky >= s.cfg.RespikeAfter && s.cfg.BootstrapSpike > 0 {
 				s.agent.Respike(s.cfg.BootstrapSpike)
-				sinceLeaky = 0
+				s.run.sinceLeaky = 0
 			}
 		}
 		updTimer := s.obs.updTime.Start()
 		stats := s.agent.Update(batch)
 		updDur := updTimer.Stop()
+		// The update boundary is the checkpointable state: snapshot now,
+		// write periodically (and on cancellation, via cancelled above).
+		if ckptEnabled {
+			pending = s.snapshot()
+			if s.run.episodes-lastSaved >= every {
+				if err := saveCheckpoint(); err != nil {
+					return nil, err
+				}
+			}
+		}
 		if s.obs.enabled {
 			n := float64(len(eps))
 			s.obs.episodes.Add(uint64(len(eps)))
 			s.obs.leaky.Add(uint64(leaky))
 			s.obs.updates.Inc()
 			s.obs.entropy.Set(stats.Entropy)
-			s.obs.leakyPer1K.Set(1000 * float64(leakyTotal) / float64(episodes))
+			s.obs.leakyPer1K.Set(1000 * float64(s.run.leakyTotal) / float64(s.run.episodes))
 			if mins := time.Since(start).Minutes(); mins > 0 {
-				s.obs.epsPerMin.Set(float64(episodes) / mins)
+				s.obs.epsPerMin.Set(float64(s.run.episodes-startEpisodes) / mins)
 			}
 			s.obs.syncCache(s.cacheStats())
 			s.obs.events.Emit(obs.EventPPOUpdate, map[string]any{
-				"episodes":    episodes,
+				"episodes":    s.run.episodes,
 				"entropy":     stats.Entropy,
 				"avg_return":  sumRet / n,
 				"avg_leaky":   leaky / n,
@@ -303,11 +427,11 @@ func (s *Session) Run() (*Outcome, error) {
 			n := float64(len(eps))
 			cache := s.cacheStats()
 			s.cfg.Progress(Progress{
-				Episodes:    episodes,
+				Episodes:    s.run.episodes,
 				AvgReturn:   sumRet / n,
 				AvgLeaky:    leaky / n,
 				AvgBits:     sumBits / n,
-				BestLeakyN:  bestLeakyN,
+				BestLeakyN:  s.run.bestLeakyN,
 				Entropy:     stats.Entropy,
 				CacheHits:   cache.Hits,
 				CacheMisses: cache.Misses,
@@ -318,12 +442,12 @@ func (s *Session) Run() (*Outcome, error) {
 
 	out := &Outcome{
 		Log:      s.log,
-		Episodes: episodes,
+		Episodes: s.run.episodes,
 		Duration: dur,
 	}
 	if mins := dur.Minutes(); mins > 0 {
-		out.EpisodesPerMin = float64(episodes) / mins
-		out.StepsPerMin = float64(steps) / mins
+		out.EpisodesPerMin = float64(s.run.episodes-startEpisodes) / mins
+		out.StepsPerMin = float64(s.run.steps-startSteps) / mins
 	}
 	s.readOutConverged(out)
 	out.Cache = s.cacheStats()

@@ -6,6 +6,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitvec"
@@ -219,7 +220,7 @@ func (cp *Campaign) Collect(rng *prng.Source) (*Result, error) {
 			res.Matrices[i][s] = backing[s*groups : (s+1)*groups]
 		}
 	}
-	cp.forEachDiff(rng, cp.Samples, func(s, pi int, diff []byte) {
+	cp.forEachDiff(context.Background(), rng, cp.Samples, func(s, pi int, diff []byte) {
 		groupValuesInto(res.Matrices[pi][s], diff, cp.GroupBits, groups)
 	})
 	return res, nil
@@ -233,16 +234,25 @@ func (cp *Campaign) Collect(rng *prng.Source) (*Result, error) {
 // CollectInto with its own deterministic PRNG substream so that merged
 // shard accumulators are independent of the worker count.
 func (cp *Campaign) CollectInto(rng *prng.Source, n int, accs []*stats.Accumulator) error {
+	return cp.CollectIntoContext(context.Background(), rng, n, accs)
+}
+
+// CollectIntoContext is CollectInto with cancellation: between trace
+// blocks it checks ctx and returns ctx.Err() once the context is done.
+// Cancellation never lands mid-trace — a block's plaintexts and fault
+// masks are drawn and encrypted as a unit — so an aborted shard simply
+// discards a whole number of traces and its PRNG substream is never split
+// across resumes.
+func (cp *Campaign) CollectIntoContext(ctx context.Context, rng *prng.Source, n int, accs []*stats.Accumulator) error {
 	if len(accs) != len(cp.Points) {
 		return fmt.Errorf("fault: %d accumulators for %d observation points", len(accs), len(cp.Points))
 	}
 	groups := cp.Groups()
 	row := make([]float64, groups)
-	cp.forEachDiff(rng, n, func(s, pi int, diff []byte) {
+	return cp.forEachDiff(ctx, rng, n, func(s, pi int, diff []byte) {
 		groupValuesInto(row, diff, cp.GroupBits, groups)
 		accs[pi].Add(row)
 	})
-	return nil
 }
 
 // forEachDiff runs n paired (clean, faulty) traces and calls emit with
@@ -256,8 +266,9 @@ func (cp *Campaign) CollectInto(rng *prng.Source, n int, accs []*stats.Accumulat
 // cipher's batch kernel (shared-prefix forking, word-oriented rounds)
 // or, for ciphers without one, through the scalar reference path. Both
 // engines produce bit-identical differentials, and neither allocates per
-// sample.
-func (cp *Campaign) forEachDiff(rng *prng.Source, n int, emit func(s, pi int, diff []byte)) {
+// sample. Cancellation is checked once per block, before any of the
+// block's PRNG draws.
+func (cp *Campaign) forEachDiff(ctx context.Context, rng *prng.Source, n int, emit func(s, pi int, diff []byte)) error {
 	bb := cp.Cipher.BlockBytes()
 	np := len(cp.Points)
 	block := batchBlock
@@ -289,6 +300,10 @@ func (cp *Campaign) forEachDiff(rng *prng.Source, n int, emit func(s, pi int, di
 	}
 	collectTimer := cp.Metrics.Histogram("campaign.collect_seconds", obs.LatencyBuckets).Start()
 	for base := 0; base < n; base += block {
+		if err := ctx.Err(); err != nil {
+			collectTimer.Stop()
+			return err
+		}
 		bn := block
 		if left := n - base; left < bn {
 			bn = left
@@ -316,6 +331,7 @@ func (cp *Campaign) forEachDiff(rng *prng.Source, n int, emit func(s, pi int, di
 		}
 	}
 	collectTimer.Stop()
+	return nil
 }
 
 // batchPoint maps an observation point onto the ciphers batch API.

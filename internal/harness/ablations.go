@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	explorefault "repro"
@@ -45,7 +46,7 @@ func AblationGrouping(opt Options) (*AblationGroupingResult, error) {
 	aesPattern := explorefault.PatternFromGroups(128, 8, 0)
 	for _, gb := range []int{1, 4, 8} {
 		a := leakage.NewAssessor(aesCipher, leakage.Config{Samples: samples, GroupBits: gb}, rng.Split())
-		r, err := a.Assess(&aesPattern, 8)
+		r, err := a.Assess(context.Background(), &aesPattern, 8)
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +62,7 @@ func AblationGrouping(opt Options) (*AblationGroupingResult, error) {
 	giftPattern := explorefault.PatternFromGroups(64, 4, 5)
 	for _, gb := range []int{1, 4} {
 		a := leakage.NewAssessor(giftCipher, leakage.Config{Samples: samples, GroupBits: gb}, rng.Split())
-		r, err := a.Assess(&giftPattern, 25)
+		r, err := a.Assess(context.Background(), &giftPattern, 25)
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +206,7 @@ func AblationObservation(opt Options) (*AblationObservationResult, error) {
 	}
 	assess := func(p *bitvec.Vector, lag int) (bool, error) {
 		a := leakage.NewAssessor(c, leakage.Config{Samples: samples, Lag: lag}, rng.Split())
-		r, err := a.Assess(p, 8)
+		r, err := a.Assess(context.Background(), p, 8)
 		if err != nil {
 			return false, err
 		}

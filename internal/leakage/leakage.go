@@ -12,6 +12,8 @@
 package leakage
 
 import (
+	"context"
+
 	"repro/internal/bitvec"
 	"repro/internal/ciphers"
 	"repro/internal/evaluate"
@@ -115,13 +117,14 @@ func (a *Assessor) Cipher() ciphers.Cipher { return a.engine.Cipher() }
 func (a *Assessor) Threshold() float64 { return a.engine.Threshold() }
 
 // Assess measures the information leakage of injecting the pattern at the
-// given round. The pattern width must match the cipher state width.
-func (a *Assessor) Assess(pattern *bitvec.Vector, round int) (Assessment, error) {
-	return a.engine.Assess(pattern, round)
+// given round. The pattern width must match the cipher state width. A
+// done ctx aborts the campaign at the next shard boundary.
+func (a *Assessor) Assess(ctx context.Context, pattern *bitvec.Vector, round int) (Assessment, error) {
+	return a.engine.Assess(ctx, pattern, round)
 }
 
 // AssessOrder runs a single fixed-order assessment (used by the Table I
 // harness to contrast first- and second-order statistics).
-func (a *Assessor) AssessOrder(pattern *bitvec.Vector, round, order int) (Assessment, error) {
-	return a.engine.AssessOrder(pattern, round, order)
+func (a *Assessor) AssessOrder(ctx context.Context, pattern *bitvec.Vector, round, order int) (Assessment, error) {
+	return a.engine.AssessOrder(ctx, pattern, round, order)
 }

@@ -1,6 +1,7 @@
 package leakage
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bitvec"
@@ -68,11 +69,11 @@ func TestTableIShape(t *testing.T) {
 		{"byte", bytePattern(16, 0)},
 		{"diagonal", bytePattern(16, 2, 7, 8, 13)},
 	} {
-		o1, err := a.AssessOrder(&tc.pattern, 8, 1)
+		o1, err := a.AssessOrder(context.Background(), &tc.pattern, 8, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		o2, err := a.AssessOrder(&tc.pattern, 8, 2)
+		o2, err := a.AssessOrder(context.Background(), &tc.pattern, 8, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func TestDiagonalBoundary(t *testing.T) {
 	// Bits 29,34,35 are in bytes 3,4 — diagonal 3 — and 118 is byte 14,
 	// also diagonal 3 (Table I's diagonal fault bits are from that model).
 	for i, p := range leaky {
-		res, err := a.Assess(&p, 8)
+		res, err := a.Assess(context.Background(), &p, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,7 +114,7 @@ func TestDiagonalBoundary(t *testing.T) {
 		bytePattern(16, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
 	}
 	for i, p := range notLeaky {
-		res, err := a.Assess(&p, 8)
+		res, err := a.Assess(context.Background(), &p, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func TestLateRoundFaultsLeakViaCiphertext(t *testing.T) {
 	a := newAESAssessor(t, 1024)
 	for _, round := range []int{9, 10} {
 		p := bytePattern(16, 0)
-		res, err := a.Assess(&p, round)
+		res, err := a.Assess(context.Background(), &p, round)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func TestEarlyRoundFaultNotExploitable(t *testing.T) {
 	// footnote: only the last few rounds are reachable by an attacker.
 	a := newAESAssessor(t, 1024)
 	p := bytePattern(16, 0)
-	res, err := a.Assess(&p, 1)
+	res, err := a.Assess(context.Background(), &p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestGIFTNibbleModels(t *testing.T) {
 	}
 	for _, nibs := range leaky {
 		p := nibblePattern(8, nibs...)
-		res, err := a.Assess(&p, 25)
+		res, err := a.Assess(context.Background(), &p, 25)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +178,7 @@ func TestGIFTNibbleModels(t *testing.T) {
 		}
 	}
 	full := nibblePattern(8, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
-	res, err := a.Assess(&full, 25)
+	res, err := a.Assess(context.Background(), &full, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestStopAtThresholdTruncates(t *testing.T) {
 	c, _ := ciphers.New("gift64", key)
 	a := NewAssessor(c, Config{Samples: 512, StopAtThreshold: true}, rng.Split())
 	p := nibblePattern(8, 0)
-	res, err := a.Assess(&p, 25)
+	res, err := a.Assess(context.Background(), &p, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestStopAtThresholdTruncates(t *testing.T) {
 func TestAssessRejectsEmptyPattern(t *testing.T) {
 	a := newAESAssessor(t, 256)
 	p := bitvec.New(128)
-	if _, err := a.Assess(&p, 8); err == nil {
+	if _, err := a.Assess(context.Background(), &p, 8); err == nil {
 		t.Error("Assess accepted empty pattern")
 	}
 }
@@ -251,7 +252,7 @@ func TestBitGroupingOverride(t *testing.T) {
 	c, _ := ciphers.New("aes128", key)
 	a := NewAssessor(c, Config{Samples: 1024, GroupBits: 1}, rng.Split())
 	p := bytePattern(16, 0)
-	res, err := a.Assess(&p, 9)
+	res, err := a.Assess(context.Background(), &p, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestDiagonalHelperAgreesWithLeakage(t *testing.T) {
 	for d := 0; d < 4; d++ {
 		diag := aes.Diagonal(d)
 		p := bytePattern(16, diag[:]...)
-		res, err := a.Assess(&p, 8)
+		res, err := a.Assess(context.Background(), &p, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -286,7 +287,7 @@ func BenchmarkAssessDiagonal(b *testing.B) {
 	p := bytePattern(16, 2, 7, 8, 13)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := a.Assess(&p, 8); err != nil {
+		if _, err := a.Assess(context.Background(), &p, 8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -301,7 +302,7 @@ func BenchmarkAssessStopAtThreshold(b *testing.B) {
 	p := nibblePattern(8, 8, 9, 10, 11, 12, 14)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := a.Assess(&p, 25); err != nil {
+		if _, err := a.Assess(context.Background(), &p, 25); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -211,6 +211,35 @@ func (m *MLP) Params() []Param {
 	return ps
 }
 
+// ParamValues deep-copies the current parameter values, one slice per
+// Param, for inclusion in a checkpoint. Gradients are transient (zeroed
+// at the start of every update) and are deliberately not captured.
+func ParamValues(params []Param) [][]float64 {
+	vals := make([][]float64, len(params))
+	for i, p := range params {
+		vals[i] = append([]float64(nil), p.Val...)
+	}
+	return vals
+}
+
+// SetParamValues copies previously captured values back into the live
+// parameter slices, validating shapes so a checkpoint from a different
+// architecture cannot be silently applied.
+func SetParamValues(params []Param, vals [][]float64) error {
+	if len(vals) != len(params) {
+		return fmt.Errorf("nn: restoring %d tensors into network with %d", len(vals), len(params))
+	}
+	for i, p := range params {
+		if len(vals[i]) != len(p.Val) {
+			return fmt.Errorf("nn: tensor %d has %d values, want %d", i, len(vals[i]), len(p.Val))
+		}
+	}
+	for i, p := range params {
+		copy(p.Val, vals[i])
+	}
+	return nil
+}
+
 // ZeroGrad clears all gradient accumulators.
 func ZeroGrad(params []Param) {
 	for _, p := range params {
@@ -267,6 +296,42 @@ func NewAdam(params []Param, lr float64) *Adam {
 
 // SetLR updates the learning rate (for schedules).
 func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// AdamState is a serializable snapshot of the optimizer moments. The
+// hyperparameters (lr, betas, eps) are configuration, not state: they are
+// re-derived from the run config on restore.
+type AdamState struct {
+	T    int
+	M, V [][]float64
+}
+
+// State deep-copies the optimizer's step count and moment estimates.
+func (a *Adam) State() AdamState {
+	st := AdamState{T: a.t, M: make([][]float64, len(a.m)), V: make([][]float64, len(a.v))}
+	for i := range a.m {
+		st.M[i] = append([]float64(nil), a.m[i]...)
+		st.V[i] = append([]float64(nil), a.v[i]...)
+	}
+	return st
+}
+
+// Restore copies a snapshot back into the optimizer, validating shapes.
+func (a *Adam) Restore(st AdamState) error {
+	if len(st.M) != len(a.m) || len(st.V) != len(a.v) {
+		return fmt.Errorf("nn: adam snapshot has %d/%d moment tensors, want %d", len(st.M), len(st.V), len(a.m))
+	}
+	for i := range a.m {
+		if len(st.M[i]) != len(a.m[i]) || len(st.V[i]) != len(a.v[i]) {
+			return fmt.Errorf("nn: adam moment tensor %d has %d/%d values, want %d", i, len(st.M[i]), len(st.V[i]), len(a.m[i]))
+		}
+	}
+	a.t = st.T
+	for i := range a.m {
+		copy(a.m[i], st.M[i])
+		copy(a.v[i], st.V[i])
+	}
+	return nil
+}
 
 // Step applies one Adam update from the accumulated gradients and then
 // leaves the gradients untouched (call ZeroGrad before the next

@@ -36,6 +36,10 @@ const (
 	// verification; EventModelVerified its offline verification verdict.
 	EventModelAbstracted = "model_abstracted"
 	EventModelVerified   = "model_verified"
+	// EventCheckpointSaved records one checkpoint write (episode count and
+	// path); EventCheckpointResumed records a session restored from one.
+	EventCheckpointSaved   = "checkpoint_saved"
+	EventCheckpointResumed = "checkpoint_resumed"
 )
 
 // Event is the JSONL envelope: a wall-clock timestamp, a process-local

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -51,12 +52,37 @@ func (s *Server) Addr() string {
 	return s.addr
 }
 
-// Close shuts the listener down. No-op on a nil server.
+// Close shuts the listener down immediately, dropping in-flight requests.
+// No-op on a nil server. Prefer Shutdown on the orderly exit path.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes immediately
+// (no new connections), and in-flight requests — a pprof profile capture,
+// say — get up to timeout to finish before the remaining connections are
+// forcibly closed. It never blocks longer than timeout. No-op on a nil
+// server.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Deadline hit with requests still open: fall back to the
+		// immediate close so exit is never held hostage by a slow or
+		// stuck client.
+		closeErr := s.srv.Close()
+		if err == context.DeadlineExceeded && closeErr == nil {
+			return nil
+		}
+		return err
+	}
+	return nil
 }
 
 // Serve binds addr and serves Handler(r) in a background goroutine. Bind

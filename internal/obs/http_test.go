@@ -2,10 +2,12 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 // TestHandlerMetricsEndpoint: /metrics serves a JSON snapshot of the
@@ -77,5 +79,102 @@ func TestServeBindsAndCloses(t *testing.T) {
 	var nilSrv *Server
 	if err := nilSrv.Close(); err != nil {
 		t.Errorf("nil Close: %v", err)
+	}
+}
+
+// TestShutdownWaitsForInFlightRequest: a request already being served when
+// Shutdown is called must complete (graceful drain), while the listener
+// stops accepting new connections.
+func TestShutdownWaitsForInFlightRequest(t *testing.T) {
+	r := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.srv.Handler = http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "drained")
+	})
+
+	type result struct {
+		body   string
+		status int
+		err    error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- result{body: string(body), status: resp.StatusCode}
+	}()
+	<-entered
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(5 * time.Second) }()
+	// Give Shutdown a moment to close the listener, then let the
+	// in-flight handler finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	res := <-got
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during graceful shutdown: %v", res.err)
+	}
+	if res.status != http.StatusOK || res.body != "drained" {
+		t.Fatalf("in-flight request got %d %q, want 200 \"drained\"", res.status, res.body)
+	}
+	// New connections must be refused after shutdown.
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
+	}
+}
+
+// TestShutdownTimeoutForcesClose: a request that outlives the grace period
+// must not stall Shutdown — the fallback Close severs it and Shutdown
+// returns promptly.
+func TestShutdownTimeoutForcesClose(t *testing.T) {
+	r := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	defer close(block)
+	srv.srv.Handler = http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		close(entered)
+		<-block // never finishes within the grace period
+	})
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	start := time.Now()
+	if err := srv.Shutdown(50 * time.Millisecond); err != nil {
+		t.Fatalf("Shutdown after forced close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Shutdown blocked %v despite the 50ms grace period", elapsed)
+	}
+
+	var nilSrv *Server
+	if err := nilSrv.Shutdown(time.Second); err != nil {
+		t.Errorf("nil Shutdown: %v", err)
 	}
 }

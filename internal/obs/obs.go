@@ -281,12 +281,14 @@ func (r *Registry) Snapshot() Snapshot {
 			Bounds: append([]float64(nil), h.bounds...),
 			Counts: make([]uint64, len(h.counts)),
 		}
-		// Read the total last so count >= sum(bucket counts) never
-		// underreports a concurrent observation's bucket increment.
+		// Read the total before the buckets: Observe increments the
+		// bucket first and the total second, so every observation
+		// included in this total has already landed in its bucket and
+		// sum(bucket counts) >= count holds under concurrent writers.
+		hs.Count = h.count.Load()
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
 		}
-		hs.Count = h.count.Load()
 		s.Histograms[k] = hs
 	}
 	return s

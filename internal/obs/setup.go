@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"time"
 )
 
 // Setup wires the observability flag pair shared by the CLIs: eventsPath
@@ -41,7 +42,9 @@ func Setup(metricsAddr, eventsPath string, diag io.Writer) (*Registry, *Emitter,
 		}
 	}
 	cleanup := func() {
-		server.Close()
+		// Graceful with a short deadline: an in-flight pprof scrape may
+		// finish, but a signal-triggered exit is never stalled by one.
+		server.Shutdown(2 * time.Second)
 		events.Close()
 	}
 	return metrics, events, cleanup, nil

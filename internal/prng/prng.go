@@ -10,7 +10,10 @@
 // cryptographically secure; they are simulation PRNGs.
 package prng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // splitmix64 advances the given state and returns the next output.
 // It is used to seed the main generator and to derive child streams.
@@ -66,6 +69,35 @@ func (src *Source) Uint64() uint64 {
 // the parent remains usable.
 func (src *Source) Split() *Source {
 	return New(src.Uint64())
+}
+
+// State is a serializable snapshot of a Source's exact stream position:
+// the four xoshiro words plus the cached Box–Muller variate. Restoring a
+// State resumes the stream bit-identically, which is what makes training
+// checkpoints replayable.
+type State struct {
+	Words    [4]uint64
+	Spare    float64
+	HasSpare bool
+}
+
+// State returns a snapshot of the generator's current position.
+func (src *Source) State() State {
+	return State{Words: src.s, Spare: src.spare, HasSpare: src.hasSpare}
+}
+
+// Restore rewinds (or fast-forwards) the generator to a previously
+// captured State. It returns an error for the all-zero word state, which
+// is not a valid xoshiro position and can only come from a corrupted or
+// hand-rolled snapshot.
+func (src *Source) Restore(st State) error {
+	if st.Words[0]|st.Words[1]|st.Words[2]|st.Words[3] == 0 {
+		return errors.New("prng: refusing to restore all-zero xoshiro state")
+	}
+	src.s = st.Words
+	src.spare = st.Spare
+	src.hasSpare = st.HasSpare
+	return nil
 }
 
 // Uint32 returns the next 32 uniformly random bits.

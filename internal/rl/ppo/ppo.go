@@ -7,6 +7,7 @@
 package ppo
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/nn"
@@ -123,6 +124,50 @@ func New(obsSize, numActions int, cfg Config, rng *prng.Source) *Agent {
 	a.pOpt = nn.NewAdam(a.policy.Params(), cfg.LearningRate)
 	a.vOpt = nn.NewAdam(a.value.Params(), cfg.LearningRate)
 	return a
+}
+
+// State is a serializable snapshot of everything mutable in an Agent:
+// network weights, optimizer moments, and the action-sampling PRNG
+// position. Config and architecture are not captured — a checkpoint is
+// restored into an Agent freshly constructed with the same Config, and
+// Restore validates the shapes match.
+type State struct {
+	Policy, Value [][]float64
+	POpt, VOpt    nn.AdamState
+	RNG           prng.State
+}
+
+// State deep-copies the agent's mutable training state.
+func (a *Agent) State() State {
+	return State{
+		Policy: nn.ParamValues(a.policy.Params()),
+		Value:  nn.ParamValues(a.value.Params()),
+		POpt:   a.pOpt.State(),
+		VOpt:   a.vOpt.State(),
+		RNG:    a.rng.State(),
+	}
+}
+
+// Restore copies a snapshot back into the agent. The agent must have been
+// built with the same observation width, action count and hidden sizes as
+// the one that produced the snapshot; mismatched shapes are rejected.
+func (a *Agent) Restore(st State) error {
+	if err := nn.SetParamValues(a.policy.Params(), st.Policy); err != nil {
+		return fmt.Errorf("ppo: policy net: %w", err)
+	}
+	if err := nn.SetParamValues(a.value.Params(), st.Value); err != nil {
+		return fmt.Errorf("ppo: value net: %w", err)
+	}
+	if err := a.pOpt.Restore(st.POpt); err != nil {
+		return fmt.Errorf("ppo: policy optimizer: %w", err)
+	}
+	if err := a.vOpt.Restore(st.VOpt); err != nil {
+		return fmt.Errorf("ppo: value optimizer: %w", err)
+	}
+	if err := a.rng.Restore(st.RNG); err != nil {
+		return fmt.Errorf("ppo: %w", err)
+	}
+	return nil
 }
 
 // Respike moves the bootstrap spike to a fresh uniformly-chosen action:

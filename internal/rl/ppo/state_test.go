@@ -1,0 +1,99 @@
+package ppo
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/rl"
+)
+
+func makeBatch(a *Agent, rng *prng.Source, n, obsSize int) *rl.Batch {
+	b := &rl.Batch{}
+	for i := 0; i < n; i++ {
+		obs := make([]float64, obsSize)
+		for j := range obs {
+			obs[j] = rng.Float64()
+		}
+		act, logp, val := a.Act(obs)
+		b.Obs = append(b.Obs, obs)
+		b.Actions = append(b.Actions, act)
+		b.LogProbs = append(b.LogProbs, logp)
+		b.Values = append(b.Values, val)
+		b.Rewards = append(b.Rewards, rng.Float64())
+		b.Dones = append(b.Dones, i%8 == 7)
+		b.Advantages = append(b.Advantages, rng.NormFloat64())
+		b.Returns = append(b.Returns, rng.Float64())
+	}
+	return b
+}
+
+// TestAgentStateRestoreRoundTrip: an agent restored mid-training must act
+// and update bit-identically to the original from the snapshot on. This is
+// the agent-level half of the session resume-determinism guarantee.
+func TestAgentStateRestoreRoundTrip(t *testing.T) {
+	const obsSize, actions = 6, 6
+	cfg := Config{Hidden: []int{16}, LearningRate: 1e-3, Epochs: 2, MinibatchSize: 8}
+
+	a := New(obsSize, actions, cfg, prng.New(5))
+	dataRng := prng.New(99)
+	a.Update(makeBatch(a, dataRng, 24, obsSize))
+
+	st := a.State()
+	dataState := dataRng.State()
+
+	// Continue the original for two more updates.
+	var wantActs []int
+	for u := 0; u < 2; u++ {
+		a.Update(makeBatch(a, dataRng, 24, obsSize))
+	}
+	probe := prng.New(7)
+	for i := 0; i < 16; i++ {
+		obs := make([]float64, obsSize)
+		for j := range obs {
+			obs[j] = probe.Float64()
+		}
+		act, _, _ := a.Act(obs)
+		wantActs = append(wantActs, act)
+	}
+
+	// Rebuild from scratch with the same Config, restore, and replay.
+	b := New(obsSize, actions, cfg, prng.New(12345))
+	if err := b.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	replayRng := prng.New(1)
+	if err := replayRng.Restore(dataState); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 2; u++ {
+		b.Update(makeBatch(b, replayRng, 24, obsSize))
+	}
+	probe = prng.New(7)
+	for i := 0; i < 16; i++ {
+		obs := make([]float64, obsSize)
+		for j := range obs {
+			obs[j] = probe.Float64()
+		}
+		act, _, _ := b.Act(obs)
+		if act != wantActs[i] {
+			t.Fatalf("action %d after restore = %d, want %d", i, act, wantActs[i])
+		}
+	}
+}
+
+func TestAgentRestoreRejectsArchitectureMismatch(t *testing.T) {
+	cfg := Config{Hidden: []int{16}}
+	a := New(6, 6, cfg, prng.New(1))
+	st := a.State()
+
+	wider := New(8, 6, cfg, prng.New(1))
+	if err := wider.Restore(st); err == nil {
+		t.Error("Restore accepted a snapshot from a different observation width")
+	}
+
+	zero := a.State()
+	zero.RNG = prng.State{}
+	if err := a.Restore(zero); err == nil {
+		t.Error("Restore accepted an all-zero PRNG state")
+	}
+}

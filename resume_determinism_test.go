@@ -1,0 +1,141 @@
+package explorefault_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	explorefault "repro"
+)
+
+// TestResumeDeterminism is the checkpoint/resume half of the engine's
+// central bit-identity guarantee: a discovery run interrupted at episode k
+// and resumed from its checkpoint must produce the same DiscoveryResult —
+// to the last float64 bit — as a run that was never interrupted, for every
+// interruption point and worker count. Cache counters and wall-clock are
+// the only permitted differences (the oracle memoization cache is
+// deliberately dropped from checkpoints; memoization is exact).
+func TestResumeDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-variant training run")
+	}
+	base := explorefault.DiscoverConfig{
+		Cipher:      "gift64",
+		Round:       25,
+		Episodes:    24,
+		NumEnvs:     4,
+		Samples:     128,
+		Seed:        7,
+		SkipHarvest: true,
+	}
+
+	// Uninterrupted references, one per worker count.
+	want := map[int]string{}
+	for _, workers := range []int{1, 4} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := explorefault.Discover(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[workers] = discoverFingerprint(res)
+	}
+	if want[1] != want[4] {
+		t.Fatal("reference runs differ across worker counts (pre-existing determinism break)")
+	}
+
+	dir := t.TempDir()
+	for _, workers := range []int{1, 4} {
+		// k = 0 interrupts before any episode (only the eager initial
+		// checkpoint exists); k = Episodes resumes a finished run.
+		for _, k := range []int{0, 4, 12, 24} {
+			name := fmt.Sprintf("workers=%d/k=%d", workers, k)
+			t.Run(name, func(t *testing.T) {
+				path := filepath.Join(dir, fmt.Sprintf("ck-w%d-k%d.bin", workers, k))
+
+				// Phase 1: run until episode k, then cancel.
+				ctx, cancel := context.WithCancel(context.Background())
+				cfg := base
+				cfg.Workers = workers
+				cfg.Checkpoint = path
+				cfg.CheckpointEvery = 1
+				if k == 0 {
+					cancel()
+				} else {
+					kk := k
+					cfg.Progress = func(p explorefault.Progress) {
+						if p.Episodes >= kk {
+							cancel()
+						}
+					}
+				}
+				_, err := explorefault.DiscoverContext(ctx, cfg)
+				cancel()
+				if k < base.Episodes {
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+					}
+				} else if err != nil {
+					// The run finishes before the post-final-episode
+					// cancellation is observed.
+					t.Fatalf("full run failed: %v", err)
+				}
+
+				// Phase 2: resume from the checkpoint with a fresh context.
+				cfg = base
+				cfg.Workers = workers
+				cfg.Checkpoint = path
+				cfg.CheckpointEvery = 1
+				cfg.Resume = true
+				res, err := explorefault.DiscoverContext(context.Background(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := discoverFingerprint(res); got != want[workers] {
+					t.Errorf("resumed outcome differs from uninterrupted run\n got: %s\nwant: %s",
+						got, want[workers])
+				}
+			})
+		}
+	}
+}
+
+// TestResumeRejectsForeignCheckpoint: resuming with a different seed or
+// cipher configuration must fail loudly, not silently train on the wrong
+// stream.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	cfg := explorefault.DiscoverConfig{
+		Cipher: "gift64", Round: 25, Episodes: 8, NumEnvs: 2,
+		Samples: 64, Seed: 3, SkipHarvest: true,
+		Checkpoint: path, CheckpointEvery: 1,
+	}
+	if _, err := explorefault.Discover(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	foreign := cfg
+	foreign.Seed = 4
+	foreign.Resume = true
+	if _, err := explorefault.DiscoverContext(context.Background(), foreign); err == nil {
+		t.Error("resume accepted a checkpoint from a different seed")
+	}
+
+	otherRound := cfg
+	otherRound.Round = 24
+	otherRound.Resume = true
+	if _, err := explorefault.DiscoverContext(context.Background(), otherRound); err == nil {
+		t.Error("resume accepted a checkpoint from a different round")
+	}
+
+	// A missing checkpoint file with -resume starts fresh instead of
+	// failing (first launch of a long campaign).
+	fresh := cfg
+	fresh.Checkpoint = filepath.Join(t.TempDir(), "absent.bin")
+	fresh.Resume = true
+	if _, err := explorefault.Discover(fresh); err != nil {
+		t.Errorf("resume with missing checkpoint should start fresh, got %v", err)
+	}
+}

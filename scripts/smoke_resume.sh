@@ -1,0 +1,53 @@
+#!/bin/sh
+# Kill-and-resume smoke test: start a small discovery run with per-update
+# checkpointing, SIGINT it mid-training, assert the interrupted process
+# left a complete JSONL event log and a loadable checkpoint, resume with
+# -resume, and require the resumed outcome to match an uninterrupted
+# reference run line for line.
+#
+# Robust by construction: if the background run finishes before the
+# signal lands, or the signal lands before the first episode, the resume
+# path still produces the reference outcome (the eager initial checkpoint
+# plus bit-identical resume make every interruption point equivalent).
+set -eu
+
+GO=${GO:-go}
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+ARGS="-cipher gift64 -round 25 -episodes 48 -samples 128 -seed 7"
+BIN="$DIR/explorefault"
+$GO build -o "$BIN" ./cmd/explorefault
+
+echo "== reference run (uninterrupted)"
+$BIN $ARGS > "$DIR/ref.out"
+
+echo "== interrupted run"
+$BIN $ARGS -checkpoint "$DIR/train.ckpt" -checkpoint-every 1 \
+    -events "$DIR/run.jsonl" > "$DIR/int.out" 2> "$DIR/int.err" &
+PID=$!
+sleep 2
+kill -INT "$PID" 2>/dev/null || true
+wait "$PID" && INTERRUPTED=0 || INTERRUPTED=1
+echo "   (interrupted=$INTERRUPTED)"
+
+test -s "$DIR/train.ckpt" || { echo "FAIL: no checkpoint written"; exit 1; }
+
+# Every event line must be a complete JSON object: starts with {"ts" and
+# ends with } — a mid-record truncation fails here.
+awk 'NF && !/^\{"ts".*\}$/ { print "FAIL: truncated event line " NR ": " $0; bad = 1 }
+     END { exit bad }' "$DIR/run.jsonl"
+echo "   event log intact ($(wc -l < "$DIR/run.jsonl") lines)"
+
+echo "== resumed run"
+$BIN $ARGS -checkpoint "$DIR/train.ckpt" -resume > "$DIR/res.out"
+
+for pattern in "converged pattern" "leakage t"; do
+    grep "$pattern" "$DIR/ref.out" > "$DIR/ref.line"
+    grep "$pattern" "$DIR/res.out" > "$DIR/res.line"
+    if ! diff "$DIR/ref.line" "$DIR/res.line"; then
+        echo "FAIL: resumed \"$pattern\" differs from uninterrupted run"
+        exit 1
+    fi
+done
+echo "PASS: resumed outcome matches the uninterrupted run"
