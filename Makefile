@@ -1,9 +1,10 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr2.json
+BENCH_OUT ?= BENCH_pr5.json
+BENCH_BASE ?= BENCH_pr2.json
 BENCH_LABEL ?= after
 FUZZTIME ?= 10s
 
-.PHONY: all build test check vet race bench bench-all fuzz smoke-resume fmt
+.PHONY: all build test check vet race bench bench-all bench-compare fuzz smoke-resume smoke-trace fmt
 
 all: build
 
@@ -38,6 +39,11 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
+# Compare this PR's benchmark record against the checked-in baseline;
+# exits nonzero when any shared benchmark slowed down beyond 20%.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) $(BENCH_OUT)
+
 # Fuzz smoke: each native fuzz target for FUZZTIME (go test allows one
 # -fuzz target per invocation). The checked-in seed corpora under
 # testdata/fuzz/ always run as part of `make test` too.
@@ -52,6 +58,11 @@ fuzz:
 # uninterrupted reference run.
 smoke-resume:
 	sh scripts/smoke_resume.sh
+
+# Traced-run smoke: tiny discovery run with -events and -trace, validate
+# the Chrome trace, and run obsreport over the artifacts.
+smoke-trace:
+	sh scripts/smoke_trace.sh
 
 fmt:
 	gofmt -l -w .

@@ -8,14 +8,22 @@
 //
 // An existing output file is merged, not overwritten: only the entries of
 // the given label are replaced.
+//
+// -compare mode instead diffs two record files benchmark by benchmark and
+// exits nonzero when any shared benchmark slowed down beyond the
+// threshold, so CI (or a pre-merge checklist) can gate on "this PR did
+// not regress the kernels":
+//
+//	go run ./cmd/benchjson -compare BENCH_pr2.json BENCH_pr5.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -45,15 +53,44 @@ type Record struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
 
 func main() {
-	label := flag.String("label", "after", "label for this run's entries (e.g. before, after)")
-	out := flag.String("o", "", "output JSON file (merged if it exists; default stdout)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
 
+// run is the testable CLI body.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	label := fs.String("label", "after", "label for this run's entries (e.g. before, after); in -compare mode, the label to read from each file")
+	out := fs.String("o", "", "output JSON file (merged if it exists; default stdout)")
+	compare := fs.Bool("compare", false, "compare two record files: benchjson -compare old.json new.json")
+	threshold := fs.Float64("threshold", 0.20, "relative ns/op regression threshold for -compare (0.20 = 20%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *compare {
+		if fs.NArg() != 2 {
+			return errors.New("-compare needs exactly two record files: old.json new.json")
+		}
+		return compareRecords(stdout, fs.Arg(0), fs.Arg(1), *label, *threshold)
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v (reading bench output from stdin; did you mean -compare?)", fs.Args())
+	}
+	return ingest(stdin, stdout, *label, *out)
+}
+
+// ingest reads `go test -bench` output from stdin and writes (or merges)
+// the JSON record.
+func ingest(stdin io.Reader, stdout io.Writer, label, out string) error {
 	rec := Record{Benchmarks: map[string]map[string]*Metrics{}}
-	if *out != "" {
-		if data, err := os.ReadFile(*out); err == nil {
+	if out != "" {
+		if data, err := os.ReadFile(out); err == nil {
 			if err := json.Unmarshal(data, &rec); err != nil {
-				log.Fatalf("benchjson: existing %s is not valid: %v", *out, err)
+				return fmt.Errorf("existing %s is not valid: %v", out, err)
 			}
 			if rec.Benchmarks == nil {
 				rec.Benchmarks = map[string]map[string]*Metrics{}
@@ -67,7 +104,7 @@ func main() {
 	}
 	totals := map[string]*sums{}
 	var order []string
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
@@ -90,16 +127,28 @@ func main() {
 			totals[name] = t
 			order = append(order, name)
 		}
-		t.ns += atof(m[2])
-		t.bytes += atof(m[3])
-		t.allocs += atof(m[4])
+		ns, err := atof(m[2])
+		if err != nil {
+			return err
+		}
+		b, err := atof(m[3])
+		if err != nil {
+			return err
+		}
+		allocs, err := atof(m[4])
+		if err != nil {
+			return err
+		}
+		t.ns += ns
+		t.bytes += b
+		t.allocs += allocs
 		t.runs++
 	}
 	if err := sc.Err(); err != nil {
-		log.Fatalf("benchjson: reading stdin: %v", err)
+		return fmt.Errorf("reading stdin: %v", err)
 	}
 	if len(totals) == 0 {
-		log.Fatal("benchjson: no benchmark lines on stdin")
+		return errors.New("no benchmark lines on stdin")
 	}
 
 	for _, name := range order {
@@ -108,7 +157,7 @@ func main() {
 		if rec.Benchmarks[name] == nil {
 			rec.Benchmarks[name] = map[string]*Metrics{}
 		}
-		rec.Benchmarks[name][*label] = &Metrics{
+		rec.Benchmarks[name][label] = &Metrics{
 			NsPerOp:     t.ns / n,
 			BPerOp:      t.bytes / n,
 			AllocsPerOp: t.allocs / n,
@@ -118,31 +167,118 @@ func main() {
 
 	data, err := json.MarshalIndent(&rec, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-		return
+	if out == "" {
+		_, err := stdout.Write(data)
+		return err
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
 	}
-	names := make([]string, 0, len(totals))
-	for n := range totals {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	fmt.Printf("benchjson: wrote %d %q entries to %s\n", len(names), *label, *out)
+	fmt.Fprintf(stdout, "benchjson: wrote %d %q entries to %s\n", len(totals), label, out)
+	return nil
 }
 
-func atof(s string) float64 {
+// pickLabel returns the metrics of label in one benchmark's entry map,
+// falling back to the sole entry when the file uses a single different
+// label (e.g. comparing a "before" baseline against an "after" record).
+func pickLabel(entries map[string]*Metrics, label string) *Metrics {
+	if m, ok := entries[label]; ok {
+		return m
+	}
+	if len(entries) == 1 {
+		for _, m := range entries {
+			return m
+		}
+	}
+	return nil
+}
+
+// compareRecords prints per-benchmark ns/op deltas between two record
+// files and returns an error when any shared benchmark regressed beyond
+// threshold. Benchmarks present in only one file are listed but never
+// fail the comparison: a renamed or added benchmark is not a slowdown.
+func compareRecords(w io.Writer, oldPath, newPath string, label string, threshold float64) error {
+	load := func(path string) (*Record, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		if len(rec.Benchmarks) == 0 {
+			return nil, fmt.Errorf("%s: no benchmarks", path)
+		}
+		return &rec, nil
+	}
+	oldRec, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(oldRec.Benchmarks))
+	for name := range oldRec.Benchmarks {
+		names = append(names, name)
+	}
+	for name := range newRec.Benchmarks {
+		if _, ok := oldRec.Benchmarks[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "benchmark comparison: %s -> %s (regression threshold %+.0f%%)\n",
+		oldPath, newPath, 100*threshold)
+	regressed := 0
+	compared := 0
+	for _, name := range names {
+		o := pickLabel(oldRec.Benchmarks[name], label)
+		n := pickLabel(newRec.Benchmarks[name], label)
+		short := strings.TrimPrefix(name, "Benchmark")
+		switch {
+		case o == nil:
+			fmt.Fprintf(w, "  %-50s only in %s\n", short, newPath)
+		case n == nil:
+			fmt.Fprintf(w, "  %-50s only in %s\n", short, oldPath)
+		case o.NsPerOp <= 0:
+			fmt.Fprintf(w, "  %-50s old ns/op is zero; skipped\n", short)
+		default:
+			compared++
+			delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+			verdict := ""
+			if delta > threshold {
+				verdict = "  REGRESSED"
+				regressed++
+			}
+			fmt.Fprintf(w, "  %-50s %12.0f -> %12.0f ns/op  %+6.1f%%%s\n",
+				short, o.NsPerOp, n.NsPerOp, 100*delta, verdict)
+		}
+	}
+	if compared == 0 {
+		return errors.New("no shared benchmarks to compare")
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", regressed, 100*threshold)
+	}
+	fmt.Fprintf(w, "ok: %d benchmarks compared, none regressed\n", compared)
+	return nil
+}
+
+func atof(s string) (float64, error) {
 	if s == "" {
-		return 0
+		return 0, nil
 	}
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
-		log.Fatalf("benchjson: bad number %q: %v", s, err)
+		return 0, fmt.Errorf("bad number %q: %v", s, err)
 	}
-	return v
+	return v, nil
 }

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+cpu: model x
+BenchmarkCampaign/gift64-8   	      18	  63464410 ns/op	 1577265 B/op	   12424 allocs/op
+BenchmarkCampaign/gift64-8   	      20	  61000000 ns/op	 1500000 B/op	   12000 allocs/op
+BenchmarkOracle-8            	     100	   1000000 ns/op
+PASS
+`
+
+func TestIngest(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	err := run([]string{"-label", "before", "-o", out},
+		strings.NewReader(benchOutput), &stdout, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Goos != "linux" || rec.CPU != "model x" {
+		t.Errorf("environment header: %+v", rec)
+	}
+	m := rec.Benchmarks["BenchmarkCampaign/gift64"]["before"]
+	if m == nil {
+		t.Fatalf("missing averaged entry: %+v", rec.Benchmarks)
+	}
+	if m.Runs != 2 || m.NsPerOp != (63464410+61000000)/2.0 {
+		t.Errorf("averaging: %+v", m)
+	}
+
+	// Merging a second label preserves the first.
+	err = run([]string{"-label", "after", "-o", out},
+		strings.NewReader(benchOutput), &stdout, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(out)
+	rec = Record{}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Benchmarks["BenchmarkCampaign/gift64"]["before"] == nil ||
+		rec.Benchmarks["BenchmarkCampaign/gift64"]["after"] == nil {
+		t.Errorf("merge lost a label: %+v", rec.Benchmarks["BenchmarkCampaign/gift64"])
+	}
+}
+
+// writeRecord writes a record file with the given ns/op per benchmark
+// under one label.
+func writeRecord(t *testing.T, path, label string, ns map[string]float64) {
+	t.Helper()
+	rec := Record{Benchmarks: map[string]map[string]*Metrics{}}
+	for name, v := range ns {
+		rec.Benchmarks[name] = map[string]*Metrics{label: {NsPerOp: v, Runs: 5}}
+	}
+	data, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	writeRecord(t, old, "after", map[string]float64{
+		"BenchmarkCampaign": 100, "BenchmarkOracle": 50, "BenchmarkGone": 10,
+	})
+
+	t.Run("ok_within_threshold", func(t *testing.T) {
+		cur := filepath.Join(dir, "ok.json")
+		writeRecord(t, cur, "after", map[string]float64{
+			"BenchmarkCampaign": 110, "BenchmarkOracle": 40, "BenchmarkNew": 7,
+		})
+		var out bytes.Buffer
+		if err := run([]string{"-compare", old, cur}, nil, &out, &out); err != nil {
+			t.Fatalf("10%% slowdown under 20%% threshold should pass: %v\n%s", err, out.String())
+		}
+		text := out.String()
+		if !strings.Contains(text, "+10.0%") || !strings.Contains(text, "-20.0%") {
+			t.Errorf("deltas missing:\n%s", text)
+		}
+		if !strings.Contains(text, "only in") {
+			t.Errorf("added/removed benchmarks should be listed:\n%s", text)
+		}
+	})
+
+	t.Run("regression_fails", func(t *testing.T) {
+		cur := filepath.Join(dir, "slow.json")
+		writeRecord(t, cur, "after", map[string]float64{
+			"BenchmarkCampaign": 130, "BenchmarkOracle": 50,
+		})
+		var out bytes.Buffer
+		err := run([]string{"-compare", old, cur}, nil, &out, &out)
+		if err == nil {
+			t.Fatalf("30%% slowdown should fail:\n%s", out.String())
+		}
+		if !strings.Contains(err.Error(), "regressed") || !strings.Contains(out.String(), "REGRESSED") {
+			t.Errorf("regression not reported: err=%v\n%s", err, out.String())
+		}
+	})
+
+	t.Run("custom_threshold", func(t *testing.T) {
+		cur := filepath.Join(dir, "slow2.json")
+		writeRecord(t, cur, "after", map[string]float64{"BenchmarkCampaign": 130})
+		var out bytes.Buffer
+		if err := run([]string{"-compare", "-threshold", "0.5", old, cur}, nil, &out, &out); err != nil {
+			t.Fatalf("30%% slowdown under 50%% threshold should pass: %v", err)
+		}
+	})
+
+	t.Run("label_fallback", func(t *testing.T) {
+		// A "before"-labelled baseline compares against an "after" run
+		// without flag gymnastics: single-label files fall back.
+		base := filepath.Join(dir, "before.json")
+		writeRecord(t, base, "before", map[string]float64{"BenchmarkCampaign": 100})
+		cur := filepath.Join(dir, "after.json")
+		writeRecord(t, cur, "after", map[string]float64{"BenchmarkCampaign": 105})
+		var out bytes.Buffer
+		if err := run([]string{"-compare", base, cur}, nil, &out, &out); err != nil {
+			t.Fatalf("single-label fallback: %v\n%s", err, out.String())
+		}
+	})
+
+	t.Run("bad_inputs", func(t *testing.T) {
+		var sink bytes.Buffer
+		for _, args := range [][]string{
+			{"-compare", old},
+			{"-compare", old, filepath.Join(dir, "missing.json")},
+		} {
+			if err := run(args, nil, &sink, &sink); err == nil {
+				t.Errorf("run(%v) should fail", args)
+			}
+		}
+	})
+}
+
+func TestIngestErrors(t *testing.T) {
+	var sink bytes.Buffer
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &sink, &sink); err == nil {
+		t.Error("empty bench output should fail")
+	}
+	if err := run([]string{"stray-arg"}, strings.NewReader(benchOutput), &sink, &sink); err == nil {
+		t.Error("stray positional arg should fail")
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	explorefault "repro"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 func main() {
@@ -43,7 +44,7 @@ func main() {
 // run is the testable CLI body: it parses args, mounts the key-recovery
 // attack, and writes human output to stdout. The attack itself is short;
 // ctx is checked between setup and the attack.
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("dfa", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cipher := fs.String("cipher", "gift64", "target cipher: aes128 or gift64")
@@ -53,6 +54,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	keyHex := fs.String("key", "", "victim key in hex (default: random from seed)")
 	eventsPath := fs.String("events", "", "write structured JSONL run events to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON span timeline to this file (open in ui.perfetto.dev)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +89,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer cleanup()
+	tracer, err := trace.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	runSpan, ctx := tracer.StartRoot(ctx, trace.SpanRun)
+	runSpan.SetAttr("binary", "dfa")
+	runSpan.SetAttr("cipher", *cipher)
+	// The trace document is written at Close; a truncated or unwritable
+	// trace surfaces as the run error rather than vanishing.
+	defer func() {
+		runSpan.End()
+		if cerr := tracer.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	events.Emit(obs.EventRunStarted, map[string]any{
 		"binary": "dfa", "cipher": *cipher, "round": *round,
 		"pairs": *pairs, "seed": *seed,
@@ -95,9 +112,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	asp, _ := trace.StartSpan(ctx, "key_recovery")
 	res, err := explorefault.VerifyKeyRecovery(pattern, explorefault.VerifyConfig{
 		Cipher: *cipher, Key: key, Round: *round, Pairs: *pairs, Seed: *seed,
 	})
+	asp.End()
 	if err != nil {
 		return err
 	}

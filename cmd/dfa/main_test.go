@@ -45,8 +45,8 @@ func TestRunTinyEndToEnd(t *testing.T) {
 		t.Fatalf("events file: %v", err)
 	}
 	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("expected exactly run_started + run_finished, got %d lines", len(lines))
+	if len(lines) != 3 {
+		t.Fatalf("expected run_started + run_finished + emitter_stats, got %d lines", len(lines))
 	}
 	var last struct {
 		Event  string         `json:"event"`
@@ -56,7 +56,18 @@ func TestRunTinyEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	if last.Event != "run_finished" {
-		t.Errorf("last event = %q, want run_finished", last.Event)
+		t.Errorf("second event = %q, want run_finished", last.Event)
+	}
+	// The emitter closes the log with its own stats line; a drop count
+	// of zero certifies the log is complete.
+	if err := json.Unmarshal([]byte(lines[2]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Event != "emitter_stats" {
+		t.Errorf("last event = %q, want emitter_stats", last.Event)
+	}
+	if d, ok := last.Fields["dropped"].(float64); !ok || d != 0 {
+		t.Errorf("emitter_stats dropped = %v, want 0", last.Fields["dropped"])
 	}
 	if _, ok := last.Fields["recovered_bits"]; !ok {
 		t.Errorf("run_finished missing recovered_bits: %v", last.Fields)

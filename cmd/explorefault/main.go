@@ -26,6 +26,7 @@ import (
 
 	explorefault "repro"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/report"
 )
 
@@ -49,7 +50,7 @@ func main() {
 // run is the testable CLI body: it parses args, executes the discovery
 // session, and writes human output to stdout and diagnostics to stderr.
 // Cancelling ctx stops the session at the next episode boundary.
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("explorefault", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cipher := fs.String("cipher", "gift64", "target cipher: "+fmt.Sprint(explorefault.Ciphers()))
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	keyHex := fs.String("key", "", "cipher key in hex (default: random from seed)")
 	eventsPath := fs.String("events", "", "write structured JSONL run events to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON span timeline to this file (open in ui.perfetto.dev)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	checkpointPath := fs.String("checkpoint", "", "snapshot training state to this file (atomic; written at update boundaries and on interrupt)")
 	checkpointEvery := fs.Int("checkpoint-every", 0, "episodes between periodic checkpoint writes (0 = default cadence)")
@@ -80,19 +82,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if *resume && *checkpointPath == "" {
+		return errors.New("-resume requires -checkpoint")
+	}
+
 	metrics, events, cleanup, err := obs.Setup(*metricsAddr, *eventsPath, stderr)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
+	tracer, err := trace.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	runSpan, ctx := tracer.StartRoot(ctx, trace.SpanRun)
+	runSpan.SetAttr("binary", "explorefault")
+	runSpan.SetAttr("cipher", *cipher)
+	runSpan.SetAttr("round", *round)
+	// The trace document is written at Close; a truncated or unwritable
+	// trace surfaces as the run error rather than vanishing.
+	defer func() {
+		runSpan.End()
+		if cerr := tracer.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	events.Emit(obs.EventRunStarted, map[string]any{
 		"binary": "explorefault", "cipher": *cipher, "round": *round,
 		"episodes": *episodes, "protected": *protected, "seed": *seed,
 	})
 
-	if *resume && *checkpointPath == "" {
-		return errors.New("-resume requires -checkpoint")
-	}
 	cfg := explorefault.DiscoverConfig{
 		Cipher:          *cipher,
 		Key:             key,

@@ -73,8 +73,17 @@ func TestRunTinyEndToEnd(t *testing.T) {
 	if first.Event != "run_started" {
 		t.Errorf("first event = %q, want run_started", first.Event)
 	}
-	if last.Event != "run_finished" {
-		t.Errorf("last event = %q, want run_finished", last.Event)
+	if last.Event != "emitter_stats" {
+		t.Errorf("last event = %q, want the emitter's closing stats line", last.Event)
+	}
+	var prev struct {
+		Event string `json:"event"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-2]), &prev); err != nil {
+		t.Fatal(err)
+	}
+	if prev.Event != "run_finished" {
+		t.Errorf("second-to-last event = %q, want run_finished", prev.Event)
 	}
 	if first.TS == "" || first.Seq != 0 {
 		t.Errorf("first event envelope: ts=%q seq=%d", first.TS, first.Seq)

@@ -26,6 +26,7 @@ import (
 	explorefault "repro"
 	"repro/internal/checkpoint"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // stageCheckpointKind tags faultsim stage checkpoints inside the envelope
@@ -79,7 +80,7 @@ func main() {
 // run is the testable CLI body: it parses args, runs the assessment and
 // propagation profile, and writes human output to stdout. Cancelling ctx
 // stops the in-flight campaign at the next shard boundary.
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cipher := fs.String("cipher", "aes128", "target cipher: "+fmt.Sprint(explorefault.Ciphers()))
@@ -92,6 +93,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	scalar := fs.Bool("scalar", false, "force the scalar reference path instead of the batch cipher kernel (bit-identical, slower)")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	eventsPath := fs.String("events", "", "write structured JSONL run events to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON span timeline to this file (open in ui.perfetto.dev)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	checkpointPath := fs.String("checkpoint", "", "persist per-stage results to this file; rerunning with the same arguments resumes after the last finished stage")
 	if err := fs.Parse(args); err != nil {
@@ -133,6 +135,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer cleanup()
+	tracer, err := trace.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	runSpan, ctx := tracer.StartRoot(ctx, trace.SpanRun)
+	runSpan.SetAttr("binary", "faultsim")
+	runSpan.SetAttr("cipher", *cipher)
+	runSpan.SetAttr("round", *round)
+	// The trace document is written at Close; a truncated or unwritable
+	// trace surfaces as the run error rather than vanishing.
+	defer func() {
+		runSpan.End()
+		if cerr := tracer.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	events.Emit(obs.EventRunStarted, map[string]any{
 		"binary": "faultsim", "cipher": *cipher, "round": *round,
 		"bits": pattern.Count(), "samples": *samples, "seed": *seed,
@@ -174,11 +192,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if a, ok := ck.Assess[stage]; ok {
 			return a, nil
 		}
-		a, err := explorefault.AssessContext(ctx, pattern, explorefault.AssessConfig{
+		// One span per stage, named after it, so the trace timeline shows
+		// where a multi-stage run spent its time (and which stages a
+		// resumed run skipped).
+		ssp, sctx := trace.StartSpan(ctx, stage)
+		a, err := explorefault.AssessContext(sctx, pattern, explorefault.AssessConfig{
 			Cipher: *cipher, Round: *round, Samples: *samples,
 			FixedOrder: fixedOrder, Workers: *workers, NoBatch: *scalar, Seed: *seed,
 			Metrics: metrics, Events: events,
 		})
+		ssp.SetAttr("t", a.T)
+		ssp.End()
 		if err != nil {
 			return a, err
 		}
@@ -208,7 +232,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if prof, err = explorefault.Propagate(pattern, *cipher, nil, *round, *samples, *seed); err != nil {
+		psp, _ := trace.StartSpan(ctx, "propagation")
+		prof, err = explorefault.Propagate(pattern, *cipher, nil, *round, *samples, *seed)
+		psp.End()
+		if err != nil {
 			return err
 		}
 		ck.Profile = prof

@@ -1,0 +1,695 @@
+// obsreport turns the structured JSONL event logs written with -events
+// (and optionally the Chrome trace files written with -trace) into an
+// offline run report: phase latency breakdown, throughput over time,
+// cache effectiveness, episode and leakage rates, and event-loss
+// detection via the final emitter_stats line.
+//
+// Examples:
+//
+//	go run ./cmd/obsreport run.jsonl
+//	go run ./cmd/obsreport -format json -trace run-trace.json run.jsonl
+//	go run ./cmd/obsreport -diff -threshold 0.2 old.jsonl new.jsonl
+//
+// In -diff mode the two logs are reduced to comparable headline metrics
+// and the exit status is nonzero when any of them regresses beyond the
+// threshold, so a CI job can gate on "the new run is not slower".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI body.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("obsreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "markdown", "report output: markdown or json")
+	tracePath := fs.String("trace", "", "also analyze this Chrome trace-event JSON file (span durations, worker utilization)")
+	diff := fs.Bool("diff", false, "compare two event logs: obsreport -diff old.jsonl new.jsonl")
+	threshold := fs.Float64("threshold", 0.10, "relative regression threshold for -diff (0.10 = 10%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *diff {
+		if fs.NArg() != 2 {
+			return errors.New("-diff needs exactly two event logs: old.jsonl new.jsonl")
+		}
+		old, err := analyzeFile(fs.Arg(0), "")
+		if err != nil {
+			return err
+		}
+		cur, err := analyzeFile(fs.Arg(1), "")
+		if err != nil {
+			return err
+		}
+		return writeDiff(stdout, *format, old, cur, *threshold)
+	}
+
+	if fs.NArg() != 1 {
+		return errors.New("usage: obsreport [-format markdown|json] [-trace trace.json] run.jsonl")
+	}
+	rep, err := analyzeFile(fs.Arg(0), *tracePath)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	case "markdown", "md":
+		writeMarkdown(stdout, rep)
+		return nil
+	default:
+		return fmt.Errorf("unknown -format %q (want markdown or json)", *format)
+	}
+}
+
+// Report is the distilled view of one run's event log (plus an optional
+// trace file). It is the JSON output shape; the markdown renderer walks
+// the same struct.
+type Report struct {
+	Source string `json:"source"`
+	Binary string `json:"binary,omitempty"`
+	Cipher string `json:"cipher,omitempty"`
+	Events int    `json:"events"`
+
+	// Emitter health, from the final emitter_stats line.
+	EmitterStatsSeen bool   `json:"emitter_stats_seen"`
+	EventsDropped    uint64 `json:"events_dropped"`
+
+	WallClock float64 `json:"wall_clock_seconds"`
+
+	// Phase latency breakdown, one row per phase.
+	Phases []PhaseStat `json:"phases,omitempty"`
+
+	// Throughput over time: samples/sec per elapsed-time bucket, from
+	// campaign_finished durations.
+	Throughput []ThroughputPoint `json:"throughput,omitempty"`
+
+	// Oracle cache effectiveness.
+	Cache CacheStat `json:"cache"`
+
+	// Training census.
+	Episodes       int     `json:"episodes"`
+	LeakyEpisodes  int     `json:"leaky_episodes"`
+	LeakyRate      float64 `json:"leaky_rate"`
+	EpisodesPerMin float64 `json:"episodes_per_min,omitempty"`
+	BestT          float64 `json:"best_t,omitempty"`
+
+	// Span aggregates from the optional trace file.
+	Spans []SpanStat `json:"spans,omitempty"`
+	// WorkerUtilization is busy-shard time over workers*campaign wall
+	// time, derivable only when a trace file is given and campaign events
+	// recorded the worker count.
+	WorkerUtilization float64 `json:"worker_utilization,omitempty"`
+
+	Warnings []string `json:"warnings,omitempty"`
+
+	// workers is the largest worker count any campaign reported; it only
+	// feeds the trace-derived utilization estimate, so it stays out of
+	// the JSON shape.
+	workers float64
+}
+
+// PhaseStat aggregates the durations of one phase (campaigns, PPO
+// updates, whole sessions) as reported by the events themselves.
+type PhaseStat struct {
+	Phase   string  `json:"phase"`
+	Count   int     `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// ThroughputPoint is the mean campaign throughput (t-test traces per
+// second) inside one elapsed-time bucket.
+type ThroughputPoint struct {
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	TracesPerSec   float64 `json:"traces_per_sec"`
+	Campaigns      int     `json:"campaigns"`
+}
+
+// CacheStat is the oracle memoization summary, preferring the
+// authoritative session_finished totals and falling back to counting
+// oracle_eval events.
+type CacheStat struct {
+	Lookups uint64  `json:"lookups"`
+	Hits    uint64  `json:"hits"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// SpanStat aggregates the trace file's complete events by span name.
+type SpanStat struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// analyzeFile parses one JSONL event log (and optional trace file) into
+// a Report.
+func analyzeFile(eventsPath, tracePath string) (*Report, error) {
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := analyze(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", eventsPath, err)
+	}
+	rep.Source = eventsPath
+	if tracePath != "" {
+		if err := analyzeTrace(rep, tracePath); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// num reads a numeric event field; JSON unmarshals every number into
+// float64, but be liberal in what we accept.
+func num(fields map[string]any, key string) (float64, bool) {
+	switch v := fields[key].(type) {
+	case float64:
+		return v, true
+	case int:
+		return float64(v), true
+	case json.Number:
+		f, err := v.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}
+
+// analyze reduces an event stream to a Report.
+func analyze(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	phases := map[string]*PhaseStat{}
+	phase := func(name string) *PhaseStat {
+		p := phases[name]
+		if p == nil {
+			p = &PhaseStat{Phase: name}
+			phases[name] = p
+		}
+		return p
+	}
+	observe := func(p *PhaseStat, ms float64) {
+		p.Count++
+		p.TotalMS += ms
+		if ms > p.MaxMS {
+			p.MaxMS = ms
+		}
+	}
+
+	// campaign_finished carries duration but not the sample count, which
+	// lives on the matching campaign_started; campaigns from concurrent
+	// environments interleave, so pair them by pattern.
+	samplesByPattern := map[string]float64{}
+	var firstTS, lastTS time.Time
+	var evalHits, evalLookups uint64
+	var sessionCache *CacheStat
+	var throughput []ThroughputPoint
+	workers := 0.0
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(raw), &ev); err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		rep.Events++
+		if ts, err := time.Parse(time.RFC3339Nano, ev.TS); err == nil {
+			if firstTS.IsZero() {
+				firstTS = ts
+			}
+			lastTS = ts
+		}
+		f := ev.Fields
+		switch ev.Event {
+		case obs.EventRunStarted:
+			if b, ok := f["binary"].(string); ok {
+				rep.Binary = b
+			}
+			if c, ok := f["cipher"].(string); ok {
+				rep.Cipher = c
+			}
+		case obs.EventCampaignStarted:
+			if p, ok := f["pattern"].(string); ok {
+				if s, ok := num(f, "samples"); ok {
+					samplesByPattern[p] = s
+				}
+			}
+			if w, ok := num(f, "workers"); ok && w > workers {
+				workers = w
+			}
+		case obs.EventCampaignFinished:
+			ms, _ := num(f, "duration_ms")
+			observe(phase("campaign"), ms)
+			if p, ok := f["pattern"].(string); ok && ms > 0 {
+				if s, ok := samplesByPattern[p]; ok {
+					ts, err := time.Parse(time.RFC3339Nano, ev.TS)
+					elapsed := 0.0
+					if err == nil && !firstTS.IsZero() {
+						elapsed = ts.Sub(firstTS).Seconds()
+					}
+					throughput = append(throughput, ThroughputPoint{
+						ElapsedSeconds: elapsed,
+						TracesPerSec:   s / (ms / 1e3),
+						Campaigns:      1,
+					})
+				}
+			}
+		case obs.EventOracleEval:
+			evalLookups++
+			if c, ok := f["cached"].(bool); ok && c {
+				evalHits++
+			}
+			if ms, ok := num(f, "duration_ms"); ok {
+				observe(phase("oracle_eval"), ms)
+			}
+		case obs.EventEpisode:
+			rep.Episodes++
+			if l, ok := f["leaky"].(bool); ok && l {
+				rep.LeakyEpisodes++
+			}
+			if t, ok := num(f, "t"); ok && t > rep.BestT {
+				rep.BestT = t
+			}
+		case obs.EventPPOUpdate:
+			if ms, ok := num(f, "duration_ms"); ok {
+				observe(phase("ppo_update"), ms)
+			}
+		case obs.EventSessionFinished:
+			if ms, ok := num(f, "duration_ms"); ok {
+				observe(phase("session"), ms)
+			}
+			if epm, ok := num(f, "episodes_per_min"); ok {
+				rep.EpisodesPerMin = epm
+			}
+			hits, _ := num(f, "cache_hits")
+			misses, _ := num(f, "cache_misses")
+			if hits+misses > 0 {
+				sessionCache = &CacheStat{
+					Lookups: uint64(hits + misses),
+					Hits:    uint64(hits),
+				}
+			}
+		case obs.EventEmitterStats:
+			rep.EmitterStatsSeen = true
+			if d, ok := num(f, "dropped"); ok {
+				rep.EventsDropped = uint64(d)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rep.Events == 0 {
+		return nil, errors.New("no events found")
+	}
+
+	if !firstTS.IsZero() {
+		rep.WallClock = lastTS.Sub(firstTS).Seconds()
+	}
+	if rep.Episodes > 0 {
+		rep.LeakyRate = float64(rep.LeakyEpisodes) / float64(rep.Episodes)
+		if rep.EpisodesPerMin == 0 && rep.WallClock > 0 {
+			rep.EpisodesPerMin = float64(rep.Episodes) / (rep.WallClock / 60)
+		}
+	}
+
+	// Cache: the session's own totals are authoritative (they include
+	// lookups made before event emission was attached); fall back to
+	// counting oracle_eval events.
+	if sessionCache != nil {
+		rep.Cache = *sessionCache
+	} else {
+		rep.Cache = CacheStat{Lookups: evalLookups, Hits: evalHits}
+	}
+	if rep.Cache.Lookups > 0 {
+		rep.Cache.HitRate = float64(rep.Cache.Hits) / float64(rep.Cache.Lookups)
+	}
+
+	for _, p := range phases {
+		if p.Count > 0 {
+			p.MeanMS = p.TotalMS / float64(p.Count)
+		}
+		rep.Phases = append(rep.Phases, *p)
+	}
+	sort.Slice(rep.Phases, func(i, j int) bool { return rep.Phases[i].TotalMS > rep.Phases[j].TotalMS })
+
+	rep.Throughput = bucketThroughput(throughput, rep.WallClock)
+	rep.Warnings = warnings(rep)
+	rep.workers = workers
+	return rep, nil
+}
+
+// bucketThroughput folds per-campaign throughput points into at most ten
+// elapsed-time buckets so "traces/sec over time" stays readable for long
+// runs.
+func bucketThroughput(points []ThroughputPoint, wall float64) []ThroughputPoint {
+	if len(points) == 0 {
+		return nil
+	}
+	const maxBuckets = 10
+	width := wall / maxBuckets
+	if width <= 0 {
+		// Sub-resolution run: everything lands in one bucket.
+		width = math.Inf(1)
+	}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	buckets := map[int]*acc{}
+	for _, p := range points {
+		i := 0
+		if !math.IsInf(width, 1) {
+			i = int(p.ElapsedSeconds / width)
+			if i >= maxBuckets {
+				i = maxBuckets - 1
+			}
+		}
+		a := buckets[i]
+		if a == nil {
+			a = &acc{}
+			buckets[i] = a
+		}
+		a.sum += p.TracesPerSec
+		a.n++
+	}
+	var out []ThroughputPoint
+	for i, a := range buckets {
+		elapsed := 0.0
+		if !math.IsInf(width, 1) {
+			elapsed = (float64(i) + 0.5) * width
+		}
+		out = append(out, ThroughputPoint{
+			ElapsedSeconds: elapsed,
+			TracesPerSec:   a.sum / float64(a.n),
+			Campaigns:      a.n,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ElapsedSeconds < out[j].ElapsedSeconds })
+	return out
+}
+
+// warnings derives data-quality notes a reader should see before
+// trusting the numbers.
+func warnings(rep *Report) []string {
+	var w []string
+	if !rep.EmitterStatsSeen {
+		w = append(w, "no emitter_stats line: the run ended without closing its event log (crash or kill -9); counts may be incomplete")
+	}
+	if rep.EventsDropped > 0 {
+		w = append(w, fmt.Sprintf("%d events were dropped by the emitter; the log is incomplete", rep.EventsDropped))
+	}
+	return w
+}
+
+// chromeTrace mirrors the document shape internal/obs/trace exports.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+	} `json:"traceEvents"`
+}
+
+// analyzeTrace parses a Chrome trace-event file, aggregates its complete
+// ("X") events by span name into rep.Spans, and estimates worker
+// utilization from shard spans when the event log recorded a worker
+// count.
+func analyzeTrace(rep *Report, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	agg := map[string]*SpanStat{}
+	var shardUS, assessUS float64
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		s := agg[ev.Name]
+		if s == nil {
+			s = &SpanStat{Name: ev.Name}
+			agg[ev.Name] = s
+		}
+		s.Count++
+		ms := ev.Dur / 1e3
+		s.TotalMS += ms
+		if ms > s.MaxMS {
+			s.MaxMS = ms
+		}
+		switch ev.Name {
+		case "shard":
+			shardUS += ev.Dur
+		case "assess":
+			assessUS += ev.Dur
+		}
+	}
+	if len(agg) == 0 {
+		return fmt.Errorf("%s: no complete (\"X\") span events", path)
+	}
+	for _, s := range agg {
+		s.MeanMS = s.TotalMS / float64(s.Count)
+		rep.Spans = append(rep.Spans, *s)
+	}
+	sort.Slice(rep.Spans, func(i, j int) bool { return rep.Spans[i].TotalMS > rep.Spans[j].TotalMS })
+	if rep.workers > 0 && assessUS > 0 {
+		rep.WorkerUtilization = shardUS / (assessUS * rep.workers)
+	}
+	return nil
+}
+
+// renderFenced wraps the fixed-width table in a code fence so it renders
+// verbatim in markdown.
+func renderFenced(w io.Writer, tb *report.Table) {
+	fmt.Fprintln(w, "```")
+	tb.Render(w)
+	fmt.Fprintln(w, "```")
+	fmt.Fprintln(w)
+}
+
+// writeMarkdown renders the report as GitHub-flavored markdown using the
+// shared table renderer.
+func writeMarkdown(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "# Run report: %s\n\n", rep.Source)
+	if rep.Binary != "" {
+		fmt.Fprintf(w, "binary `%s`", rep.Binary)
+		if rep.Cipher != "" {
+			fmt.Fprintf(w, ", cipher `%s`", rep.Cipher)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%d events over %.2fs wall clock\n\n", rep.Events, rep.WallClock)
+	for _, warn := range rep.Warnings {
+		fmt.Fprintf(w, "> **warning:** %s\n\n", warn)
+	}
+
+	if len(rep.Phases) > 0 {
+		tb := report.NewTable("phase latency", "phase", "count", "total ms", "mean ms", "max ms")
+		for _, p := range rep.Phases {
+			tb.AddRow(p.Phase, p.Count,
+				fmt.Sprintf("%.1f", p.TotalMS),
+				fmt.Sprintf("%.2f", p.MeanMS),
+				fmt.Sprintf("%.2f", p.MaxMS))
+		}
+		renderFenced(w, tb)
+	}
+
+	if len(rep.Throughput) > 0 {
+		tb := report.NewTable("throughput over time", "elapsed s", "traces/sec", "campaigns")
+		for _, p := range rep.Throughput {
+			tb.AddRow(fmt.Sprintf("%.1f", p.ElapsedSeconds),
+				fmt.Sprintf("%.0f", p.TracesPerSec), p.Campaigns)
+		}
+		renderFenced(w, tb)
+	}
+
+	if rep.Cache.Lookups > 0 {
+		fmt.Fprintf(w, "oracle cache: %d hits / %d lookups (%.0f%% hit rate)\n\n",
+			rep.Cache.Hits, rep.Cache.Lookups, 100*rep.Cache.HitRate)
+	}
+	if rep.Episodes > 0 {
+		fmt.Fprintf(w, "episodes: %d total, %d exploitable (%.1f%%), best t = %.1f",
+			rep.Episodes, rep.LeakyEpisodes, 100*rep.LeakyRate, rep.BestT)
+		if rep.EpisodesPerMin > 0 {
+			fmt.Fprintf(w, ", %.0f episodes/min", rep.EpisodesPerMin)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w)
+	}
+
+	if len(rep.Spans) > 0 {
+		tb := report.NewTable("trace spans", "span", "count", "total ms", "mean ms", "max ms")
+		for _, s := range rep.Spans {
+			tb.AddRow(s.Name, s.Count,
+				fmt.Sprintf("%.1f", s.TotalMS),
+				fmt.Sprintf("%.2f", s.MeanMS),
+				fmt.Sprintf("%.2f", s.MaxMS))
+		}
+		renderFenced(w, tb)
+	}
+	if rep.WorkerUtilization > 0 {
+		fmt.Fprintf(w, "worker utilization (from trace): %.0f%%\n", 100*rep.WorkerUtilization)
+	}
+	if rep.EmitterStatsSeen && rep.EventsDropped == 0 {
+		fmt.Fprintln(w, "event log complete: emitter reported 0 dropped events")
+	}
+}
+
+// diffMetric is one headline metric compared across two runs.
+type diffMetric struct {
+	Name      string  `json:"name"`
+	Old       float64 `json:"old"`
+	New       float64 `json:"new"`
+	Delta     float64 `json:"delta"`  // relative change, signed
+	Better    string  `json:"better"` // "higher" or "lower"
+	Regressed bool    `json:"regressed"`
+}
+
+// diffMetrics extracts the comparable headline metrics of two reports
+// and flags regressions beyond threshold. Metrics absent from either run
+// (zero on both sides, or zero baseline) are skipped rather than
+// producing divide-by-zero noise.
+func diffMetrics(old, cur *Report, threshold float64) []diffMetric {
+	type spec struct {
+		name   string
+		get    func(*Report) float64
+		better string
+	}
+	specs := []spec{
+		{"episodes_per_min", func(r *Report) float64 { return r.EpisodesPerMin }, "higher"},
+		{"cache_hit_rate", func(r *Report) float64 { return r.Cache.HitRate }, "higher"},
+		{"leaky_rate", func(r *Report) float64 { return r.LeakyRate }, "higher"},
+		{"mean_campaign_ms", func(r *Report) float64 { return phaseMean(r, "campaign") }, "lower"},
+		{"mean_ppo_update_ms", func(r *Report) float64 { return phaseMean(r, "ppo_update") }, "lower"},
+		{"mean_traces_per_sec", meanThroughput, "higher"},
+	}
+	var out []diffMetric
+	for _, s := range specs {
+		o, n := s.get(old), s.get(cur)
+		if o == 0 {
+			continue
+		}
+		d := (n - o) / o
+		regressed := false
+		switch s.better {
+		case "higher":
+			regressed = d < -threshold
+		case "lower":
+			regressed = d > threshold
+		}
+		out = append(out, diffMetric{
+			Name: s.name, Old: o, New: n, Delta: d,
+			Better: s.better, Regressed: regressed,
+		})
+	}
+	return out
+}
+
+func phaseMean(r *Report, name string) float64 {
+	for _, p := range r.Phases {
+		if p.Phase == name {
+			return p.MeanMS
+		}
+	}
+	return 0
+}
+
+func meanThroughput(r *Report) float64 {
+	if len(r.Throughput) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range r.Throughput {
+		sum += p.TracesPerSec
+	}
+	return sum / float64(len(r.Throughput))
+}
+
+// writeDiff prints the metric comparison and returns an error (nonzero
+// exit) when any metric regressed beyond the threshold.
+func writeDiff(w io.Writer, format string, old, cur *Report, threshold float64) error {
+	metrics := diffMetrics(old, cur, threshold)
+	regressed := 0
+	for _, m := range metrics {
+		if m.Regressed {
+			regressed++
+		}
+	}
+	switch format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Old       string       `json:"old"`
+			New       string       `json:"new"`
+			Threshold float64      `json:"threshold"`
+			Metrics   []diffMetric `json:"metrics"`
+			Regressed int          `json:"regressed"`
+		}{old.Source, cur.Source, threshold, metrics, regressed}); err != nil {
+			return err
+		}
+	case "markdown", "md":
+		fmt.Fprintf(w, "# Run diff: %s vs %s\n\n", old.Source, cur.Source)
+		tb := report.NewTable(fmt.Sprintf("headline metrics (threshold %.0f%%)", 100*threshold),
+			"metric", "old", "new", "delta", "verdict")
+		for _, m := range metrics {
+			verdict := "ok"
+			if m.Regressed {
+				verdict = "REGRESSED"
+			}
+			tb.AddRow(m.Name,
+				fmt.Sprintf("%.3f", m.Old),
+				fmt.Sprintf("%.3f", m.New),
+				fmt.Sprintf("%+.1f%%", 100*m.Delta),
+				verdict)
+		}
+		renderFenced(w, tb)
+	default:
+		return fmt.Errorf("unknown -format %q (want markdown or json)", format)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%%", regressed, 100*threshold)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodTrace = `{"traceEvents":[
+  {"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"x"}},
+  {"name":"run","ph":"X","ts":0,"dur":100,"pid":1,"tid":0},
+  {"name":"episode","ph":"X","ts":10,"dur":20,"pid":1,"tid":1}
+],"displayTimeUnit":"ms"}`
+
+func TestTracecheck(t *testing.T) {
+	good := write(t, "good.json", goodTrace)
+
+	var out bytes.Buffer
+	if err := run([]string{good, "run", "episode"}, &out); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "2 spans") {
+		t.Errorf("span count missing: %s", out.String())
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing span", []string{good, "run", "ppo_update"}, "required spans missing"},
+		{"not json", []string{write(t, "bad.json", "{")}, "not a Chrome trace"},
+		{"empty doc", []string{write(t, "empty.json", `{"traceEvents":[]}`)}, "no trace events"},
+		{"only metadata", []string{write(t, "meta.json",
+			`{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"tid":0}]}`)}, `no complete ("X") spans`},
+		{"bad phase", []string{write(t, "phase.json",
+			`{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":1,"tid":0}]}`)}, "unexpected phase"},
+		{"negative dur", []string{write(t, "neg.json",
+			`{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-1,"pid":1,"tid":0}]}`)}, "negative ts/dur"},
+		{"no args", nil, "usage"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sink bytes.Buffer
+			err := run(tc.args, &sink)
+			if err == nil {
+				t.Fatal("should fail")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q should contain %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/countermeasure"
 	"repro/internal/explore"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/prng"
 	"repro/internal/rl/ppo"
 )
@@ -273,7 +274,9 @@ func DiscoverContext(ctx context.Context, cfg DiscoverConfig) (*DiscoveryResult,
 			}
 		}
 	}
-	out, err := sess.Run(ctx)
+	trainSpan, trainCtx := trace.StartSpan(ctx, trace.SpanTrain)
+	out, err := sess.Run(trainCtx)
+	trainSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -325,7 +328,10 @@ func DiscoverContext(ctx context.Context, cfg DiscoverConfig) (*DiscoveryResult,
 		return res, nil
 	}
 
-	res.Models, err = harvestModels(ctx, cfg, key, out)
+	harvestSpan, harvestCtx := trace.StartSpan(ctx, trace.SpanHarvest)
+	res.Models, err = harvestModels(harvestCtx, cfg, key, out)
+	harvestSpan.SetAttr("models", len(res.Models))
+	harvestSpan.End()
 	return res, err
 }
 

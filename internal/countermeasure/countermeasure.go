@@ -29,6 +29,7 @@ import (
 	"repro/internal/evaluate"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/prng"
 	"repro/internal/stats"
 )
@@ -202,6 +203,12 @@ func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64,
 	be, batch := o.cipher.(ciphers.BatchEncrypter)
 	batch = batch && !o.cfg.NoBatch
 
+	sp, ctx := trace.StartSpan(ctx, trace.SpanAssess)
+	defer sp.End()
+	sp.SetAttr("cipher", o.cipher.Name())
+	sp.SetAttr("round", o.cfg.Round)
+	sp.SetAttr("protected", true)
+
 	m, events := o.cfg.Metrics, o.cfg.Events
 	var start time.Time
 	if m != nil || events != nil {
@@ -222,6 +229,10 @@ func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64,
 	var muted atomic.Int64
 	accs, err := evaluate.RunSharded(ctx, o.cfg.Samples, o.cfg.Workers, 1, groups, o.cfg.MaxOrder, seed,
 		func(rng *prng.Source, shard, n int, shardAccs []*stats.Accumulator) error {
+			ssp, _ := trace.StartSpan(ctx, trace.SpanShard)
+			ssp.SetAttr("shard", shard)
+			ssp.SetAttr("samples", n)
+			ssp.OwnLane()
 			st := shardHist.Start()
 			var shardMuted int
 			if batch {
@@ -231,6 +242,7 @@ func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64,
 			}
 			st.Stop()
 			muted.Add(int64(shardMuted))
+			ssp.End()
 			return nil
 		})
 	if err != nil {
@@ -239,6 +251,9 @@ func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64,
 	o.LastMutedRate = float64(muted.Load()) / float64(o.cfg.Samples)
 	ref := evaluate.Reference(o.cfg.Samples, o.cfg.GroupBits, groups, o.cfg.MaxOrder, o.cfg.RefSeed)
 	res := accs[0].MaxT(o.cfg.MaxOrder, ref)
+	sp.SetAttr("t", res.T)
+	sp.SetAttr("leaky", res.T > o.cfg.Threshold)
+	sp.SetAttr("muted_rate", o.LastMutedRate)
 	if m != nil || events != nil {
 		wall := time.Since(start)
 		m.Counter("countermeasure.muted_total").Add(uint64(muted.Load()))

@@ -32,6 +32,7 @@ import (
 	"repro/internal/ciphers"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/prng"
 	"repro/internal/stats"
 )
@@ -220,6 +221,14 @@ func (e *Engine) assess(ctx context.Context, pattern *bitvec.Vector, round, fixe
 	seed := PatternSeed(e.cfg.Seed, pattern, round)
 	workers := e.workers()
 
+	// Span of the whole assessment; children (shards) hang off its
+	// context. Nil (free) unless the caller's ctx carries a span.
+	sp, ctx := trace.StartSpan(ctx, trace.SpanAssess)
+	defer sp.End()
+	sp.SetAttr("cipher", e.cipher.Name())
+	sp.SetAttr("round", round)
+	sp.SetAttr("pattern", hex.EncodeToString(pattern.Bytes()))
+
 	// Instrumentation: resolved once per assessment, nil no-ops when
 	// disabled; the clock is read only when metrics or events are on.
 	m, events := e.cfg.Metrics, e.cfg.Events
@@ -242,11 +251,19 @@ func (e *Engine) assess(ctx context.Context, pattern *bitvec.Vector, round, fixe
 
 	accs, err := RunSharded(ctx, e.cfg.Samples, workers, len(cp.Points), groups, maxOrder, seed,
 		func(rng *prng.Source, shard, n int, shardAccs []*stats.Accumulator) error {
+			// Shards run concurrently with unknown multiplicity, so each
+			// span gets its own Perfetto lane instead of stacking on the
+			// parent's.
+			ssp, sctx := trace.StartSpan(ctx, trace.SpanShard)
+			ssp.SetAttr("shard", shard)
+			ssp.SetAttr("samples", n)
+			ssp.OwnLane()
 			st := shardHist.Start()
-			err := cp.CollectIntoContext(ctx, rng, n, shardAccs)
+			err := cp.CollectIntoContext(sctx, rng, n, shardAccs)
 			if d := st.Stop(); d > 0 {
 				busyNanos.Add(int64(d))
 			}
+			ssp.End()
 			return err
 		})
 	if err != nil {
@@ -273,6 +290,8 @@ func (e *Engine) assess(ctx context.Context, pattern *bitvec.Vector, round, fixe
 		}
 	}
 	out.Leaky = out.T > e.cfg.Threshold
+	sp.SetAttr("t", out.T)
+	sp.SetAttr("leaky", out.Leaky)
 	if m != nil || events != nil {
 		wall := time.Since(start)
 		secs := wall.Seconds()

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/bitvec"
+	"repro/internal/obs/trace"
 	"repro/internal/rl"
 )
 
@@ -85,6 +86,16 @@ type Env struct {
 	// the terminal EpisodeInfo.
 	lastT     float64
 	lastLeaky bool
+
+	// lane is this env's Perfetto track (assigned by the session);
+	// epSpan brackets the in-flight episode from Reset to the terminal
+	// Step. The runner may Reset and Step one env on different
+	// goroutines, so episode spans are started cross-goroutine (no
+	// runtime/trace region). spanCtx carries the episode span to oracle
+	// evaluations so assessments nest under their episode.
+	lane    int64
+	epSpan  *trace.Span
+	spanCtx context.Context
 }
 
 var _ rl.Env = (*Env)(nil)
@@ -129,6 +140,8 @@ func (e *Env) Reset() []float64 {
 	for i := range e.obs {
 		e.obs[i] = 0
 	}
+	e.epSpan, e.spanCtx = trace.StartSpanCross(e.ctx, trace.SpanEpisode)
+	e.epSpan.SetLane(e.lane)
 	return e.obs
 }
 
@@ -162,6 +175,11 @@ func (e *Env) Step(action int) ([]float64, float64, bool) {
 		}
 		e.last.T = e.lastT
 		e.last.Leaky = e.lastLeaky
+		e.epSpan.SetAttr("bits", len(e.arr))
+		e.epSpan.SetAttr("t", e.lastT)
+		e.epSpan.SetAttr("leaky", e.lastLeaky)
+		e.epSpan.SetAttr("reward", reward)
+		e.epSpan.End()
 	}
 	copy(e.obs, e.stateAsObs())
 	return e.obs, reward, terminal
@@ -182,7 +200,16 @@ func (e *Env) stateAsObs() []float64 {
 // evaluate runs the oracle on the current pattern and maps the statistic
 // to the configured reward.
 func (e *Env) evaluate() float64 {
-	t, err := e.oracle.Evaluate(e.ctx, &e.state)
+	ctx := e.spanCtx
+	if ctx == nil {
+		ctx = e.ctx
+	}
+	sp, ctx := trace.StartSpan(ctx, trace.SpanOracleEval)
+	sp.SetAttr("bits", len(e.arr))
+	t, err := e.oracle.Evaluate(ctx, &e.state)
+	sp.SetAttr("t", t)
+	sp.SetAttr("leaky", err == nil && t > e.oracle.Threshold())
+	sp.End()
 	if err != nil {
 		if e.ctx.Err() != nil {
 			// Run cancelled mid-campaign: finish the episode with the

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/checkpoint"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/prng"
 	"repro/internal/rl"
 	"repro/internal/rl/ppo"
@@ -264,8 +265,22 @@ func (s *Session) Run(ctx context.Context) (*Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	for _, env := range s.raw {
+	// Session span; episode spans (started by each env at Reset) and PPO
+	// update spans hang off it. Each env gets its own Perfetto lane:
+	// episodes of one env are sequential but envs step concurrently, so
+	// sharing a lane would interleave their slices.
+	sp, ctx := trace.StartSpan(ctx, trace.SpanSession)
+	defer sp.End()
+	sp.SetAttr("envs", len(s.envs))
+	sp.SetAttr("episode_budget", s.cfg.Episodes)
+	if tr := sp.Tracer(); tr != nil {
+		for i := range s.raw {
+			tr.NameLane(int64(i+1), fmt.Sprintf("env-%d", i))
+		}
+	}
+	for i, env := range s.raw {
 		env.SetContext(ctx)
+		env.lane = int64(i + 1)
 	}
 	start := time.Now()
 	startEpisodes := s.run.episodes
@@ -391,9 +406,12 @@ func (s *Session) Run(ctx context.Context) (*Outcome, error) {
 				s.run.sinceLeaky = 0
 			}
 		}
+		usp, _ := trace.StartSpan(ctx, trace.SpanPPOUpdate)
+		usp.SetAttr("episodes", s.run.episodes)
 		updTimer := s.obs.updTime.Start()
 		stats := s.agent.Update(batch)
 		updDur := updTimer.Stop()
+		usp.End()
 		// The update boundary is the checkpointable state: snapshot now,
 		// write periodically (and on cancellation, via cancelled above).
 		if ckptEnabled {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/ciphers"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/prng"
 	"repro/internal/stats"
 )
@@ -291,6 +292,12 @@ func (cp *Campaign) forEachDiff(ctx context.Context, rng *prng.Source, n int, em
 	if be, ok := cp.Cipher.(ciphers.BatchEncrypter); ok && !cp.NoBatch {
 		kern = be.NewBatchKernel()
 	}
+	// One collect span per call (one per shard under the evaluate
+	// engine); nil and free unless the caller's ctx carries a span.
+	sp, _ := trace.StartSpan(ctx, trace.SpanCollect)
+	sp.SetAttr("samples", n)
+	sp.SetAttr("batch", kern != nil)
+	defer sp.End()
 	// Handles are resolved once per call (not per trace); all of them are
 	// nil no-ops when cp.Metrics is nil.
 	traces := cp.Metrics.Counter("campaign.traces_total")

@@ -40,6 +40,12 @@ const (
 	// path); EventCheckpointResumed records a session restored from one.
 	EventCheckpointSaved   = "checkpoint_saved"
 	EventCheckpointResumed = "checkpoint_resumed"
+	// EventEmitterStats is the final line the emitter writes about itself
+	// at Close: how many events were emitted and how many were silently
+	// dropped to marshal or write errors. Analysis tools (obsreport) use
+	// it to distinguish "no episodes happened" from "episode events were
+	// lost", which read identically without it.
+	EventEmitterStats = "emitter_stats"
 )
 
 // Event is the JSONL envelope: a wall-clock timestamp, a process-local
@@ -63,6 +69,8 @@ type Emitter struct {
 	closer  io.Closer
 	seq     uint64
 	dropped uint64
+	drops   *Counter // optional live mirror of the drop count
+	closed  bool
 	now     func() time.Time
 }
 
@@ -94,13 +102,38 @@ func (e *Emitter) SetClock(now func() time.Time) {
 	e.mu.Unlock()
 }
 
-// Emit writes one event line. No-op on a nil emitter.
+// MirrorDrops registers a metrics counter that tracks the drop count
+// live, so an operator watching /metrics sees event loss while the run
+// is still going rather than only in the final emitter_stats line.
+// No-op on a nil emitter; a nil counter clears the mirror.
+func (e *Emitter) MirrorDrops(c *Counter) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.drops = c
+	e.mu.Unlock()
+}
+
+// Emit writes one event line. No-op on a nil emitter. Events emitted
+// after Close are counted as drops: the writer may be gone, and losing
+// them silently is exactly the failure mode emitter_stats exists to
+// expose.
 func (e *Emitter) Emit(event string, fields map[string]any) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		e.drop()
+		return
+	}
+	e.emitLocked(event, fields)
+}
+
+// emitLocked writes one event line; the caller holds e.mu.
+func (e *Emitter) emitLocked(event string, fields map[string]any) {
 	ev := Event{
 		TS:     e.now().UTC().Format(time.RFC3339Nano),
 		Seq:    e.seq,
@@ -109,15 +142,21 @@ func (e *Emitter) Emit(event string, fields map[string]any) {
 	}
 	line, err := json.Marshal(ev)
 	if err != nil {
-		e.dropped++
+		e.drop()
 		return
 	}
 	line = append(line, '\n')
 	if _, err := e.w.Write(line); err != nil {
-		e.dropped++
+		e.drop()
 		return
 	}
 	e.seq++
+}
+
+// drop records one lost event; the caller holds e.mu.
+func (e *Emitter) drop() {
+	e.dropped++
+	e.drops.Inc()
 }
 
 // Dropped returns how many events were lost to marshal or write errors.
@@ -130,14 +169,26 @@ func (e *Emitter) Dropped() uint64 {
 	return e.dropped
 }
 
-// Close releases the underlying file when the emitter owns one.
-// No-op (nil error) on a nil emitter or a borrowed writer.
+// Close writes a final emitter_stats event summarizing how many events
+// were emitted and how many were dropped, then releases the underlying
+// file when the emitter owns one. The stats line makes drops visible in
+// the log itself: a consumer that sees no emitter_stats knows the run
+// ended abnormally, and one that sees dropped > 0 knows the log is
+// incomplete. Close is idempotent; no-op (nil error) on a nil emitter.
 func (e *Emitter) Close() error {
 	if e == nil {
 		return nil
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.emitLocked(EventEmitterStats, map[string]any{
+		"emitted": e.seq,
+		"dropped": e.dropped,
+	})
+	e.closed = true
 	if e.closer == nil {
 		return nil
 	}

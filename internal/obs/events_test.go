@@ -95,6 +95,62 @@ func TestEmitterDropsOnFailure(t *testing.T) {
 	}
 }
 
+// TestEmitterStatsOnClose: Close appends a final emitter_stats line
+// reporting emitted and dropped counts, exactly once, and events after
+// Close count as drops instead of vanishing silently.
+func TestEmitterStatsOnClose(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEmitter(&buf)
+	e.SetClock(func() time.Time { return time.Unix(0, 0).UTC() })
+	e.Emit(EventRunStarted, nil)
+	e.Emit("bad", map[string]any{"ch": make(chan int)}) // dropped
+	e.Emit(EventRunFinished, nil)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	e.Emit(EventEpisode, nil) // after Close: dropped, not written
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3 (two events + one stats):\n%s", len(lines), buf.String())
+	}
+	var last Event
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Event != EventEmitterStats {
+		t.Fatalf("final event = %q, want %q", last.Event, EventEmitterStats)
+	}
+	if got := last.Fields["emitted"]; got != float64(2) {
+		t.Errorf("emitted = %v, want 2", got)
+	}
+	if got := last.Fields["dropped"]; got != float64(1) {
+		t.Errorf("dropped = %v, want 1", got)
+	}
+	if e.Dropped() != 2 {
+		t.Errorf("Dropped() = %d, want 2 (one marshal failure, one post-Close)", e.Dropped())
+	}
+}
+
+// TestEmitterMirrorsDrops: a registered counter tracks drops live.
+func TestEmitterMirrorsDrops(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("obs.events_dropped_total")
+	e := NewEmitter(errWriter{})
+	e.MirrorDrops(c)
+	e.Emit(EventRunStarted, nil)
+	e.Emit(EventRunFinished, nil)
+	if c.Value() != 2 {
+		t.Errorf("mirror counter = %d, want 2", c.Value())
+	}
+	if e.Dropped() != 2 {
+		t.Errorf("Dropped() = %d, want 2", e.Dropped())
+	}
+}
+
 // TestEmitterConcurrentEmit: concurrent emitters produce whole lines with
 // unique sequence numbers (run under -race).
 func TestEmitterConcurrentEmit(t *testing.T) {

@@ -8,25 +8,37 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
 // Handler returns the debug mux for a registry:
 //
-//	/metrics        JSON Snapshot of every instrument
+//	/metrics        JSON Snapshot (default) or Prometheus text v0.0.4
 //	/debug/vars     expvar (cmdline, memstats)
 //	/debug/pprof/   the full net/http/pprof suite
+//
+// /metrics negotiates its representation: "?format=prom" (or an Accept
+// header asking for text/plain or OpenMetrics, as Prometheus scrapers
+// send) selects the text exposition; "?format=json" forces JSON; with
+// neither, JSON remains the default so existing curl/jq workflows keep
+// working.
 //
 // The mux is standalone (not http.DefaultServeMux), so importing this
 // package never adds handlers to binaries that do not opt in.
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if wantsPrometheus(req) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			// Write errors past the header can only be client
+			// disconnects; there is nothing useful to do with them.
+			_ = WritePrometheus(w, r.Snapshot())
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		// Encoding errors past the header can only be client
-		// disconnects; there is nothing useful to do with them.
 		_ = enc.Encode(r.Snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -36,6 +48,21 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// wantsPrometheus decides the /metrics representation. The query
+// parameter always wins (explicit beats implicit); otherwise a
+// Prometheus-style Accept header selects the text format.
+func wantsPrometheus(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "prom", "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := strings.ToLower(req.Header.Get("Accept"))
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics")
 }
 
 // Server is a running debug endpoint.

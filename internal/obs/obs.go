@@ -213,7 +213,7 @@ func (t Timer) Stop() time.Duration {
 
 // HistogramSnapshot is the exported state of one histogram.
 type HistogramSnapshot struct {
-	Count uint64 `json:"count"`
+	Count uint64  `json:"count"`
 	Sum   float64 `json:"sum"`
 	// Bounds are the bucket upper bounds; Counts[i] observed
 	// v <= Bounds[i], with one final overflow (+Inf) bucket, so
@@ -228,6 +228,57 @@ func (s HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) from the bucket
+// counts with the same model Prometheus' histogram_quantile uses:
+// observations are assumed uniformly distributed inside each bucket,
+// the first finite bucket's lower edge is zero (our histograms observe
+// non-negative latencies and rates), and a quantile landing in the +Inf
+// overflow bucket returns the highest finite bound — the estimator
+// cannot see past it. An empty histogram (or one with no finite
+// buckets) returns NaN; p outside [0, 1] returns NaN.
+//
+// The estimate is shared by the Prometheus exposition consumers and the
+// obsreport offline analyzer, so both agree on what "p99 shard latency"
+// means.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 || len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := p * float64(total)
+	var cum uint64
+	for i, bound := range s.Bounds {
+		if i >= len(s.Counts) {
+			break
+		}
+		prev := cum
+		cum += s.Counts[i]
+		if float64(cum) < rank {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		if s.Counts[i] == 0 {
+			return bound
+		}
+		frac := (rank - float64(prev)) / float64(s.Counts[i])
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (bound-lower)*frac
+	}
+	// Rank falls into the +Inf overflow bucket.
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Snapshot is a point-in-time export of every instrument in a registry.

@@ -55,13 +55,13 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat", []float64{1, 10, 100})
 	for _, v := range []float64{
-		0.5, // below first bound -> bucket 0
-		1,   // exactly on a bound is inclusive -> bucket 0
+		0.5,          // below first bound -> bucket 0
+		1,            // exactly on a bound is inclusive -> bucket 0
 		1.0000001, 9, // bucket 1
-		10.5,  // bucket 2
-		1e9,   // overflow bucket
-		100,   // bucket 2 (inclusive upper bound)
-		-3,    // negative observations still land in bucket 0
+		10.5, // bucket 2
+		1e9,  // overflow bucket
+		100,  // bucket 2 (inclusive upper bound)
+		-3,   // negative observations still land in bucket 0
 	} {
 		h.Observe(v)
 	}

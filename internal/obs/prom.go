@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format v0.0.4 (the format every Prometheus-compatible scraper
+// accepts): one TYPE comment plus samples per instrument, counters and
+// gauges as single samples, histograms as cumulative le-labelled bucket
+// series with _sum and _count. Instrument names are sanitized to the
+// Prometheus grammar (dots become underscores) and emitted in sorted
+// order, so the output is deterministic for a fixed snapshot.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := PromName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := PromName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[name]))
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		n := PromName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		// Cumulative buckets; the +Inf bucket equals the series count.
+		// The running total is accumulated from the per-bucket counts
+		// (not the snapshot's Count field) so bucket monotonicity holds
+		// even for a snapshot cut under concurrent writers.
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, promFloat(bound), cum)
+		}
+		if len(h.Counts) > 0 {
+			cum += h.Counts[len(h.Counts)-1]
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(&b, "%s_sum %s\n", n, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", n, cum)
+	}
+
+	n := "obs_uptime_seconds"
+	fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.UptimeSeconds))
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PromName maps an instrument name onto the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*: every other character becomes an
+// underscore, and a leading digit gets one prefixed.
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects sample values
+// and le labels: shortest round-trip representation, with +Inf/-Inf/NaN
+// spelled in Prometheus form.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

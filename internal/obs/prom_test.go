@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promGoldenSnapshot is a hand-built snapshot covering one of each
+// instrument kind, so the exposition text is fully deterministic.
+func promGoldenSnapshot() Snapshot {
+	return Snapshot{
+		UptimeSeconds: 12.5,
+		Counters: map[string]uint64{
+			"oracle.evals_total": 42,
+			"cache.hits_total":   7,
+		},
+		Gauges: map[string]float64{
+			"explore.best_reward": 0.75,
+		},
+		Histograms: map[string]HistogramSnapshot{
+			"assess.latency_seconds": {
+				Count:  6,
+				Sum:    3.25,
+				Bounds: []float64{0.1, 1, 10},
+				Counts: []uint64{2, 3, 1, 0},
+			},
+		},
+	}
+}
+
+// TestWritePrometheusGolden pins the exact exposition text: format
+// changes (ordering, spacing, label quoting) must show up in review as
+// a golden diff, because downstream scrapers parse this byte-for-byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, promGoldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE cache_hits_total counter
+cache_hits_total 7
+# TYPE oracle_evals_total counter
+oracle_evals_total 42
+# TYPE explore_best_reward gauge
+explore_best_reward 0.75
+# TYPE assess_latency_seconds histogram
+assess_latency_seconds_bucket{le="0.1"} 2
+assess_latency_seconds_bucket{le="1"} 5
+assess_latency_seconds_bucket{le="10"} 6
+assess_latency_seconds_bucket{le="+Inf"} 6
+assess_latency_seconds_sum 3.25
+assess_latency_seconds_count 6
+# TYPE obs_uptime_seconds gauge
+obs_uptime_seconds 12.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition text mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+)
+
+// lintPrometheus is a promtool-style check in pure Go: every sample
+// line parses, metric names obey the grammar, every sample's base name
+// was declared by a preceding # TYPE comment, histogram buckets have
+// ascending le labels ending in +Inf, bucket counts are cumulative
+// (monotone non-decreasing), and the +Inf bucket equals _count.
+func lintPrometheus(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{} // base name -> type
+	type histState struct {
+		lastLe    float64
+		lastCount uint64
+		infCount  uint64
+		sawInf    bool
+	}
+	hists := map[string]*histState{}
+	counts := map[string]uint64{}
+
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Errorf("line %d: empty line in exposition", ln+1)
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			name, typ := parts[2], parts[3]
+			if !promNameRe.MatchString(name) {
+				t.Errorf("line %d: invalid metric name %q", ln+1, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("line %d: unknown type %q", ln+1, typ)
+			}
+			if _, dup := typed[name]; dup {
+				t.Errorf("line %d: duplicate TYPE for %q", ln+1, name)
+			}
+			typed[name] = typ
+			if typ == "histogram" {
+				hists[name] = &histState{lastLe: math.Inf(-1)}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or other comments are fine
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: unparseable sample %q", ln+1, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		typ, declared := typed[base]
+		if !declared {
+			// A plain sample may match its own name exactly.
+			typ, declared = typed[name]
+			base = name
+		}
+		if !declared {
+			t.Errorf("line %d: sample %q has no preceding TYPE", ln+1, name)
+			continue
+		}
+		if typ == "counter" {
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Errorf("line %d: counter value %q not a uint: %v", ln+1, value, err)
+			}
+			_ = n
+		} else if _, err := strconv.ParseFloat(value, 64); err != nil && value != "NaN" && value != "+Inf" && value != "-Inf" {
+			t.Errorf("line %d: bad sample value %q: %v", ln+1, value, err)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		hs := hists[base]
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			const lePrefix = `{le="`
+			if !strings.HasPrefix(labels, lePrefix) || !strings.HasSuffix(labels, `"}`) {
+				t.Fatalf("line %d: bucket without le label: %q", ln+1, line)
+			}
+			leStr := strings.TrimSuffix(strings.TrimPrefix(labels, lePrefix), `"}`)
+			var le float64
+			if leStr == "+Inf" {
+				le = math.Inf(1)
+			} else {
+				var err error
+				le, err = strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					t.Fatalf("line %d: bad le %q: %v", ln+1, leStr, err)
+				}
+			}
+			if le <= hs.lastLe {
+				t.Errorf("line %d: le %q not ascending", ln+1, leStr)
+			}
+			hs.lastLe = le
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: bucket count %q: %v", ln+1, value, err)
+			}
+			if n < hs.lastCount {
+				t.Errorf("line %d: bucket counts not cumulative (%d after %d)", ln+1, n, hs.lastCount)
+			}
+			hs.lastCount = n
+			if math.IsInf(le, 1) {
+				hs.sawInf = true
+				hs.infCount = n
+			}
+		case strings.HasSuffix(name, "_count"):
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: _count %q: %v", ln+1, value, err)
+			}
+			counts[base] = n
+		}
+	}
+
+	for name, hs := range hists {
+		if !hs.sawInf {
+			t.Errorf("histogram %s: no +Inf bucket", name)
+		}
+		if c, ok := counts[name]; !ok {
+			t.Errorf("histogram %s: no _count sample", name)
+		} else if c != hs.infCount {
+			t.Errorf("histogram %s: +Inf bucket %d != _count %d", name, hs.infCount, c)
+		}
+	}
+}
+
+// TestWritePrometheusLint runs the promtool-style lint over both the
+// golden snapshot and a live registry exercising every instrument.
+func TestWritePrometheusLint(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, promGoldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	lintPrometheus(t, b.String())
+
+	r := NewRegistry()
+	r.Counter("a.b-c/d").Add(3)
+	r.Counter("0leading").Inc()
+	r.Gauge("g").Set(math.Inf(1))
+	h := r.Histogram("lat", LatencyBuckets)
+	for _, v := range []float64{1e-6, 0.5, 1e9} {
+		h.Observe(v)
+	}
+	b.Reset()
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	lintPrometheus(t, b.String())
+}
+
+// TestMetricsContentNegotiation: ?format=prom and Prometheus-style
+// Accept headers select the text exposition; the default stays JSON.
+func TestMetricsContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("traces.total").Add(5)
+	h := Handler(r)
+
+	get := func(target, accept string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+
+	cases := []struct {
+		target, accept string
+		wantProm       bool
+	}{
+		{"/metrics", "", false},
+		{"/metrics?format=json", "text/plain", false},
+		{"/metrics?format=prom", "", true},
+		{"/metrics", "text/plain;version=0.0.4", true},
+		{"/metrics", "application/openmetrics-text", true},
+		{"/metrics", "application/json", false},
+	}
+	for _, tc := range cases {
+		w := get(tc.target, tc.accept)
+		ct := w.Header().Get("Content-Type")
+		body := w.Body.String()
+		if tc.wantProm {
+			if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+				t.Errorf("%s (Accept %q): Content-Type = %q", tc.target, tc.accept, ct)
+			}
+			if !strings.Contains(body, "traces_total 5") {
+				t.Errorf("%s (Accept %q): missing prom sample in %q", tc.target, tc.accept, body)
+			}
+			lintPrometheus(t, body)
+		} else {
+			if ct != "application/json" {
+				t.Errorf("%s (Accept %q): Content-Type = %q", tc.target, tc.accept, ct)
+			}
+			if !strings.Contains(body, `"counters"`) {
+				t.Errorf("%s (Accept %q): not a JSON snapshot: %q", tc.target, tc.accept, body)
+			}
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"oracle.evals_total": "oracle_evals_total",
+		"a-b/c d":            "a_b_c_d",
+		"9lives":             "_9lives",
+		"":                   "_",
+		"ok_name:x":          "ok_name:x",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+		if got := PromName(in); !promNameRe.MatchString(got) {
+			t.Errorf("PromName(%q) = %q violates grammar", in, got)
+		}
+	}
+}
+
+// TestHistogramQuantile covers the estimator's contract including the
+// edge cases the exposition and obsreport rely on.
+func TestHistogramQuantile(t *testing.T) {
+	approx := func(t *testing.T, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+
+	t.Run("empty histogram returns NaN", func(t *testing.T) {
+		s := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{0, 0, 0}}
+		if q := s.Quantile(0.5); !math.IsNaN(q) {
+			t.Errorf("Quantile(0.5) = %v, want NaN", q)
+		}
+		var zero HistogramSnapshot
+		if q := zero.Quantile(0.5); !math.IsNaN(q) {
+			t.Errorf("zero snapshot Quantile = %v, want NaN", q)
+		}
+	})
+
+	t.Run("invalid p returns NaN", func(t *testing.T) {
+		s := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{4, 0}}
+		for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+			if q := s.Quantile(p); !math.IsNaN(q) {
+				t.Errorf("Quantile(%v) = %v, want NaN", p, q)
+			}
+		}
+	})
+
+	t.Run("single bucket interpolates from zero", func(t *testing.T) {
+		s := HistogramSnapshot{Count: 4, Bounds: []float64{10}, Counts: []uint64{4, 0}}
+		approx(t, s.Quantile(0.5), 5)
+		approx(t, s.Quantile(1), 10)
+		approx(t, s.Quantile(0), 0)
+	})
+
+	t.Run("interpolates inside interior bucket", func(t *testing.T) {
+		// 2 obs <= 1, 2 obs in (1, 3]: median sits at the bucket edge,
+		// p75 halfway into the second bucket.
+		s := HistogramSnapshot{Count: 4, Bounds: []float64{1, 3}, Counts: []uint64{2, 2, 0}}
+		approx(t, s.Quantile(0.5), 1)
+		approx(t, s.Quantile(0.75), 2)
+	})
+
+	t.Run("overflow bucket clamps to last finite bound", func(t *testing.T) {
+		s := HistogramSnapshot{Count: 4, Bounds: []float64{1, 3}, Counts: []uint64{1, 1, 2}}
+		// p=1 lands in +Inf: the estimator cannot see past the last
+		// finite bound, so it reports 3 rather than fabricating a value.
+		approx(t, s.Quantile(1), 3)
+		approx(t, s.Quantile(0.9), 3)
+		// p=0.5 is exactly the end of the second bucket.
+		approx(t, s.Quantile(0.5), 3)
+	})
+
+	t.Run("all observations in overflow", func(t *testing.T) {
+		s := HistogramSnapshot{Count: 3, Bounds: []float64{1, 3}, Counts: []uint64{0, 0, 3}}
+		approx(t, s.Quantile(0.5), 3)
+	})
+}

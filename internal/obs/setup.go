@@ -26,6 +26,7 @@ func Setup(metricsAddr, eventsPath string, diag io.Writer) (*Registry, *Emitter,
 			return nil, nil, nil, err
 		}
 		metrics = NewRegistry()
+		events.MirrorDrops(metrics.Counter("obs.events_dropped_total"))
 	}
 	if metricsAddr != "" {
 		if metrics == nil {

@@ -1,30 +1,35 @@
 package explorefault_test
 
 import (
+	"context"
 	"io"
 	"math"
 	"testing"
 
 	explorefault "repro"
+	"repro/internal/obs/trace"
 )
 
 // TestObservabilityDoesNotPerturbResults is the zero-cost pattern's
-// correctness half: enabling the metrics registry and the event emitter
-// must leave every campaign and discovery result bit-identical, because
-// instrumentation never touches a PRNG stream. The table covers the
-// unprotected oracle, the countermeasure oracle, and a full discovery
-// session, each run with observability off, metrics only, and metrics
-// plus events.
+// correctness half: enabling the metrics registry, the event emitter, or
+// the span tracer must leave every campaign and discovery result
+// bit-identical, because instrumentation never touches a PRNG stream.
+// The table covers the unprotected oracle, the countermeasure oracle,
+// and a full discovery session, each run with observability off, metrics
+// only, metrics plus events, and full tracing.
 func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 	type variant struct {
 		name    string
 		metrics bool
 		events  bool
+		tracing bool
 	}
 	variants := []variant{
-		{"off", false, false},
-		{"metrics", true, false},
-		{"metrics+events", true, true},
+		{name: "off"},
+		{name: "metrics", metrics: true},
+		{name: "metrics+events", metrics: true, events: true},
+		{name: "tracing", tracing: true},
+		{name: "everything", metrics: true, events: true, tracing: true},
 	}
 	instrument := func(v variant, cfg *explorefault.AssessConfig) {
 		if v.metrics {
@@ -32,6 +37,33 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 		}
 		if v.events {
 			cfg.Events = explorefault.NewEventEmitter(io.Discard)
+		}
+	}
+	// traceCtx returns the run context of a variant: background, or one
+	// carrying a root span of an in-memory tracer so every instrumented
+	// layer below records spans.
+	traceCtx := func(v variant) (context.Context, *trace.Tracer) {
+		ctx := context.Background()
+		if !v.tracing {
+			return ctx, nil
+		}
+		tr := trace.New()
+		_, ctx = tr.StartRoot(ctx, trace.SpanRun)
+		return ctx, tr
+	}
+	// requireSpans asserts that a tracing variant actually recorded spans
+	// (otherwise the variant silently tests nothing).
+	requireSpans := func(t *testing.T, v variant, tr *trace.Tracer) {
+		t.Helper()
+		if !v.tracing {
+			return
+		}
+		var buf countingWriter
+		if err := tr.Export(&buf); err != nil {
+			t.Fatalf("%s: exporting trace: %v", v.name, err)
+		}
+		if buf.n == 0 {
+			t.Errorf("%s: tracing enabled but no spans recorded", v.name)
 		}
 	}
 
@@ -43,10 +75,12 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 				Cipher: "gift64", Round: 25, Samples: 640, Workers: 4, Seed: 9,
 			}
 			instrument(v, &cfg)
-			res, err := explorefault.Assess(pattern, cfg)
+			ctx, tr := traceCtx(v)
+			res, err := explorefault.AssessContext(ctx, pattern, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
+			requireSpans(t, v, tr)
 			bits := math.Float64bits(res.T)
 			if i == 0 {
 				want = bits
@@ -66,10 +100,12 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 				Cipher: "gift64", Round: 25, Samples: 640, Workers: 4, Seed: 13,
 			}
 			instrument(v, &cfg)
-			res, err := explorefault.AssessProtected(pattern, cfg)
+			ctx, tr := traceCtx(v)
+			res, err := explorefault.AssessProtectedContext(ctx, pattern, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
+			requireSpans(t, v, tr)
 			bits := math.Float64bits(res.T)
 			if i == 0 {
 				want = bits
@@ -102,10 +138,12 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 			if v.events {
 				cfg.Events = explorefault.NewEventEmitter(io.Discard)
 			}
-			res, err := explorefault.Discover(cfg)
+			ctx, tr := traceCtx(v)
+			res, err := explorefault.DiscoverContext(ctx, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
+			requireSpans(t, v, tr)
 			fp := discoverFingerprint(res)
 			if i == 0 {
 				want = fp
@@ -119,4 +157,12 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 			}
 		}
 	})
+}
+
+// countingWriter counts bytes without keeping them.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
 }

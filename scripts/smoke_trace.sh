@@ -1,0 +1,43 @@
+#!/bin/sh
+# Traced-run smoke test: run a tiny discovery session with both the event
+# log and the Chrome trace enabled, assert the trace is valid JSON with
+# the expected span hierarchy, and run obsreport over the artifacts (both
+# output formats, plus a self-diff which must report zero regressions).
+#
+# Usage: sh scripts/smoke_trace.sh [outdir]
+# When outdir is given the trace, event log, and reports are left there
+# (CI uploads them as artifacts); otherwise a temp dir is cleaned up.
+set -eu
+
+GO=${GO:-go}
+if [ $# -ge 1 ]; then
+    DIR=$1
+    mkdir -p "$DIR"
+else
+    DIR=$(mktemp -d)
+    trap 'rm -rf "$DIR"' EXIT
+fi
+
+echo "== traced discovery run"
+$GO run ./cmd/explorefault -cipher gift64 -round 25 -episodes 16 -samples 128 -seed 7 \
+    -events "$DIR/run.jsonl" -trace "$DIR/trace.json" > "$DIR/run.out"
+
+test -s "$DIR/trace.json" || { echo "FAIL: no trace written"; exit 1; }
+
+# The trace must parse as a Chrome trace-event document and contain the
+# span names every discovery run produces.
+$GO run ./cmd/tracecheck "$DIR/trace.json" run session episode oracle_eval assess shard
+
+echo "== obsreport over the run"
+$GO run ./cmd/obsreport -trace "$DIR/trace.json" "$DIR/run.jsonl" > "$DIR/report.md"
+$GO run ./cmd/obsreport -format json "$DIR/run.jsonl" > "$DIR/report.json"
+grep -q "event log complete" "$DIR/report.md" || {
+    echo "FAIL: report did not confirm a complete event log"
+    cat "$DIR/report.md"
+    exit 1
+}
+
+echo "== self-diff (must be regression-free)"
+$GO run ./cmd/obsreport -diff "$DIR/run.jsonl" "$DIR/run.jsonl" > "$DIR/diff.md"
+
+echo "PASS: traced run produced a valid trace and clean reports in $DIR"
