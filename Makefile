@@ -1,6 +1,6 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr5.json
-BENCH_BASE ?= BENCH_pr2.json
+BENCH_OUT ?= BENCH_pr6.json
+BENCH_BASE ?= BENCH_pr5.json
 BENCH_LABEL ?= after
 FUZZTIME ?= 10s
 
@@ -52,6 +52,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchScalarEquivalence$$' -fuzztime $(FUZZTIME) ./internal/ciphers
 	$(GO) test -run '^$$' -fuzz '^FuzzAccumulatorMerge$$' -fuzztime $(FUZZTIME) ./internal/stats
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz '^FuzzFaultApply$$' -fuzztime $(FUZZTIME) ./internal/fault
 
 # Kill-and-resume smoke: SIGINT a checkpointing discovery run mid-training,
 # verify the event log survived intact, resume, and compare against an

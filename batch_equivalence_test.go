@@ -133,6 +133,94 @@ func TestBatchScalarEquivalence(t *testing.T) {
 	}
 }
 
+// TestBatchScalarEquivalenceModels extends the golden-vector table along
+// the fault-model axis: every registered cipher × typed fault model must
+// produce bit-identical trace matrices and merged accumulator sums on the
+// batch and scalar paths for worker counts 1 and 4. This covers all three
+// dispatch tiers of EncryptForksOps: the XOR-only hot path (XorFlip), the
+// FaultKernel (AND, XOR) lanes where a kernel has them, and the automatic
+// scalar fallback where it does not.
+func TestBatchScalarEquivalenceModels(t *testing.T) {
+	const samples = 200
+	keyRng := prng.New(0xfade)
+	for _, name := range explorefault.Ciphers() {
+		info, err := ciphers.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := make([]byte, info.KeyBytes)
+		keyRng.Fill(key)
+		c, err := info.New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stateBits := 8 * info.BlockBytes
+		round := info.Rounds - 5
+		if round < 1 {
+			round = 1
+		}
+		points := fault.PointsWindow(c, round, fault.DefaultLag, fault.DefaultWindow)
+		ng := stateBits / info.GroupBits
+		pat := explorefault.PatternFromGroups(stateBits, info.GroupBits, 0, ng/2, ng-1)
+		for _, model := range fault.Models() {
+			t.Run(fmt.Sprintf("%s/%s", name, model), func(t *testing.T) {
+				mk := func(noBatch bool) fault.Campaign {
+					return fault.Campaign{
+						Cipher:    c,
+						Pattern:   pat,
+						Round:     round,
+						Model:     model,
+						Samples:   samples,
+						Points:    points,
+						GroupBits: info.GroupBits,
+						NoBatch:   noBatch,
+					}
+				}
+
+				scalarCp, batchCp := mk(true), mk(false)
+				wantRes, err := scalarCp.Collect(prng.New(77))
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotRes, err := batchCp.Collect(prng.New(77))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for pi := range wantRes.Matrices {
+					for s := range wantRes.Matrices[pi] {
+						if floatBits(gotRes.Matrices[pi][s]) != floatBits(wantRes.Matrices[pi][s]) {
+							t.Fatalf("point %d sample %d: batch differential diverges from scalar", pi, s)
+						}
+					}
+				}
+
+				want := ""
+				for _, noBatch := range []bool{true, false} {
+					cp := mk(noBatch)
+					if err := cp.Validate(); err != nil {
+						t.Fatal(err)
+					}
+					for _, workers := range []int{1, 4} {
+						accs, err := evaluate.RunSharded(context.Background(), samples, workers, len(points), cp.Groups(), 2, 99,
+							func(rng *prng.Source, shard, n int, shardAccs []*stats.Accumulator) error {
+								return cp.CollectInto(rng, n, shardAccs)
+							})
+						if err != nil {
+							t.Fatal(err)
+						}
+						fp := accFingerprint(accs)
+						if want == "" {
+							want = fp
+						} else if fp != want {
+							t.Errorf("noBatch=%v workers=%d: accumulator sums diverge from scalar/workers=1", noBatch, workers)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestProtectedBatchScalarEquivalence: the countermeasure oracle must
 // return bit-identical statistics (and muted counts, which feed the PRNG
 // stream) on the batch and scalar paths for any worker count.

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 
 	explorefault "repro"
@@ -382,6 +383,49 @@ func BenchmarkCampaignCollect(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignFaultModels measures the streaming campaign under each
+// typed fault model on the same GIFT-64 round-25 nibble pattern. The xor
+// subbenchmark is the regression guard for the generalized injection op:
+// it runs the XOR-only hot path of EncryptForksOps and must stay within
+// the comparison gate of the pre-zoo engine (BENCH_pr5's stream-w1).
+// Stuck-at and random-value models pay for their extra AND lanes and
+// per-trace value draws; the benchmark records how much.
+func BenchmarkCampaignFaultModels(b *testing.B) {
+	key := make([]byte, 16)
+	prng.New(2023).Fill(key)
+	c, err := ciphers.New("gift64", key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pattern := explorefault.PatternFromGroups(64, 4, 5)
+	for _, model := range fault.Models() {
+		// Underscored names: benchjson treats a trailing -<digits> as the
+		// GOMAXPROCS suffix, which would merge stuck-at-0 and stuck-at-1.
+		b.Run(strings.ReplaceAll(model.String(), "-", "_"), func(b *testing.B) {
+			cp := fault.Campaign{
+				Cipher:  c,
+				Pattern: pattern,
+				Round:   25,
+				Model:   model,
+				Samples: 2048,
+			}
+			if err := cp.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				_, err := evaluate.RunSharded(context.Background(), cp.Samples, 1, len(cp.Points),
+					cp.Groups(), 2, uint64(i),
+					func(rng *prng.Source, shard, n int, accs []*stats.Accumulator) error {
+						return cp.CollectInto(rng, n, accs)
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // benchForkPoints maps the campaign's default observation window onto the
 // batch API for direct kernel benchmarking.
 func benchForkPoints(c ciphers.Cipher, round int) []ciphers.BatchPoint {
@@ -490,7 +534,7 @@ func BenchmarkOracleEvaluate(b *testing.B) {
 	b.Run("serial-cold", func(b *testing.B) {
 		oracle := makeOracle(1)
 		for i := 0; i < b.N; i++ {
-			if _, err := oracle.Evaluate(context.Background(), &pattern); err != nil {
+			if _, err := oracle.Evaluate(context.Background(), &pattern, fault.XorFlip); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -498,19 +542,19 @@ func BenchmarkOracleEvaluate(b *testing.B) {
 	b.Run("parallel-cold", func(b *testing.B) {
 		oracle := makeOracle(0)
 		for i := 0; i < b.N; i++ {
-			if _, err := oracle.Evaluate(context.Background(), &pattern); err != nil {
+			if _, err := oracle.Evaluate(context.Background(), &pattern, fault.XorFlip); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("cached-warm", func(b *testing.B) {
 		oracle := explore.NewCachedOracle(makeOracle(0), 0)
-		if _, err := oracle.Evaluate(context.Background(), &pattern); err != nil {
+		if _, err := oracle.Evaluate(context.Background(), &pattern, fault.XorFlip); err != nil {
 			b.Fatal(err) // populate the cache
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := oracle.Evaluate(context.Background(), &pattern); err != nil {
+			if _, err := oracle.Evaluate(context.Background(), &pattern, fault.XorFlip); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -50,6 +50,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	cipher := fs.String("cipher", "gift64", "target cipher: aes128 or gift64")
 	nibbles := fs.String("nibbles", "8,9,10,11,12,14", "GIFT fault-model nibbles")
 	round := fs.Int("round", 25, "GIFT fault round")
+	faultType := fs.String("fault-type", "xor", "typed fault model: xor, stuck-at-0, stuck-at-1, biased-and, random-byte, random-nibble (GIFT only; aes128 is defined for xor)")
 	pairs := fs.Int("pairs", 256, "faulty encryptions to collect")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	keyHex := fs.String("key", "", "victim key in hex (default: random from seed)")
@@ -68,6 +69,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		}
 	}
 
+	faultModel, err := explorefault.ParseFaultModel(*faultType)
+	if err != nil {
+		return fmt.Errorf("bad -fault-type: %v", err)
+	}
+
 	pattern := explorefault.Pattern{}
 	if *cipher == "gift64" {
 		var ns []int
@@ -79,7 +85,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 			ns = append(ns, v)
 		}
 		pattern = explorefault.PatternFromGroups(64, 4, ns...)
-		fmt.Fprintf(stdout, "GIFT-64 DFA: fault model nibbles %v at round %d, %d pairs\n", ns, *round, *pairs)
+		fmt.Fprintf(stdout, "GIFT-64 DFA: fault model %s, nibbles %v at round %d, %d pairs\n", faultModel, ns, *round, *pairs)
 	} else {
 		fmt.Fprintln(stdout, "AES-128 Piret–Quisquater DFA: single-byte faults at round 9")
 	}
@@ -96,6 +102,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	runSpan, ctx := tracer.StartRoot(ctx, trace.SpanRun)
 	runSpan.SetAttr("binary", "dfa")
 	runSpan.SetAttr("cipher", *cipher)
+	runSpan.SetAttr("fault_model", faultModel.String())
 	// The trace document is written at Close; a truncated or unwritable
 	// trace surfaces as the run error rather than vanishing.
 	defer func() {
@@ -106,7 +113,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	}()
 	events.Emit(obs.EventRunStarted, map[string]any{
 		"binary": "dfa", "cipher": *cipher, "round": *round,
-		"pairs": *pairs, "seed": *seed,
+		"pairs": *pairs, "seed": *seed, "fault_model": faultModel.String(),
 	})
 
 	if err := ctx.Err(); err != nil {
@@ -114,7 +121,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	}
 	asp, _ := trace.StartSpan(ctx, "key_recovery")
 	res, err := explorefault.VerifyKeyRecovery(pattern, explorefault.VerifyConfig{
-		Cipher: *cipher, Key: key, Round: *round, Pairs: *pairs, Seed: *seed,
+		Cipher: *cipher, Key: key, Round: *round, Pairs: *pairs,
+		FaultModel: faultModel, Seed: *seed,
 	})
 	asp.End()
 	if err != nil {

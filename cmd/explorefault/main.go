@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,6 +58,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	round := fs.Int("round", 25, "fault-injection round (1-based)")
 	episodes := fs.Int("episodes", 1000, "training episode budget")
 	protected := fs.Bool("protected", false, "evaluate the duplication countermeasure (ciphertext-only t-test)")
+	faultTypes := fs.String("fault-type", "xor", "typed fault model(s) the agent may inject, comma-separated: xor, stuck-at-0, stuck-at-1, biased-and, random-byte, random-nibble")
+	oracleName := fs.String("oracle", "welch", "leakage oracle: welch (t-test on ciphertext differentials) or sifa (ineffective-fault conditioning)")
 	samples := fs.Int("samples", 512, "t-test samples per reward evaluation")
 	workers := fs.Int("workers", 0, "fault-campaign worker goroutines per oracle (0 = GOMAXPROCS; results are identical for every value)")
 	scalar := fs.Bool("scalar", false, "force the scalar reference path instead of the batch cipher kernel (bit-identical, slower)")
@@ -86,6 +89,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		return errors.New("-resume requires -checkpoint")
 	}
 
+	faultModels, err := parseFaultTypes(*faultTypes)
+	if err != nil {
+		return err
+	}
+	oracle, err := explorefault.ParseOracle(*oracleName)
+	if err != nil {
+		return err
+	}
+
 	metrics, events, cleanup, err := obs.Setup(*metricsAddr, *eventsPath, stderr)
 	if err != nil {
 		return err
@@ -99,6 +111,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	runSpan.SetAttr("binary", "explorefault")
 	runSpan.SetAttr("cipher", *cipher)
 	runSpan.SetAttr("round", *round)
+	runSpan.SetAttr("fault_types", *faultTypes)
+	runSpan.SetAttr("oracle", oracle.String())
 	// The trace document is written at Close; a truncated or unwritable
 	// trace surfaces as the run error rather than vanishing.
 	defer func() {
@@ -110,6 +124,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	events.Emit(obs.EventRunStarted, map[string]any{
 		"binary": "explorefault", "cipher": *cipher, "round": *round,
 		"episodes": *episodes, "protected": *protected, "seed": *seed,
+		"fault_types": *faultTypes, "oracle": oracle.String(),
 	})
 
 	cfg := explorefault.DiscoverConfig{
@@ -117,6 +132,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		Key:             key,
 		Round:           *round,
 		Protected:       *protected,
+		FaultModels:     faultModels,
+		Oracle:          oracle,
 		Episodes:        *episodes,
 		Samples:         *samples,
 		Workers:         *workers,
@@ -158,6 +175,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	}
 	fmt.Fprintln(stdout)
 	fmt.Fprintf(stdout, "converged pattern: %s\n", res.Converged.String())
+	if len(faultModels) > 1 {
+		fmt.Fprintf(stdout, "  fault model: %s\n", res.ConvergedModel)
+	}
 	fmt.Fprintf(stdout, "  leakage t = %.1f, exploitable = %v\n\n", res.ConvergedT, res.ConvergedLeaky)
 
 	if len(res.Models) > 0 {
@@ -182,4 +202,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		"converged_leaky": res.ConvergedLeaky, "models": len(res.Models),
 	})
 	return nil
+}
+
+// parseFaultTypes parses the comma-separated -fault-type list.
+func parseFaultTypes(s string) ([]explorefault.FaultModel, error) {
+	var out []explorefault.FaultModel
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		fm, err := explorefault.ParseFaultModel(name)
+		if err != nil {
+			return nil, fmt.Errorf("bad -fault-type: %w", err)
+		}
+		out = append(out, fm)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("bad -fault-type: empty list")
+	}
+	return out, nil
 }

@@ -89,6 +89,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	nibbles := fs.String("nibbles", "", "comma-separated nibble indices")
 	bytesFlag := fs.String("bytes", "", "comma-separated byte indices")
 	samples := fs.Int("samples", 2048, "plaintexts per t-test")
+	faultType := fs.String("fault-type", "xor", "typed fault model: xor, stuck-at-0, stuck-at-1, biased-and, random-byte, random-nibble")
+	oracleName := fs.String("oracle", "welch", "leakage oracle: welch (t-test on ciphertext differentials) or sifa (ineffective-fault conditioning)")
 	workers := fs.Int("workers", 0, "fault-campaign worker goroutines (0 = GOMAXPROCS; results are identical for every value)")
 	scalar := fs.Bool("scalar", false, "force the scalar reference path instead of the batch cipher kernel (bit-identical, slower)")
 	seed := fs.Uint64("seed", 1, "experiment seed")
@@ -129,6 +131,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	if pattern.IsZero() {
 		return errors.New("empty pattern: pass -bits, -nibbles or -bytes")
 	}
+	faultModel, err := explorefault.ParseFaultModel(*faultType)
+	if err != nil {
+		return fmt.Errorf("bad -fault-type: %v", err)
+	}
+	oracle, err := explorefault.ParseOracle(*oracleName)
+	if err != nil {
+		return fmt.Errorf("bad -oracle: %v", err)
+	}
 
 	metrics, events, cleanup, err := obs.Setup(*metricsAddr, *eventsPath, stderr)
 	if err != nil {
@@ -143,6 +153,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	runSpan.SetAttr("binary", "faultsim")
 	runSpan.SetAttr("cipher", *cipher)
 	runSpan.SetAttr("round", *round)
+	runSpan.SetAttr("fault_model", faultModel.String())
+	runSpan.SetAttr("oracle", oracle.String())
 	// The trace document is written at Close; a truncated or unwritable
 	// trace surfaces as the run error rather than vanishing.
 	defer func() {
@@ -154,14 +166,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	events.Emit(obs.EventRunStarted, map[string]any{
 		"binary": "faultsim", "cipher": *cipher, "round": *round,
 		"bits": pattern.Count(), "samples": *samples, "seed": *seed,
+		"fault_model": faultModel.String(), "oracle": oracle.String(),
 	})
 
 	// Stage checkpointing: load any prior partial run for these exact
 	// arguments, then persist after every finished stage so an interrupt
 	// costs at most one stage.
 	ck := stageCheckpoint{
-		Key: fmt.Sprintf("%s|r%d|%s|s=%d|seed=%d",
-			*cipher, *round, pattern.String(), *samples, *seed),
+		Key: fmt.Sprintf("%s|r%d|%s|s=%d|m=%s|o=%s|seed=%d",
+			*cipher, *round, pattern.String(), *samples, faultModel, oracle, *seed),
 	}
 	if *checkpointPath != "" {
 		var prior stageCheckpoint
@@ -198,6 +211,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		ssp, sctx := trace.StartSpan(ctx, stage)
 		a, err := explorefault.AssessContext(sctx, pattern, explorefault.AssessConfig{
 			Cipher: *cipher, Round: *round, Samples: *samples,
+			FaultModel: faultModel, Oracle: oracle,
 			FixedOrder: fixedOrder, Workers: *workers, NoBatch: *scalar, Seed: *seed,
 			Metrics: metrics, Events: events,
 		})
@@ -210,8 +224,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		return a, saveStages(stage)
 	}
 
-	fmt.Fprintf(stdout, "cipher %s, fault at round %d, pattern %s (%d bits)\n\n",
-		*cipher, *round, pattern.String(), pattern.Count())
+	fmt.Fprintf(stdout, "cipher %s, fault at round %d, pattern %s (%d bits), model %s, oracle %s\n\n",
+		*cipher, *round, pattern.String(), pattern.Count(), faultModel, oracle)
 
 	for order := 1; order <= 2; order++ {
 		a, err := assessStage(fmt.Sprintf("order%d", order), order)
@@ -233,7 +247,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 			return err
 		}
 		psp, _ := trace.StartSpan(ctx, "propagation")
-		prof, err = explorefault.Propagate(pattern, *cipher, nil, *round, *samples, *seed)
+		prof, err = explorefault.PropagateModel(pattern, *cipher, nil, faultModel, *round, *samples, *seed)
 		psp.End()
 		if err != nil {
 			return err

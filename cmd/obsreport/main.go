@@ -118,6 +118,13 @@ type Report struct {
 	EpisodesPerMin float64 `json:"episodes_per_min,omitempty"`
 	BestT          float64 `json:"best_t,omitempty"`
 
+	// FaultModels breaks the run down per typed fault model, from the
+	// fault_model field episode and campaign events carry: exploitable
+	// rate per model (which model the agent found rewarding) and
+	// campaign latency per model (what each injection op costs — the
+	// XOR-only hot path versus (AND, XOR) lanes versus scalar fallback).
+	FaultModels []FaultModelStat `json:"fault_models,omitempty"`
+
 	// Span aggregates from the optional trace file.
 	Spans []SpanStat `json:"spans,omitempty"`
 	// WorkerUtilization is busy-shard time over workers*campaign wall
@@ -141,6 +148,18 @@ type PhaseStat struct {
 	TotalMS float64 `json:"total_ms"`
 	MeanMS  float64 `json:"mean_ms"`
 	MaxMS   float64 `json:"max_ms"`
+}
+
+// FaultModelStat aggregates one typed fault model's episodes and
+// campaign durations.
+type FaultModelStat struct {
+	Model          string  `json:"model"`
+	Episodes       int     `json:"episodes"`
+	LeakyEpisodes  int     `json:"leaky_episodes"`
+	LeakyRate      float64 `json:"leaky_rate"`
+	Campaigns      int     `json:"campaigns"`
+	CampaignMeanMS float64 `json:"campaign_mean_ms"`
+	CampaignMaxMS  float64 `json:"campaign_max_ms"`
 }
 
 // ThroughputPoint is the mean campaign throughput (t-test traces per
@@ -225,6 +244,20 @@ func analyze(r io.Reader) (*Report, error) {
 		}
 	}
 
+	models := map[string]*FaultModelStat{}
+	modelStat := func(fields map[string]any) *FaultModelStat {
+		name, ok := fields["fault_model"].(string)
+		if !ok || name == "" {
+			return nil
+		}
+		m := models[name]
+		if m == nil {
+			m = &FaultModelStat{Model: name}
+			models[name] = m
+		}
+		return m
+	}
+
 	// campaign_finished carries duration but not the sample count, which
 	// lives on the matching campaign_started; campaigns from concurrent
 	// environments interleave, so pair them by pattern.
@@ -276,6 +309,13 @@ func analyze(r io.Reader) (*Report, error) {
 		case obs.EventCampaignFinished:
 			ms, _ := num(f, "duration_ms")
 			observe(phase("campaign"), ms)
+			if m := modelStat(f); m != nil {
+				m.Campaigns++
+				m.CampaignMeanMS += ms // running total; divided below
+				if ms > m.CampaignMaxMS {
+					m.CampaignMaxMS = ms
+				}
+			}
 			if p, ok := f["pattern"].(string); ok && ms > 0 {
 				if s, ok := samplesByPattern[p]; ok {
 					ts, err := time.Parse(time.RFC3339Nano, ev.TS)
@@ -300,11 +340,19 @@ func analyze(r io.Reader) (*Report, error) {
 			}
 		case obs.EventEpisode:
 			rep.Episodes++
+			leaky := false
 			if l, ok := f["leaky"].(bool); ok && l {
 				rep.LeakyEpisodes++
+				leaky = true
 			}
 			if t, ok := num(f, "t"); ok && t > rep.BestT {
 				rep.BestT = t
+			}
+			if m := modelStat(f); m != nil {
+				m.Episodes++
+				if leaky {
+					m.LeakyEpisodes++
+				}
 			}
 		case obs.EventPPOUpdate:
 			if ms, ok := num(f, "duration_ms"); ok {
@@ -368,6 +416,17 @@ func analyze(r io.Reader) (*Report, error) {
 		rep.Phases = append(rep.Phases, *p)
 	}
 	sort.Slice(rep.Phases, func(i, j int) bool { return rep.Phases[i].TotalMS > rep.Phases[j].TotalMS })
+
+	for _, m := range models {
+		if m.Campaigns > 0 {
+			m.CampaignMeanMS /= float64(m.Campaigns)
+		}
+		if m.Episodes > 0 {
+			m.LeakyRate = float64(m.LeakyEpisodes) / float64(m.Episodes)
+		}
+		rep.FaultModels = append(rep.FaultModels, *m)
+	}
+	sort.Slice(rep.FaultModels, func(i, j int) bool { return rep.FaultModels[i].Model < rep.FaultModels[j].Model })
 
 	rep.Throughput = bucketThroughput(throughput, rep.WallClock)
 	rep.Warnings = warnings(rep)
@@ -556,6 +615,17 @@ func writeMarkdown(w io.Writer, rep *Report) {
 		}
 		fmt.Fprintln(w)
 		fmt.Fprintln(w)
+	}
+
+	if len(rep.FaultModels) > 0 {
+		tb := report.NewTable("per fault model", "model", "episodes", "exploitable", "rate", "campaigns", "mean ms", "max ms")
+		for _, m := range rep.FaultModels {
+			tb.AddRow(m.Model, m.Episodes, m.LeakyEpisodes,
+				fmt.Sprintf("%.1f%%", 100*m.LeakyRate), m.Campaigns,
+				fmt.Sprintf("%.2f", m.CampaignMeanMS),
+				fmt.Sprintf("%.2f", m.CampaignMaxMS))
+		}
+		renderFenced(w, tb)
 	}
 
 	if len(rep.Spans) > 0 {

@@ -33,11 +33,16 @@ func writeLog(t *testing.T, path string, campaignMS float64, close bool) {
 
 	e.Emit(obs.EventRunStarted, map[string]any{"binary": "explorefault", "cipher": "gift64", "round": 25})
 	for i := 0; i < 4; i++ {
+		// Alternate fault models so the per-model breakdown has two rows.
+		model := "xor"
+		if i%2 == 1 {
+			model = "stuck-at-0"
+		}
 		e.Emit(obs.EventCampaignStarted, map[string]any{
-			"pattern": "aa00", "samples": 640, "workers": 4,
+			"pattern": "aa00", "samples": 640, "workers": 4, "fault_model": model,
 		})
 		e.Emit(obs.EventCampaignFinished, map[string]any{
-			"pattern": "aa00", "t": 5.5, "leaky": true, "duration_ms": campaignMS,
+			"pattern": "aa00", "t": 5.5, "leaky": true, "duration_ms": campaignMS, "fault_model": model,
 		})
 		e.Emit(obs.EventOracleEval, map[string]any{
 			"pattern": "aa00", "t": 5.5, "leaky": true,
@@ -45,6 +50,7 @@ func writeLog(t *testing.T, path string, campaignMS float64, close bool) {
 		})
 		e.Emit(obs.EventEpisode, map[string]any{
 			"episode": i + 1, "bits": 3, "t": 5.5 + float64(i), "leaky": i != 0, "reward": 1.0,
+			"fault_model": model,
 		})
 	}
 	e.Emit(obs.EventPPOUpdate, map[string]any{"episodes": 4, "duration_ms": 2.5})
@@ -75,6 +81,8 @@ func TestReportMarkdown(t *testing.T) {
 		"ppo_update",
 		"oracle cache: 2 hits / 4 lookups (50% hit rate)",
 		"episodes: 4 total, 3 exploitable (75.0%), best t = 8.5, 120 episodes/min",
+		"per fault model",
+		"stuck-at-0",
 		"throughput over time",
 		"event log complete: emitter reported 0 dropped events",
 	} {
@@ -107,6 +115,21 @@ func TestReportJSON(t *testing.T) {
 	}
 	if !rep.EmitterStatsSeen || rep.EventsDropped != 0 {
 		t.Errorf("emitter stats: seen=%v dropped=%d", rep.EmitterStatsSeen, rep.EventsDropped)
+	}
+	// Per-model breakdown: the log alternates xor and stuck-at-0 (sorted
+	// alphabetically in the report); only episode i=0 (xor) is clean.
+	if len(rep.FaultModels) != 2 {
+		t.Fatalf("fault models = %+v, want 2 rows", rep.FaultModels)
+	}
+	sa, xor := rep.FaultModels[0], rep.FaultModels[1]
+	if sa.Model != "stuck-at-0" || sa.Episodes != 2 || sa.LeakyEpisodes != 2 || sa.Campaigns != 2 {
+		t.Errorf("stuck-at-0 row = %+v, want 2 episodes / 2 leaky / 2 campaigns", sa)
+	}
+	if xor.Model != "xor" || xor.Episodes != 2 || xor.LeakyEpisodes != 1 || xor.LeakyRate != 0.5 {
+		t.Errorf("xor row = %+v, want 2 episodes / 1 leaky / rate 0.5", xor)
+	}
+	if sa.CampaignMeanMS != 50 {
+		t.Errorf("stuck-at-0 campaign mean = %v ms, want 50", sa.CampaignMeanMS)
 	}
 	if len(rep.Warnings) != 0 {
 		t.Errorf("unexpected warnings: %v", rep.Warnings)

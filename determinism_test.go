@@ -86,28 +86,75 @@ func TestDiscoverDeterminism(t *testing.T) {
 }
 
 // TestAssessDeterminism: the standalone oracle must return bit-identical
-// statistics for any worker count.
+// statistics for any worker count, under every typed fault model and both
+// oracles. The model changes what the campaign injects and SIFA changes
+// what it accumulates, but neither may perturb the sharding contract.
 func TestAssessDeterminism(t *testing.T) {
 	pattern := explorefault.PatternFromGroups(64, 4, 5)
-	var want uint64
-	for i, workers := range []int{1, 4} {
-		res, err := explorefault.Assess(pattern, explorefault.AssessConfig{
-			Cipher:  "gift64",
-			Round:   25,
-			Samples: 640, // ragged final shard
-			Workers: workers,
-			Seed:    9,
-		})
+	for _, model := range explorefault.FaultModels() {
+		for _, oracle := range []explorefault.OracleKind{explorefault.OracleWelch, explorefault.OracleSIFA} {
+			t.Run(fmt.Sprintf("%s/%s", model, oracle), func(t *testing.T) {
+				var want uint64
+				for i, workers := range []int{1, 4} {
+					res, err := explorefault.Assess(pattern, explorefault.AssessConfig{
+						Cipher:     "gift64",
+						Round:      25,
+						Samples:    640, // ragged final shard
+						Workers:    workers,
+						FaultModel: model,
+						Oracle:     oracle,
+						Seed:       9,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					bits := math.Float64bits(res.T)
+					if i == 0 {
+						want = bits
+						continue
+					}
+					if bits != want {
+						t.Errorf("workers=%d: T bits %x != workers=1 bits %x", workers, bits, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDiscoverDeterminismMultiModel: the same sharding guarantee when the
+// agent chooses among several fault models (widened action space) and
+// scores them with the SIFA oracle.
+func TestDiscoverDeterminismMultiModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-variant training run")
+	}
+	base := explorefault.DiscoverConfig{
+		Cipher:      "gift64",
+		Round:       25,
+		Episodes:    16,
+		NumEnvs:     4,
+		Samples:     128,
+		Seed:        21,
+		SkipHarvest: true,
+		FaultModels: []explorefault.FaultModel{explorefault.XorFlip, explorefault.StuckAtZero, explorefault.RandomNibble},
+		Oracle:      explorefault.OracleSIFA,
+	}
+	var want string
+	for _, workers := range []int{1, 4} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := explorefault.Discover(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		bits := math.Float64bits(res.T)
-		if i == 0 {
-			want = bits
+		fp := discoverFingerprint(res) + "|model=" + res.ConvergedModel.String()
+		if want == "" {
+			want = fp
 			continue
 		}
-		if bits != want {
-			t.Errorf("workers=%d: T bits %x != workers=1 bits %x", workers, bits, want)
+		if fp != want {
+			t.Errorf("workers=%d diverged:\n got %s\nwant %s", workers, fp, want)
 		}
 	}
 }

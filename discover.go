@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io/fs"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/abstraction"
@@ -35,6 +36,16 @@ type DiscoverConfig struct {
 	// action space doubles (bits of both redundant branches) and the
 	// t-test runs on released ciphertexts only.
 	Protected bool
+	// FaultModels is the set of typed fault models the agent may choose
+	// from. Empty means {XorFlip}: the paper's bit-flip encoding, with
+	// the pre-zoo action space and checkpoint format. With more than one
+	// entry the action space gains one model-select action per entry and
+	// every discovered model records the injection type it leaks under.
+	FaultModels []FaultModel
+	// Oracle selects the leakage statistic (default OracleWelch;
+	// OracleSIFA conditions on traces where the fault was ineffective).
+	// Protected discovery supports OracleWelch only.
+	Oracle OracleKind
 	// Episodes is the total training budget (default 5000, Fig. 4's
 	// span; the tests and examples use far less).
 	Episodes int
@@ -125,18 +136,22 @@ type TrainingBucket struct {
 }
 
 // PatternFrequency counts how often a leaky pattern appeared in training.
+// Identical patterns under different fault models count separately.
 type PatternFrequency struct {
 	Pattern Pattern
+	Model   FaultModel
 	Count   int
 }
 
 // DiscoveryResult is the outcome of Discover.
 type DiscoveryResult struct {
 	// Converged is the fault pattern read out from the trained policy,
-	// with its leakage statistic.
+	// with its leakage statistic and the fault model it was discovered
+	// under (always XorFlip in single-model sessions).
 	Converged      Pattern
 	ConvergedT     float64
 	ConvergedLeaky bool
+	ConvergedModel FaultModel
 	// Models are the abstracted, offline-verified fault models harvested
 	// from the converged policy and the training log, extended across
 	// the cipher's structural symmetries and deduplicated (§III-F).
@@ -199,6 +214,9 @@ func DiscoverContext(ctx context.Context, cfg DiscoverConfig) (*DiscoveryResult,
 
 	var factory explore.OracleFactory
 	if cfg.Protected {
+		if cfg.Oracle != OracleWelch {
+			return nil, fmt.Errorf("explorefault: oracle %s not supported with Protected (Welch only)", cfg.Oracle)
+		}
 		factory = func(rng *prng.Source) (explore.Oracle, error) {
 			c, _, err := newKeyedCipher(cfg.Cipher, key, rng)
 			if err != nil {
@@ -207,13 +225,14 @@ func DiscoverContext(ctx context.Context, cfg DiscoverConfig) (*DiscoveryResult,
 			return countermeasure.NewOracle(c, countermeasure.OracleConfig{
 				Round:   cfg.Round,
 				Samples: cfg.Samples,
+				Oracle:  cfg.Oracle,
 				Workers: cfg.Workers,
 				NoBatch: cfg.NoBatch,
 				Metrics: cfg.Metrics,
 			}, rng.Split())
 		}
 	} else {
-		factory = assessorOracleFactory(cfg.Cipher, key, cfg.Round, cfg.Samples, cfg.Workers, cfg.NoBatch, cfg.Metrics)
+		factory = assessorOracleFactory(cfg.Cipher, key, cfg.Round, cfg.Samples, cfg.Workers, cfg.NoBatch, cfg.Oracle, cfg.Metrics)
 	}
 
 	agentCfg := cfg.Agent
@@ -226,7 +245,7 @@ func DiscoverContext(ctx context.Context, cfg DiscoverConfig) (*DiscoveryResult,
 	if agentCfg.EntropyCoef == 0 {
 		agentCfg.EntropyCoef = 1e-3
 	}
-	envCfg := explore.EnvConfig{EpisodeLen: cfg.EpisodeLen}
+	envCfg := explore.EnvConfig{EpisodeLen: cfg.EpisodeLen, Models: cfg.FaultModels}
 	if cfg.LinearReward {
 		envCfg.Shape = explore.Linear
 	}
@@ -234,13 +253,14 @@ func DiscoverContext(ctx context.Context, cfg DiscoverConfig) (*DiscoveryResult,
 		envCfg.Timing = explore.EachStep
 	}
 	// The checkpoint label folds the oracle-side configuration (cipher,
-	// round, key, samples, protection) into the session fingerprint —
-	// the explore package cannot see those, but they determine every
-	// reward, so a resume across them must be refused. Workers, NoBatch
-	// and cache settings are excluded: results are bit-identical across
-	// them by construction.
-	label := fmt.Sprintf("%s|r%d|p=%v|s=%d|key=%x",
-		cfg.Cipher, cfg.Round, cfg.Protected, cfg.Samples, key)
+	// round, key, samples, protection, fault models, oracle kind) into
+	// the session fingerprint — the explore package cannot see those, but
+	// they determine every reward, so a resume across them must be
+	// refused. Workers, NoBatch and cache settings are excluded: results
+	// are bit-identical across them by construction.
+	label := fmt.Sprintf("%s|r%d|p=%v|s=%d|m=%s|o=%s|key=%x",
+		cfg.Cipher, cfg.Round, cfg.Protected, cfg.Samples,
+		faultModelsLabel(cfg.FaultModels), cfg.Oracle, key)
 	sess, err := explore.NewSession(factory, explore.SessionConfig{
 		NumEnvs:  cfg.NumEnvs,
 		Episodes: cfg.Episodes,
@@ -285,6 +305,7 @@ func DiscoverContext(ctx context.Context, cfg DiscoverConfig) (*DiscoveryResult,
 		Converged:      out.Converged,
 		ConvergedT:     out.ConvergedT,
 		ConvergedLeaky: out.ConvergedLeaky,
+		ConvergedModel: out.ConvergedModel,
 		Episodes:       out.Episodes,
 		Duration:       out.Duration,
 		EpisodesPerMin: out.EpisodesPerMin,
@@ -319,7 +340,7 @@ func DiscoverContext(ctx context.Context, cfg DiscoverConfig) (*DiscoveryResult,
 	}
 	for _, pc := range out.Log.PatternCounts(1000) {
 		res.FirstWindowPatterns = append(res.FirstWindowPatterns, PatternFrequency{
-			Pattern: pc.Pattern, Count: pc.Count,
+			Pattern: pc.Pattern, Model: pc.Model, Count: pc.Count,
 		})
 	}
 	if cfg.SkipHarvest || cfg.Protected {
@@ -352,12 +373,45 @@ func diagonalContained(p Pattern) bool {
 	return true
 }
 
+// faultModelsLabel renders a fault-model set for checkpoint labels
+// (empty = the XorFlip default).
+func faultModelsLabel(models []FaultModel) string {
+	if len(models) == 0 {
+		return XorFlip.String()
+	}
+	parts := make([]string, len(models))
+	for i, m := range models {
+		parts[i] = m.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// modelVerifier binds one typed fault model to an explore.Oracle,
+// adapting it to abstraction.Verifier (whose Evaluate carries no model
+// argument: a harvest pass verifies patterns under a single injection
+// model).
+type modelVerifier struct {
+	oracle explore.Oracle
+	model  FaultModel
+}
+
+func (v modelVerifier) Evaluate(ctx context.Context, p *bitvec.Vector) (float64, error) {
+	return v.oracle.Evaluate(ctx, p, v.model)
+}
+
+func (v modelVerifier) Threshold() float64 { return v.oracle.Threshold() }
+
+func (v modelVerifier) StateBits() int { return v.oracle.StateBits() }
+
 // harvestModels runs the §III-F pipeline on the session outcome: collect
 // candidate raw patterns (converged + the most frequent and largest leaky
 // training patterns), abstract to group granularity with a high-sample
-// offline verifier, extend by structural symmetry, deduplicate.
+// offline verifier, extend by structural symmetry, deduplicate. In
+// multi-model sessions candidates are grouped by the fault model of the
+// episode that produced them and each group is verified under its own
+// model; a single-model run reproduces the historical pipeline exactly.
 func harvestModels(ctx context.Context, cfg DiscoverConfig, key []byte, out *explore.Outcome) ([]Model, error) {
-	verifierFactory := assessorOracleFactory(cfg.Cipher, key, cfg.Round, 2048, cfg.Workers, cfg.NoBatch, cfg.Metrics)
+	verifierFactory := assessorOracleFactory(cfg.Cipher, key, cfg.Round, 2048, cfg.Workers, cfg.NoBatch, cfg.Oracle, cfg.Metrics)
 	verifier, err := verifierFactory(prng.New(cfg.Seed ^ 0xfeed))
 	if err != nil {
 		return nil, err
@@ -367,64 +421,43 @@ func harvestModels(ctx context.Context, cfg DiscoverConfig, key []byte, out *exp
 		return nil, err
 	}
 
-	var candidates []bitvec.Vector
-	seen := map[string]bool{}
-	add := func(p bitvec.Vector) {
-		if k := p.String(); !seen[k] {
-			seen[k] = true
-			candidates = append(candidates, p)
-		}
+	faultModels := cfg.FaultModels
+	if len(faultModels) == 0 {
+		faultModels = []FaultModel{XorFlip}
 	}
-	if out.ConvergedLeaky {
-		add(out.Converged)
-	}
-	// Most frequent leaky patterns from the whole log...
-	counts := out.Log.PatternCounts(0)
-	for i := 0; i < len(counts) && i < cfg.MaxHarvest/3; i++ {
-		add(counts[i].Pattern)
-	}
-	// ...the largest leaky patterns (they carry the multi-group
-	// structure the frequent small ones miss)...
-	leaky := out.Log.Leaky(0)
-	sort.Slice(leaky, func(i, j int) bool { return leaky[i].Distinct > leaky[j].Distinct })
-	for i := 0; i < len(leaky) && i < cfg.MaxHarvest/3; i++ {
-		add(leaky[i].Pattern)
-	}
-	// ...and the smallest multi-bit ones, whose widenings yield the
-	// single-nibble/byte models of Table III.
-	sort.Slice(leaky, func(i, j int) bool { return leaky[i].Distinct < leaky[j].Distinct })
-	small := 0
-	for _, r := range leaky {
-		if r.Distinct < 2 {
+	var models []Model
+	for _, fm := range faultModels {
+		candidates := harvestCandidates(fm, cfg.MaxHarvest, out)
+		if len(candidates) == 0 {
 			continue
 		}
-		add(r.Pattern)
-		small++
-		if small >= cfg.MaxHarvest/3 {
-			break
+		for _, p := range candidates {
+			cfg.Events.Emit(obs.EventModelAbstracted, map[string]any{
+				"pattern":     hex.EncodeToString(p.Bytes()),
+				"bits":        p.Count(),
+				"fault_model": fm.String(),
+			})
 		}
-	}
-
-	for _, p := range candidates {
-		cfg.Events.Emit(obs.EventModelAbstracted, map[string]any{
-			"pattern": hex.EncodeToString(p.Bytes()),
-			"bits":    p.Count(),
+		ms, err := abstraction.Harvest(ctx, modelVerifier{oracle: verifier, model: fm}, candidates, abstraction.HarvestConfig{
+			MaxPatterns:    cfg.MaxHarvest,
+			ExtendSymmetry: true,
+			IsAES:          cfg.Cipher == "aes128",
+			GroupBits:      info.GroupBits,
 		})
-	}
-	models, err := abstraction.Harvest(ctx, verifier, candidates, abstraction.HarvestConfig{
-		MaxPatterns:    cfg.MaxHarvest,
-		ExtendSymmetry: true,
-		IsAES:          cfg.Cipher == "aes128",
-		GroupBits:      info.GroupBits,
-	})
-	if err != nil {
-		return nil, err
+		if err != nil {
+			return nil, err
+		}
+		for i := range ms {
+			ms[i].Fault = fm
+		}
+		models = append(models, ms...)
 	}
 	for _, m := range models {
 		cfg.Events.Emit(obs.EventModelVerified, map[string]any{
-			"model":   m.String(),
-			"pattern": hex.EncodeToString(m.Pattern.Bytes()),
-			"t":       m.T,
+			"model":       m.String(),
+			"pattern":     hex.EncodeToString(m.Pattern.Bytes()),
+			"fault_model": m.Fault.String(),
+			"t":           m.T,
 		})
 	}
 	sort.SliceStable(models, func(i, j int) bool {
@@ -434,4 +467,58 @@ func harvestModels(ctx context.Context, cfg DiscoverConfig, key []byte, out *exp
 		return models[i].Pattern.Count() > models[j].Pattern.Count()
 	})
 	return models, nil
+}
+
+// harvestCandidates selects the raw patterns to abstract for one fault
+// model: the converged pattern (when it was discovered under fm), the
+// most frequent leaky patterns, the largest ones (they carry the
+// multi-group structure the frequent small ones miss), and the smallest
+// multi-bit ones, whose widenings yield the single-nibble/byte models of
+// Table III.
+func harvestCandidates(fm FaultModel, maxHarvest int, out *explore.Outcome) []bitvec.Vector {
+	var candidates []bitvec.Vector
+	seen := map[string]bool{}
+	add := func(p bitvec.Vector) {
+		if k := p.String(); !seen[k] {
+			seen[k] = true
+			candidates = append(candidates, p)
+		}
+	}
+	if out.ConvergedLeaky && out.ConvergedModel == fm {
+		add(out.Converged)
+	}
+	taken := 0
+	for _, pc := range out.Log.PatternCounts(0) {
+		if pc.Model != fm {
+			continue
+		}
+		if taken >= maxHarvest/3 {
+			break
+		}
+		add(pc.Pattern)
+		taken++
+	}
+	var leaky []explore.Record
+	for _, r := range out.Log.Leaky(0) {
+		if r.Model == fm {
+			leaky = append(leaky, r)
+		}
+	}
+	sort.Slice(leaky, func(i, j int) bool { return leaky[i].Distinct > leaky[j].Distinct })
+	for i := 0; i < len(leaky) && i < maxHarvest/3; i++ {
+		add(leaky[i].Pattern)
+	}
+	sort.Slice(leaky, func(i, j int) bool { return leaky[i].Distinct < leaky[j].Distinct })
+	small := 0
+	for _, r := range leaky {
+		if r.Distinct < 2 {
+			continue
+		}
+		add(r.Pattern)
+		small++
+		if small >= maxHarvest/3 {
+			break
+		}
+	}
+	return candidates
 }

@@ -38,6 +38,7 @@ import (
 	_ "repro/internal/ciphers/speck"   // register speck64, speck32
 	"repro/internal/countermeasure"
 	"repro/internal/explore"
+	"repro/internal/fault"
 	"repro/internal/leakage"
 	"repro/internal/obs"
 	"repro/internal/prng"
@@ -72,7 +73,7 @@ func PatternFromGroups(stateBits, groupBits int, groups ...int) Pattern {
 }
 
 // Model is an abstracted, verified fault model (class, covered groups,
-// full bit pattern, offline t statistic).
+// full bit pattern, typed injection model, offline t statistic).
 type Model = abstraction.Model
 
 // Model class re-exports.
@@ -85,6 +86,52 @@ const (
 	DiagonalModel    = abstraction.DiagonalModel
 	RawPattern       = abstraction.RawPattern
 )
+
+// FaultModel is the typed injection model applied at the faulted bits:
+// how the targeted state bits are corrupted, as opposed to Pattern, which
+// says where. XorFlip is the paper's bit-flip model and the default
+// everywhere.
+type FaultModel = fault.Model
+
+// Typed fault-model re-exports.
+const (
+	// XorFlip flips every targeted bit (FlipAll) or a random nonzero
+	// subset per trace (the default campaign mode) — the paper's model.
+	XorFlip = fault.XorFlip
+	// StuckAtZero / StuckAtOne clamp targeted bits to 0 / 1.
+	StuckAtZero = fault.StuckAtZero
+	StuckAtOne  = fault.StuckAtOne
+	// BiasedAnd ANDs targeted bits with fresh random values (biased
+	// toward 0; the classic voltage-glitch model).
+	BiasedAnd = fault.BiasedAnd
+	// RandomByte / RandomNibble replace every touched byte / nibble with
+	// a uniform random value.
+	RandomByte   = fault.RandomByte
+	RandomNibble = fault.RandomNibble
+)
+
+// FaultModels lists every typed fault model, in stable order.
+func FaultModels() []FaultModel { return fault.Models() }
+
+// ParseFaultModel parses a -fault-type CLI name ("xor", "stuck-at-0",
+// "stuck-at-1", "biased-and", "random-byte", "random-nibble").
+func ParseFaultModel(s string) (FaultModel, error) { return fault.ParseModel(s) }
+
+// OracleKind selects the statistical leakage oracle.
+type OracleKind = fault.OracleKind
+
+// Oracle-kind re-exports.
+const (
+	// OracleWelch is the paper's Welch t-test on ciphertext differentials.
+	OracleWelch = fault.OracleWelch
+	// OracleSIFA is the ineffective-fault oracle: it conditions on traces
+	// where the injected fault did not change the ciphertext and t-tests
+	// that sub-distribution of clean ciphertexts against uniform.
+	OracleSIFA = fault.OracleSIFA
+)
+
+// ParseOracle parses a -oracle CLI name ("welch", "sifa").
+func ParseOracle(s string) (OracleKind, error) { return fault.ParseOracle(s) }
 
 // Ciphers lists the registered cipher names.
 func Ciphers() []string { return ciphers.Names() }
@@ -167,6 +214,14 @@ type AssessConfig struct {
 	// GroupBits overrides the differential grouping granularity
 	// (default: the cipher's native substitution width).
 	GroupBits int
+	// FaultModel selects the typed injection model (default XorFlip,
+	// the paper's bit-flip campaign).
+	FaultModel FaultModel
+	// Oracle selects the leakage statistic (default OracleWelch;
+	// OracleSIFA conditions on ineffective faults). AssessProtected
+	// supports OracleWelch only: muting already erases the
+	// effective/ineffective distinction SIFA needs.
+	Oracle OracleKind
 	// Workers is the fault-campaign worker-pool size; 0 uses GOMAXPROCS.
 	// Results are bit-identical for every value.
 	Workers int
@@ -205,6 +260,8 @@ func AssessContext(ctx context.Context, pattern Pattern, cfg AssessConfig) (Asse
 		MaxOrder:  cfg.MaxOrder,
 		GroupBits: cfg.GroupBits,
 		Threshold: cfg.Threshold,
+		Model:     cfg.FaultModel,
+		Oracle:    cfg.Oracle,
 		Workers:   cfg.Workers,
 		NoBatch:   cfg.NoBatch,
 		Metrics:   cfg.Metrics,
@@ -251,6 +308,8 @@ func AssessProtectedContext(ctx context.Context, pattern Pattern, cfg AssessConf
 		MaxOrder:  cfg.MaxOrder,
 		GroupBits: cfg.GroupBits,
 		Threshold: cfg.Threshold,
+		Model:     cfg.FaultModel,
+		Oracle:    cfg.Oracle,
 		Workers:   cfg.Workers,
 		NoBatch:   cfg.NoBatch,
 		Metrics:   cfg.Metrics,
@@ -259,7 +318,7 @@ func AssessProtectedContext(ctx context.Context, pattern Pattern, cfg AssessConf
 	if err != nil {
 		return Assessment{}, err
 	}
-	t, err := oracle.Evaluate(ctx, &pattern)
+	t, err := oracle.Evaluate(ctx, &pattern, cfg.FaultModel)
 	if err != nil {
 		return Assessment{}, err
 	}
@@ -301,8 +360,9 @@ func OpenEventLog(path string) (*EventEmitter, error) { return obs.OpenEmitter(p
 func ServeMetrics(addr string, m *Metrics) (*obs.Server, error) { return obs.Serve(addr, m) }
 
 // assessorOracleFactory builds the unprotected oracle factory shared by
-// Discover and the bench harness.
-func assessorOracleFactory(cipherName string, key []byte, round, samples, workers int, noBatch bool, metrics *obs.Registry) explore.OracleFactory {
+// Discover and the bench harness. The fault model is not bound here: the
+// explore layer passes one per Evaluate call (the agent chooses it).
+func assessorOracleFactory(cipherName string, key []byte, round, samples, workers int, noBatch bool, oracle OracleKind, metrics *obs.Registry) explore.OracleFactory {
 	return func(rng *prng.Source) (explore.Oracle, error) {
 		c, _, err := newKeyedCipher(cipherName, key, rng)
 		if err != nil {
@@ -311,6 +371,7 @@ func assessorOracleFactory(cipherName string, key []byte, round, samples, worker
 		a := leakage.NewAssessor(c, leakage.Config{
 			Samples:         samples,
 			StopAtThreshold: true,
+			Oracle:          oracle,
 			Workers:         workers,
 			NoBatch:         noBatch,
 			Metrics:         metrics,

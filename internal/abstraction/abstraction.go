@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/bitvec"
+	"repro/internal/fault"
 )
 
 // Verifier re-checks abstracted models offline. explore.Oracle satisfies
@@ -77,6 +78,12 @@ type Model struct {
 	Class     Class
 	Groups    []int
 	GroupBits int
+	// Fault is the typed injection model (bit-flip, stuck-at, ...) the
+	// pattern was discovered and verified under. The abstraction pipeline
+	// itself never reads it — the Verifier binds one injection model per
+	// harvest — but it is part of the model's identity: the same byte
+	// pattern under stuck-at-0 and under bit-flip are different attacks.
+	Fault fault.Model
 	// Pattern is the full bit pattern of the model (all bits of all
 	// covered groups, or the raw RL pattern for RawPattern).
 	Pattern bitvec.Vector
@@ -88,25 +95,25 @@ type Model struct {
 
 // Key returns a canonical identity string for deduplication.
 func (m Model) Key() string {
-	return fmt.Sprintf("%d/%d/%s", m.Class, m.GroupBits, m.Pattern.String())
+	return fmt.Sprintf("%d/%d/%d/%s", m.Fault, m.Class, m.GroupBits, m.Pattern.String())
 }
 
 // String renders a human-readable description, e.g. "byte{5}" or
-// "diagonal{2,7,8,13}".
+// "diagonal{2,7,8,13}"; non-bit-flip injection models carry a prefix,
+// e.g. "stuck-at-0:byte{5}".
 func (m Model) String() string {
+	prefix := ""
+	if m.Fault != fault.XorFlip {
+		prefix = m.Fault.String() + ":"
+	}
 	if m.Class == RawPattern {
-		return "raw" + m.Pattern.String()
+		return prefix + "raw" + m.Pattern.String()
 	}
 	parts := make([]string, len(m.Groups))
 	for i, g := range m.Groups {
 		parts[i] = fmt.Sprintf("%d", g)
 	}
-	unit := ""
-	if m.Class == MultiNibbleModel || m.Class == MultiByteModel {
-		// Class name already carries the unit.
-		unit = ""
-	}
-	return fmt.Sprintf("%s%s{%s}", m.Class, unit, strings.Join(parts, ","))
+	return fmt.Sprintf("%s%s{%s}", prefix, m.Class, strings.Join(parts, ","))
 }
 
 // Widen maps a bit pattern to the full pattern of the groups it touches

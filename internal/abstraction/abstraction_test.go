@@ -10,9 +10,21 @@ import (
 	"repro/internal/ciphers"
 	_ "repro/internal/ciphers/aes"
 	"repro/internal/explore"
+	"repro/internal/fault"
 	"repro/internal/leakage"
 	"repro/internal/prng"
 )
+
+// xorVerifier binds the bit-flip model onto an explore.Oracle so the
+// model-free abstraction Verifier can drive it (the same adaptation the
+// discovery pipeline performs per harvested model).
+type xorVerifier struct{ o explore.Oracle }
+
+func (v xorVerifier) Evaluate(ctx context.Context, p *bitvec.Vector) (float64, error) {
+	return v.o.Evaluate(ctx, p, fault.XorFlip)
+}
+func (v xorVerifier) Threshold() float64 { return v.o.Threshold() }
+func (v xorVerifier) StateBits() int     { return v.o.StateBits() }
 
 // fakeVerifier marks a pattern leaky iff every set bit lies inside the
 // allowed set, and returns 100 for leaky / 1 for non-leaky.
@@ -286,7 +298,7 @@ func TestAESDiagonalExtensionIntegration(t *testing.T) {
 		t.Fatal(err)
 	}
 	assessor := leakage.NewAssessor(c, leakage.Config{Samples: 1024}, rng.Split())
-	oracle := &explore.AssessorOracle{Assessor: assessor, Round: 8}
+	oracle := xorVerifier{o: &explore.AssessorOracle{Assessor: assessor, Round: 8}}
 
 	raw := bitvec.FromBits(128, 17, 22, 59, 60, 68, 106) // bits in bytes 2,7,8,13
 	m, err := Abstract(context.Background(), oracle, &raw, 8, true)

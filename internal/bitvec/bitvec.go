@@ -285,3 +285,19 @@ func RandomMask(pattern *Vector, src RandomSource) Vector {
 		}
 	}
 }
+
+// RandomSubset returns a uniformly random sub-mask of pattern: each set bit
+// is kept with probability 1/2. Unlike RandomMask the empty sub-mask is
+// allowed — there is no redraw, so a draw consumes exactly one Uint64 per
+// nonzero pattern word. Fault models that can leave the state untouched
+// (biased-AND, random byte/nibble values) use this; the resulting
+// ineffective traces are what SIFA-style analyses condition on.
+func RandomSubset(pattern *Vector, src RandomSource) Vector {
+	m := *pattern
+	for i := range m.words {
+		if m.words[i] != 0 {
+			m.words[i] &= src.Uint64()
+		}
+	}
+	return m
+}

@@ -212,8 +212,15 @@ func (c *Cipher) Encrypt(dst, src []byte, fault *ciphers.Fault, trace *ciphers.T
 	addRoundKey(&s, &c.roundKeys[0])
 	for r := 1; r <= NumRounds; r++ {
 		if fault != nil && fault.Round == r {
-			for i := range s {
-				s[i] ^= fault.Mask[i]
+			if fault.And != nil {
+				for i := range s {
+					s[i] &= fault.And[i]
+				}
+			}
+			if fault.Mask != nil {
+				for i := range s {
+					s[i] ^= fault.Mask[i]
+				}
 			}
 		}
 		if trace != nil {

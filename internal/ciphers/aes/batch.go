@@ -116,7 +116,15 @@ func (c *Cipher) NewBatchKernel() ciphers.BatchKernel {
 
 // EncryptForks implements ciphers.BatchKernel.
 func (k *batchKernel) EncryptForks(round int, points []ciphers.BatchPoint, n int, pts []byte, masks, states, cts [][]byte) {
-	ciphers.ValidateForks(k.c, round, points, n, pts, masks, states, cts)
+	k.EncryptForksOps(round, points, n, pts, masks, nil, states, cts)
+}
+
+// EncryptForksOps implements ciphers.FaultKernel: the AND half of the
+// injection pair costs four extra word ANDs per faulted branch, applied to
+// the fork snapshot before the XOR half.
+func (k *batchKernel) EncryptForksOps(round int, points []ciphers.BatchPoint, n int, pts []byte, xors, ands, states, cts [][]byte) {
+	ciphers.ValidateForksOps(k.c, round, points, n, pts, xors, ands, states, cts)
+	masks := xors
 	np := len(points)
 	rk := &k.c.rkWords
 	for i := 0; i < n; i++ {
@@ -131,6 +139,14 @@ func (k *batchKernel) EncryptForks(round int, points []ciphers.BatchPoint, n int
 		}
 		for f := range masks {
 			s := snap
+			if ands != nil && ands[f] != nil {
+				var aw [4]uint32
+				loadWords(&aw, ands[f][i*BlockBytes:])
+				s[0] &= aw[0]
+				s[1] &= aw[1]
+				s[2] &= aw[2]
+				s[3] &= aw[3]
+			}
 			if m := masks[f]; m != nil {
 				var mw [4]uint32
 				loadWords(&mw, m[i*BlockBytes:])

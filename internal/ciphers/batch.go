@@ -56,9 +56,61 @@ type BatchKernel interface {
 	EncryptForks(round int, points []BatchPoint, n int, pts []byte, masks, states, cts [][]byte)
 }
 
+// FaultKernel is the optional extension of BatchKernel for kernels that
+// support the generalized injection op: branch f of trace i replaces the
+// fork snapshot with (state AND ands[f][i*bb:]) XOR xors[f][i*bb:], a nil
+// ands[f] meaning all-ones and a nil xors[f] meaning all-zero (both nil is
+// the clean branch). The AND half is what stuck-at faults need — a lane-
+// wise AND clears the stuck-at-0 bits, and the XOR half re-sets the
+// stuck-at-1 ones — and is cheap in both word-oriented and bitsliced
+// kernels (one extra AND per state word/lane). Kernels without this
+// interface are driven through the scalar fallback by EncryptForksOps.
+type FaultKernel interface {
+	BatchKernel
+	// EncryptForksOps is EncryptForks with the (AND, XOR) injection pair
+	// per branch instead of an XOR mask only.
+	EncryptForksOps(round int, points []BatchPoint, n int, pts []byte, xors, ands, states, cts [][]byte)
+}
+
+// EncryptForksOps runs one generalized-injection batch through the best
+// available engine: the plain batch kernel when no branch carries an AND
+// mask (the XorFlip hot path, unchanged), the kernel's FaultKernel
+// extension when it has one, and otherwise the scalar reference path —
+// the automatic fallback that keeps exotic fault models correct on
+// kernels that only speak XOR. kern may be nil to force the scalar path.
+func EncryptForksOps(c Cipher, kern BatchKernel, round int, points []BatchPoint, n int, pts []byte, xors, ands, states, cts [][]byte) {
+	andFree := true
+	for _, a := range ands {
+		if a != nil {
+			andFree = false
+			break
+		}
+	}
+	if andFree {
+		if kern != nil {
+			kern.EncryptForks(round, points, n, pts, xors, states, cts)
+			return
+		}
+		ScalarForks(c, round, points, n, pts, xors, states, cts)
+		return
+	}
+	if fk, ok := kern.(FaultKernel); ok {
+		fk.EncryptForksOps(round, points, n, pts, xors, ands, states, cts)
+		return
+	}
+	ScalarForksOps(c, round, points, n, pts, xors, ands, states, cts)
+}
+
 // ValidateForks panics if an EncryptForks call is malformed for cipher c.
 // Kernels and ScalarForks call it at the top of every batch.
 func ValidateForks(c Cipher, round int, points []BatchPoint, n int, pts []byte, masks, states, cts [][]byte) {
+	ValidateForksOps(c, round, points, n, pts, masks, nil, states, cts)
+}
+
+// ValidateForksOps is ValidateForks for the generalized injection op: it
+// additionally checks the AND-mask buffers (ands may be nil for the
+// XOR-only contract).
+func ValidateForksOps(c Cipher, round int, points []BatchPoint, n int, pts []byte, xors, ands, states, cts [][]byte) {
 	bb := c.BlockBytes()
 	if round < 1 || round > c.Rounds() {
 		panic("ciphers: fork round out of range")
@@ -74,12 +126,18 @@ func ValidateForks(c Cipher, round int, points []BatchPoint, n int, pts []byte, 
 			panic(fmt.Sprintf("ciphers: fork observation round %d outside %d..%d", p.Round, round, c.Rounds()))
 		}
 	}
-	if len(states) != len(masks) || len(cts) != len(masks) {
-		panic(fmt.Sprintf("ciphers: %d masks, %d state buffers, %d ciphertext buffers", len(masks), len(states), len(cts)))
+	if len(states) != len(xors) || len(cts) != len(xors) {
+		panic(fmt.Sprintf("ciphers: %d masks, %d state buffers, %d ciphertext buffers", len(xors), len(states), len(cts)))
 	}
-	for f := range masks {
-		if masks[f] != nil && len(masks[f]) < n*bb {
+	if ands != nil && len(ands) != len(xors) {
+		panic(fmt.Sprintf("ciphers: %d XOR mask branches, %d AND mask branches", len(xors), len(ands)))
+	}
+	for f := range xors {
+		if xors[f] != nil && len(xors[f]) < n*bb {
 			panic(fmt.Sprintf("ciphers: branch %d mask buffer too short", f))
+		}
+		if ands != nil && ands[f] != nil && len(ands[f]) < n*bb {
+			panic(fmt.Sprintf("ciphers: branch %d AND mask buffer too short", f))
 		}
 		if states[f] != nil && len(states[f]) < n*len(points)*bb {
 			panic(fmt.Sprintf("ciphers: branch %d state buffer too short", f))
@@ -96,17 +154,31 @@ func ValidateForks(c Cipher, round int, points []BatchPoint, n int, pts []byte, 
 // fallback for ciphers without a batch kernel and the oracle that batch
 // kernels are verified against.
 func ScalarForks(c Cipher, round int, points []BatchPoint, n int, pts []byte, masks, states, cts [][]byte) {
-	ValidateForks(c, round, points, n, pts, masks, states, cts)
+	ScalarForksOps(c, round, points, n, pts, masks, nil, states, cts)
+}
+
+// ScalarForksOps is the reference implementation of the generalized
+// injection contract (see FaultKernel): one full Encrypt per (trace,
+// branch) with a Fault carrying both mask halves. It is the automatic
+// fallback of EncryptForksOps for kernels without AND support, and the
+// oracle every FaultKernel is verified against.
+func ScalarForksOps(c Cipher, round int, points []BatchPoint, n int, pts []byte, xors, ands, states, cts [][]byte) {
+	ValidateForksOps(c, round, points, n, pts, xors, ands, states, cts)
 	bb, np := c.BlockBytes(), len(points)
 	tr := NewTrace(c)
 	out := make([]byte, bb)
 	f := &Fault{Round: round}
 	for i := 0; i < n; i++ {
 		pt := pts[i*bb : (i+1)*bb]
-		for fi := range masks {
+		for fi := range xors {
 			var fault *Fault
-			if masks[fi] != nil {
-				f.Mask = masks[fi][i*bb : (i+1)*bb]
+			f.Mask, f.And = nil, nil
+			if xors[fi] != nil {
+				f.Mask = xors[fi][i*bb : (i+1)*bb]
+				fault = f
+			}
+			if ands != nil && ands[fi] != nil {
+				f.And = ands[fi][i*bb : (i+1)*bb]
 				fault = f
 			}
 			c.Encrypt(out, pt, fault, tr)

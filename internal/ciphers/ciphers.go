@@ -29,20 +29,28 @@ type Cipher interface {
 	// Fault-model abstraction and t-test grouping default to this size.
 	GroupBits() int
 	// Encrypt encrypts the BlockBytes()-byte block src into dst
-	// (they may alias). If fault is non-nil, fault.Mask is XORed into
-	// the state at the input of round fault.Round. If trace is non-nil
-	// it is filled with every round-input state, every post-substitution
-	// state, and the ciphertext. The fault is applied before the round
-	// input is recorded, so Inputs[fault.Round-1] reflects the faulty
-	// state.
+	// (they may alias). If fault is non-nil, the state at the input of
+	// round fault.Round becomes (state AND fault.And) XOR fault.Mask,
+	// with a nil And meaning all-ones and a nil Mask meaning all-zero.
+	// If trace is non-nil it is filled with every round-input state,
+	// every post-substitution state, and the ciphertext. The fault is
+	// applied before the round input is recorded, so
+	// Inputs[fault.Round-1] reflects the faulty state.
 	Encrypt(dst, src []byte, fault *Fault, trace *Trace)
 }
 
-// Fault is an XOR fault applied to the cipher state at the input of a
-// round. Mask has BlockBytes() bytes in the package bit numbering.
+// Fault is a fault applied to the cipher state at the input of a round:
+// the state becomes (state AND And) XOR Mask. Both masks have
+// BlockBytes() bytes in the package bit numbering; a nil And is the
+// identity (all-ones) and a nil Mask is all-zero, so the classic XOR
+// bit-flip fault sets Mask only, while stuck-at faults clear bits via And
+// (stuck-at-0) and re-set them via Mask (stuck-at-1). At least one mask
+// must be non-nil. This (a, x) pair expresses every per-bit fault
+// function: identity, flip, stuck-at-0 and stuck-at-1.
 type Fault struct {
 	Round int
-	Mask  []byte
+	Mask  []byte // XOR half; nil = no flips
+	And   []byte // AND half; nil = all-ones (no clamping)
 }
 
 // Trace captures the intermediate states of one encryption.
@@ -82,7 +90,13 @@ func (f *Fault) Validate(c Cipher) {
 	if f.Round < 1 || f.Round > c.Rounds() {
 		panic("ciphers: fault round out of range")
 	}
-	if len(f.Mask) != c.BlockBytes() {
+	if f.Mask == nil && f.And == nil {
+		panic("ciphers: fault has neither XOR nor AND mask")
+	}
+	if f.Mask != nil && len(f.Mask) != c.BlockBytes() {
 		panic("ciphers: fault mask length mismatch")
+	}
+	if f.And != nil && len(f.And) != c.BlockBytes() {
+		panic("ciphers: fault AND mask length mismatch")
 	}
 }

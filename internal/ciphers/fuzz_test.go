@@ -74,14 +74,20 @@ func FuzzEncryptDecrypt(f *testing.F) {
 }
 
 // FuzzBatchScalarEquivalence cross-checks the batched fork kernels
-// against the scalar reference path (ScalarForks) on arbitrary keys,
-// plaintext batches, fault masks, rounds and observation points. This is
-// the exactness contract the fault-campaign fast path rests on.
+// against the scalar reference path on arbitrary keys, plaintext batches,
+// (XOR, AND) injection pairs, rounds and observation points. An empty
+// andMaterial exercises the historical XOR-only path (EncryptForks); a
+// non-empty one drives the generalized injection op through
+// EncryptForksOps, which picks the kernel's FaultKernel lanes when it has
+// them and the automatic scalar fallback when it does not. This is the
+// exactness contract the fault-campaign fast path rests on.
 func FuzzBatchScalarEquivalence(f *testing.F) {
-	f.Add(byte(0), byte(8), byte(3), []byte("k"), []byte("p"), []byte{0x01})
-	f.Add(byte(2), byte(25), byte(5), []byte{0xaa}, bytes.Repeat([]byte{0x0f}, 64), []byte{0x80, 0x01})
-	f.Add(byte(1), byte(1), byte(1), []byte{}, []byte{}, []byte{})
-	f.Fuzz(func(t *testing.T, idx, roundSel, nSel byte, keyMaterial, ptMaterial, maskMaterial []byte) {
+	f.Add(byte(0), byte(8), byte(3), []byte("k"), []byte("p"), []byte{0x01}, []byte{})
+	f.Add(byte(2), byte(25), byte(5), []byte{0xaa}, bytes.Repeat([]byte{0x0f}, 64), []byte{0x80, 0x01}, []byte{})
+	f.Add(byte(1), byte(1), byte(1), []byte{}, []byte{}, []byte{}, []byte{})
+	f.Add(byte(0), byte(8), byte(2), []byte("key"), []byte("pt"), []byte{0x0f}, []byte{0xf0, 0xff})
+	f.Add(byte(2), byte(25), byte(4), []byte{0x55}, bytes.Repeat([]byte{0xcc}, 32), []byte{}, []byte{0x7f})
+	f.Fuzz(func(t *testing.T, idx, roundSel, nSel byte, keyMaterial, ptMaterial, maskMaterial, andMaterial []byte) {
 		c, info := fuzzCipher(t, idx, keyMaterial)
 		be, ok := c.(ciphers.BatchEncrypter)
 		if !ok {
@@ -97,7 +103,15 @@ func FuzzBatchScalarEquivalence(f *testing.F) {
 		for i := 0; i < len(maskBuf) && len(maskMaterial) > 0; i++ {
 			maskBuf[i] = maskMaterial[i%len(maskMaterial)]
 		}
-		masks := [][]byte{nil, maskBuf}
+		xors := [][]byte{nil, maskBuf}
+		ands := [][]byte{nil, nil}
+		if len(andMaterial) > 0 {
+			andBuf := make([]byte, n*bb)
+			for i := range andBuf {
+				andBuf[i] = andMaterial[i%len(andMaterial)]
+			}
+			ands[1] = andBuf
+		}
 
 		// Observe the ciphertext, the faulted round input, and a
 		// post-substitution state at a round derived from the inputs.
@@ -109,7 +123,7 @@ func FuzzBatchScalarEquivalence(f *testing.F) {
 		}
 
 		mkBufs := func() (states, cts [][]byte) {
-			for range masks {
+			for range xors {
 				states = append(states, make([]byte, n*len(points)*bb))
 				cts = append(cts, make([]byte, n*bb))
 			}
@@ -117,12 +131,12 @@ func FuzzBatchScalarEquivalence(f *testing.F) {
 		}
 		batchStates, batchCts := mkBufs()
 		kern := be.NewBatchKernel()
-		kern.EncryptForks(round, points, n, pts, masks, batchStates, batchCts)
+		ciphers.EncryptForksOps(c, kern, round, points, n, pts, xors, ands, batchStates, batchCts)
 
 		refStates, refCts := mkBufs()
-		ciphers.ScalarForks(c, round, points, n, pts, masks, refStates, refCts)
+		ciphers.ScalarForksOps(c, round, points, n, pts, xors, ands, refStates, refCts)
 
-		for fk := range masks {
+		for fk := range xors {
 			if !bytes.Equal(batchCts[fk], refCts[fk]) {
 				t.Fatalf("%s round %d branch %d: batch ciphertexts diverge\nbatch %x\nref   %x",
 					info.Name, round, fk, batchCts[fk], refCts[fk])

@@ -186,23 +186,33 @@ func (k *kernel) captureLanes(dst []byte, base, bn, stride, off int, bigEndian b
 
 // EncryptForks implements ciphers.BatchKernel.
 func (k *kernel) EncryptForks(round int, points []ciphers.BatchPoint, n int, pts []byte, masks, states, cts [][]byte) {
-	ciphers.ValidateForks(k.c, round, points, n, pts, masks, states, cts)
+	k.EncryptForksOps(round, points, n, pts, masks, nil, states, cts)
+}
+
+// EncryptForksOps implements ciphers.FaultKernel. In bitsliced form the
+// AND half of the injection pair is one extra AND per lane word on the
+// faulted branch: the mask rows are transposed exactly like the XOR rows
+// and clamp all 64 traces of a lane at once. Dead lanes past bn are ANDed
+// with the zero padding, which is harmless because captures never read
+// them.
+func (k *kernel) EncryptForksOps(round int, points []ciphers.BatchPoint, n int, pts []byte, xors, ands, states, cts [][]byte) {
+	ciphers.ValidateForksOps(k.c, round, points, n, pts, xors, ands, states, cts)
 	for base := 0; base < n; {
 		bn := n - base
 		if bn > laneBlock {
 			bn = laneBlock
 		}
 		if bn >= bitsliceMin {
-			k.forkBlock(round, points, base, bn, pts, masks, states, cts)
+			k.forkBlock(round, points, base, bn, pts, xors, ands, states, cts)
 		} else {
-			k.forkScalar(round, points, base, bn, pts, masks, states, cts)
+			k.forkScalar(round, points, base, bn, pts, xors, ands, states, cts)
 		}
 		base += bn
 	}
 }
 
 // forkBlock runs one bitsliced block of bn <= 64 traces.
-func (k *kernel) forkBlock(round int, points []ciphers.BatchPoint, base, bn int, pts []byte, masks, states, cts [][]byte) {
+func (k *kernel) forkBlock(round int, points []ciphers.BatchPoint, base, bn int, pts []byte, masks, ands, states, cts [][]byte) {
 	c := k.c
 	bb := c.BlockBytes()
 	np := len(points)
@@ -229,6 +239,15 @@ func (k *kernel) forkBlock(round int, points []ciphers.BatchPoint, base, bn int,
 	for f := range masks {
 		if f > 0 {
 			copy(k.lanes, k.snap)
+		}
+		if ands != nil && ands[f] != nil {
+			for wi := 0; wi < words; wi++ {
+				k.loadRowsLE(ands[f], base, bn, wi)
+				transpose64(&k.rows)
+				for b := 0; b < 64; b++ {
+					k.lanes[64*wi+b] &= k.rows[b]
+				}
+			}
 		}
 		if m := masks[f]; m != nil {
 			for wi := 0; wi < words; wi++ {
@@ -275,7 +294,7 @@ func (k *kernel) forkBlock(round int, points []ciphers.BatchPoint, base, bn int,
 // forkScalar runs bn traces through the scalar round functions with
 // prefix sharing: the path for blocks too small to amortize the
 // transposes. It performs the same state operations as Encrypt.
-func (k *kernel) forkScalar(round int, points []ciphers.BatchPoint, base, bn int, pts []byte, masks, states, cts [][]byte) {
+func (k *kernel) forkScalar(round int, points []ciphers.BatchPoint, base, bn int, pts []byte, masks, ands, states, cts [][]byte) {
 	c := k.c
 	bb := c.BlockBytes()
 	nbits := 8 * bb
@@ -295,6 +314,9 @@ func (k *kernel) forkScalar(round int, points []ciphers.BatchPoint, base, bn int
 		}
 		for f := range masks {
 			s := snap
+			if ands != nil && ands[f] != nil {
+				s.andLE(ands[f][i*bb : (i+1)*bb])
+			}
 			if m := masks[f]; m != nil {
 				s.xorLE(m[i*bb : (i+1)*bb])
 			}

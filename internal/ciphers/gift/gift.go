@@ -237,6 +237,19 @@ func (s *state) xorLE(mask []byte) {
 	}
 }
 
+// andLE clamps the state to the repository-bit-order AND mask. Words past
+// the mask are zeroed, which is harmless: the mask always spans the full
+// BlockBytes, so only bits outside the cipher state are affected.
+func (s *state) andLE(mask []byte) {
+	var m state
+	for i, b := range mask {
+		bitBase := 8 * i
+		m[bitBase/64] |= uint64(b) << (uint(bitBase) % 64)
+	}
+	s[0] &= m[0]
+	s[1] &= m[1]
+}
+
 // subCells applies the S-box to every nibble of the first nbits bits.
 func (s *state) subCells(nbits int, box *[16]byte) {
 	for w := 0; w < (nbits+63)/64; w++ {
@@ -271,7 +284,12 @@ func (c *Cipher) Encrypt(dst, src []byte, fault *ciphers.Fault, trace *ciphers.T
 	s.loadBE(src, nbytes)
 	for r := 1; r <= c.rounds; r++ {
 		if fault != nil && fault.Round == r {
-			s.xorLE(fault.Mask)
+			if fault.And != nil {
+				s.andLE(fault.And)
+			}
+			if fault.Mask != nil {
+				s.xorLE(fault.Mask)
+			}
 		}
 		if trace != nil {
 			s.storeLE(trace.Inputs[r-1], nbytes)

@@ -190,7 +190,12 @@ func (c *Cipher) Encrypt(dst, src []byte, fault *ciphers.Fault, trace *ciphers.T
 	for r := 1; r <= NumRounds; r++ {
 		s ^= c.roundKeys[r-1]
 		if fault != nil && fault.Round == r {
-			s ^= loadLE(fault.Mask)
+			if fault.And != nil {
+				s &= loadLE(fault.And)
+			}
+			if fault.Mask != nil {
+				s ^= loadLE(fault.Mask)
+			}
 		}
 		if trace != nil {
 			storeLE(trace.Inputs[r-1], s)

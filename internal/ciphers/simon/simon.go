@@ -202,9 +202,16 @@ func (c *Cipher) Encrypt(dst, src []byte, fault *ciphers.Fault, trace *ciphers.T
 	x, y := c.loadBE(src)
 	for r := 1; r <= c.rounds; r++ {
 		if fault != nil && fault.Round == r {
-			fx, fy := c.maskLE(fault.Mask)
-			x ^= fx
-			y ^= fy
+			if fault.And != nil {
+				ax, ay := c.maskLE(fault.And)
+				x &= ax
+				y &= ay
+			}
+			if fault.Mask != nil {
+				fx, fy := c.maskLE(fault.Mask)
+				x ^= fx
+				y ^= fy
+			}
 		}
 		if trace != nil {
 			c.storeLE(trace.Inputs[r-1], x, y)

@@ -84,6 +84,14 @@ type OracleConfig struct {
 	// each branch's fault value is drawn independently, so only
 	// single-bit selections are reliably equal across branches).
 	Mode fault.Mode
+	// Model is the typed fault model applied per branch (default
+	// fault.XorFlip). Evaluate's model argument overrides it per call.
+	Model fault.Model
+	// Oracle must be fault.OracleWelch: the protected target releases
+	// only (possibly muted) ciphertexts, and muting already erases the
+	// effective/ineffective distinction SIFA would condition on, so the
+	// SIFA oracle is rejected at construction.
+	Oracle fault.OracleKind
 	// Workers is the campaign worker-pool size; 0 uses GOMAXPROCS.
 	// Results are bit-identical for every value.
 	Workers int
@@ -120,6 +128,9 @@ func (c *OracleConfig) setDefaults(cipher ciphers.Cipher) error {
 	}
 	if c.RefSeed == 0 {
 		c.RefSeed = evaluate.CanonicalRefSeed
+	}
+	if c.Oracle != fault.OracleWelch {
+		return fmt.Errorf("countermeasure: oracle %s not supported for the protected target (Welch only)", c.Oracle)
 	}
 	return nil
 }
@@ -184,11 +195,13 @@ func (o *Oracle) SplitPattern(pattern *bitvec.Vector) (b1, b2 bitvec.Vector) {
 // Evaluate implements explore.Oracle: collects ciphertext differentials
 // between the unfaulted and faulted protected implementation across the
 // sharded worker pool and runs the order-1..G t-test against the shared
-// uniform reference. Evaluate is a pure function of the oracle seed and
-// the pattern; only LastMutedRate makes an Oracle value unsafe to share
-// between goroutines. A done ctx aborts the campaign at the next shard
-// boundary and returns ctx.Err().
-func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64, error) {
+// uniform reference. The model argument selects the per-branch fault
+// model (fault.XorFlip reproduces the historical behavior bit-
+// identically). Evaluate is a pure function of the oracle seed, the
+// pattern and the model; only LastMutedRate makes an Oracle value unsafe
+// to share between goroutines. A done ctx aborts the campaign at the
+// next shard boundary and returns ctx.Err().
+func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector, model fault.Model) (float64, error) {
 	if pattern.Len() != o.StateBits() {
 		return 0, fmt.Errorf("countermeasure: pattern width %d, want %d", pattern.Len(), o.StateBits())
 	}
@@ -196,6 +209,13 @@ func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64,
 		return 0, fmt.Errorf("countermeasure: empty pattern")
 	}
 	p1, p2 := o.SplitPattern(pattern)
+	var inj1, inj2 *fault.Injector
+	if !p1.IsZero() {
+		inj1 = fault.NewInjector(p1, model, o.cfg.Mode)
+	}
+	if !p2.IsZero() {
+		inj2 = fault.NewInjector(p2, model, o.cfg.Mode)
+	}
 	bb := o.cipher.BlockBytes()
 	groups := 8 * bb / o.cfg.GroupBits
 	seed := evaluate.PatternSeed(o.seed, pattern, o.cfg.Round)
@@ -208,6 +228,7 @@ func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64,
 	sp.SetAttr("cipher", o.cipher.Name())
 	sp.SetAttr("round", o.cfg.Round)
 	sp.SetAttr("protected", true)
+	sp.SetAttr("fault_model", model.String())
 
 	m, events := o.cfg.Metrics, o.cfg.Events
 	var start time.Time
@@ -215,13 +236,15 @@ func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64,
 		start = time.Now()
 		m.Counter("countermeasure.evaluations_total").Inc()
 		events.Emit(obs.EventCampaignStarted, map[string]any{
-			"cipher":    o.cipher.Name(),
-			"round":     o.cfg.Round,
-			"pattern":   hex.EncodeToString(pattern.Bytes()),
-			"bits":      pattern.Count(),
-			"samples":   o.cfg.Samples,
-			"protected": true,
-			"batch":     batch,
+			"cipher":      o.cipher.Name(),
+			"round":       o.cfg.Round,
+			"pattern":     hex.EncodeToString(pattern.Bytes()),
+			"bits":        pattern.Count(),
+			"samples":     o.cfg.Samples,
+			"protected":   true,
+			"batch":       batch,
+			"fault_model": model.String(),
+			"oracle":      o.cfg.Oracle.String(),
 		})
 	}
 	shardHist := m.Histogram("countermeasure.shard_seconds", obs.LatencyBuckets)
@@ -236,9 +259,9 @@ func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64,
 			st := shardHist.Start()
 			var shardMuted int
 			if batch {
-				shardMuted = o.collectBatch(be.NewBatchKernel(), &p1, &p2, rng, n, shardAccs[0])
+				shardMuted = o.collectBatch(be.NewBatchKernel(), inj1, inj2, rng, n, shardAccs[0])
 			} else {
-				shardMuted = o.collectScalar(&p1, &p2, rng, n, shardAccs[0])
+				shardMuted = o.collectScalar(inj1, inj2, rng, n, shardAccs[0])
 			}
 			st.Stop()
 			muted.Add(int64(shardMuted))
@@ -269,6 +292,8 @@ func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64,
 			"muted_rate":  o.LastMutedRate,
 			"protected":   true,
 			"duration_ms": float64(wall) / float64(time.Millisecond),
+			"fault_model": model.String(),
+			"oracle":      o.cfg.Oracle.String(),
 		})
 	}
 	return res.T, nil
@@ -277,27 +302,27 @@ func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64,
 // collectScalar runs one shard through the reference path: one Encrypt
 // per (sample, branch), with every buffer and the branch Fault structs
 // reused across samples.
-func (o *Oracle) collectScalar(p1, p2 *bitvec.Vector, rng *prng.Source, n int, acc *stats.Accumulator) int {
+func (o *Oracle) collectScalar(inj1, inj2 *fault.Injector, rng *prng.Source, n int, acc *stats.Accumulator) int {
 	prot := NewProtected(o.cipher, rng)
 	bb := o.cipher.BlockBytes()
 	groups := 8 * bb / o.cfg.GroupBits
 	pt := make([]byte, bb)
 	clean := make([]byte, bb)
 	faulty := make([]byte, bb)
-	mask1 := make([]byte, bb)
-	mask2 := make([]byte, bb)
+	xor1, and1 := make([]byte, bb), make([]byte, bb)
+	xor2, and2 := make([]byte, bb), make([]byte, bb)
 	row := make([]float64, groups)
-	fault1 := &ciphers.Fault{Round: o.cfg.Round, Mask: mask1}
-	fault2 := &ciphers.Fault{Round: o.cfg.Round, Mask: mask2}
+	fault1 := &ciphers.Fault{Round: o.cfg.Round}
+	fault2 := &ciphers.Fault{Round: o.cfg.Round}
 	muted := 0
 	for s := 0; s < n; s++ {
 		rng.Fill(pt)
 		o.cipher.Encrypt(clean, pt, nil, nil)
 		var f1, f2 *ciphers.Fault
-		if o.drawMask(p1, mask1, rng) != nil {
+		if fault1.Mask, fault1.And = drawBranch(inj1, xor1, and1, rng); fault1.Mask != nil || fault1.And != nil {
 			f1 = fault1
 		}
-		if o.drawMask(p2, mask2, rng) != nil {
+		if fault2.Mask, fault2.And = drawBranch(inj2, xor2, and2, rng); fault2.Mask != nil || fault2.And != nil {
 			f2 = fault2
 		}
 		if prot.Encrypt(faulty, pt, f1, f2) {
@@ -319,17 +344,18 @@ func (o *Oracle) collectScalar(p1, p2 *bitvec.Vector, rng *prng.Source, n int, a
 // with the fault draws of later samples — batching samples would reorder
 // the PRNG stream. The released outputs, the muted count and the
 // accumulator contents are bit-identical to collectScalar.
-func (o *Oracle) collectBatch(kern ciphers.BatchKernel, p1, p2 *bitvec.Vector, rng *prng.Source, n int, acc *stats.Accumulator) int {
+func (o *Oracle) collectBatch(kern ciphers.BatchKernel, inj1, inj2 *fault.Injector, rng *prng.Source, n int, acc *stats.Accumulator) int {
 	bb := o.cipher.BlockBytes()
 	groups := 8 * bb / o.cfg.GroupBits
 	pt := make([]byte, bb)
 	clean := make([]byte, bb)
 	faulty := make([]byte, bb)
 	out2 := make([]byte, bb)
-	mask1 := make([]byte, bb)
-	mask2 := make([]byte, bb)
+	xor1, and1 := make([]byte, bb), make([]byte, bb)
+	xor2, and2 := make([]byte, bb), make([]byte, bb)
 	row := make([]float64, groups)
-	masks := [][]byte{nil, nil, nil}
+	xors := [][]byte{nil, nil, nil}
+	ands := [][]byte{nil, nil, nil}
 	states := [][]byte{nil, nil, nil}
 	// Branch 1's ciphertext lands directly in faulty: on a match it is
 	// the released output, on a mismatch the mute string overwrites it —
@@ -338,9 +364,9 @@ func (o *Oracle) collectBatch(kern ciphers.BatchKernel, p1, p2 *bitvec.Vector, r
 	muted := 0
 	for s := 0; s < n; s++ {
 		rng.Fill(pt)
-		masks[1] = o.drawMask(p1, mask1, rng)
-		masks[2] = o.drawMask(p2, mask2, rng)
-		kern.EncryptForks(o.cfg.Round, nil, 1, pt, masks, states, cts)
+		xors[1], ands[1] = drawBranch(inj1, xor1, and1, rng)
+		xors[2], ands[2] = drawBranch(inj2, xor2, and2, rng)
+		ciphers.EncryptForksOps(o.cipher, kern, o.cfg.Round, nil, 1, pt, xors, ands, states, cts)
 		if !bytes.Equal(faulty, out2) {
 			rng.Fill(faulty)
 			muted++
@@ -353,21 +379,23 @@ func (o *Oracle) collectBatch(kern ciphers.BatchKernel, p1, p2 *bitvec.Vector, r
 	return muted
 }
 
-// drawMask fills mask with the branch fault value for this sample and
-// returns it, or returns nil — consuming no randomness — when the branch
-// pattern is empty (no fault in that branch).
-func (o *Oracle) drawMask(p *bitvec.Vector, mask []byte, rng *prng.Source) []byte {
-	if p.IsZero() {
-		return nil
+// drawBranch draws one branch's injection halves into the caller's
+// buffers and returns the active slices (nil halves are unused by the
+// branch's model). A nil injector — an empty branch pattern — returns
+// (nil, nil) and consumes no randomness, exactly like the historical
+// empty-branch path.
+func drawBranch(inj *fault.Injector, xor, and []byte, rng *prng.Source) (xm, am []byte) {
+	if inj == nil {
+		return nil, nil
 	}
-	switch o.cfg.Mode {
-	case fault.FlipAll:
-		p.PutBytes(mask)
-	default:
-		m := bitvec.RandomMask(p, rng)
-		m.PutBytes(mask)
+	if inj.HasXor() {
+		xm = xor
 	}
-	return mask
+	if inj.HasAnd() {
+		am = and
+	}
+	inj.Draw(xm, am, rng)
+	return xm, am
 }
 
 // groupValue extracts the differential group g of width groupBits.

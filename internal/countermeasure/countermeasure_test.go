@@ -104,7 +104,7 @@ func TestOracleStateBitsDoubled(t *testing.T) {
 func TestOracleSameBitBothBranchesLeaks(t *testing.T) {
 	o := newOracle(t, 5, OracleConfig{Round: 9, Samples: 1024})
 	pattern := bitvec.FromBits(256, 76, 128+76) // bit 76 in both branches
-	l, err := o.Evaluate(context.Background(), &pattern)
+	l, err := o.Evaluate(context.Background(), &pattern, fault.XorFlip)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestOracleSameBitBothBranchesLeaks(t *testing.T) {
 func TestOracleSingleBranchFaultMuted(t *testing.T) {
 	o := newOracle(t, 6, OracleConfig{Round: 9, Samples: 1024})
 	pattern := bitvec.FromBits(256, 76) // branch 1 only
-	l, err := o.Evaluate(context.Background(), &pattern)
+	l, err := o.Evaluate(context.Background(), &pattern, fault.XorFlip)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestOracleSingleBranchFaultMuted(t *testing.T) {
 func TestOracleMismatchedBitsMuted(t *testing.T) {
 	o := newOracle(t, 7, OracleConfig{Round: 9, Samples: 1024})
 	pattern := bitvec.FromBits(256, 76, 128+77) // different bit per branch
-	l, err := o.Evaluate(context.Background(), &pattern)
+	l, err := o.Evaluate(context.Background(), &pattern, fault.XorFlip)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestOracleWideSamePatternMostlyMuted(t *testing.T) {
 		bits = append(bits, 72+j, 128+72+j)
 	}
 	pattern := bitvec.FromBits(256, bits...)
-	l, err := o.Evaluate(context.Background(), &pattern)
+	l, err := o.Evaluate(context.Background(), &pattern, fault.XorFlip)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +180,11 @@ func TestSplitPattern(t *testing.T) {
 func TestOracleRejectsBadPatterns(t *testing.T) {
 	o := newOracle(t, 10, OracleConfig{Round: 9, Samples: 64})
 	short := bitvec.FromBits(128, 1)
-	if _, err := o.Evaluate(context.Background(), &short); err == nil {
+	if _, err := o.Evaluate(context.Background(), &short, fault.XorFlip); err == nil {
 		t.Error("accepted wrong-width pattern")
 	}
 	empty := bitvec.New(256)
-	if _, err := o.Evaluate(context.Background(), &empty); err == nil {
+	if _, err := o.Evaluate(context.Background(), &empty, fault.XorFlip); err == nil {
 		t.Error("accepted empty pattern")
 	}
 }
@@ -210,7 +210,7 @@ func TestOracleFlipAllModeWideFaultEvades(t *testing.T) {
 		bits = append(bits, 72+j, 128+72+j)
 	}
 	pattern := bitvec.FromBits(256, bits...)
-	l, err := o.Evaluate(context.Background(), &pattern)
+	l, err := o.Evaluate(context.Background(), &pattern, fault.XorFlip)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func BenchmarkProtectedOracleEvaluate(b *testing.B) {
 	pattern := bitvec.FromBits(256, 76, 128+76)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := o.Evaluate(context.Background(), &pattern); err != nil {
+		if _, err := o.Evaluate(context.Background(), &pattern, fault.XorFlip); err != nil {
 			b.Fatal(err)
 		}
 	}

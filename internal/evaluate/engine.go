@@ -16,8 +16,9 @@
 //     are computed once per (Samples, GroupBits, groups, MaxOrder, seed)
 //     in a sync.Once-guarded table instead of once per assessor.
 //
-// An Engine's assessment is a pure function of (Seed, pattern, round),
-// which is what makes result memoization (explore.CachedOracle) exact.
+// An Engine's assessment is a pure function of (Seed, pattern, round,
+// fault model), which is what makes result memoization
+// (explore.CachedOracle) exact.
 package evaluate
 
 import (
@@ -59,6 +60,13 @@ type Config struct {
 	Points []fault.Point
 	// Mode selects the fault-value model (default fault.RandomMask).
 	Mode fault.Mode
+	// Model is the typed fault model (default fault.XorFlip, the paper's
+	// bit-flip model and the engine's historical behavior). Assess uses
+	// it; AssessModel overrides it per call.
+	Model fault.Model
+	// Oracle selects the statistical oracle (default fault.OracleWelch;
+	// fault.OracleSIFA conditions on ineffective faults).
+	Oracle fault.OracleKind
 	// StopAtThreshold makes Assess return as soon as one observation
 	// point exceeds the threshold instead of sweeping all points for
 	// the global maximum. Training uses this; reporting does not.
@@ -175,7 +183,14 @@ func (e *Engine) workers() int {
 // point. The pattern width must match the cipher state width. A done ctx
 // aborts the campaign at the next shard boundary and returns ctx.Err().
 func (e *Engine) Assess(ctx context.Context, pattern *bitvec.Vector, round int) (Assessment, error) {
-	return e.assess(ctx, pattern, round, 0)
+	return e.assess(ctx, pattern, round, e.cfg.Model, 0)
+}
+
+// AssessModel is Assess with a per-call fault model override: the RL
+// environment uses it when the action space spans several fault types, so
+// one engine (and one memoization cache) serves every model.
+func (e *Engine) AssessModel(ctx context.Context, pattern *bitvec.Vector, round int, model fault.Model) (Assessment, error) {
+	return e.assess(ctx, pattern, round, model, 0)
 }
 
 // AssessOrder runs a single fixed-order assessment (used by the Table I
@@ -185,13 +200,13 @@ func (e *Engine) AssessOrder(ctx context.Context, pattern *bitvec.Vector, round,
 	if order < 1 {
 		return Assessment{}, fmt.Errorf("evaluate: order %d out of range", order)
 	}
-	return e.assess(ctx, pattern, round, order)
+	return e.assess(ctx, pattern, round, e.cfg.Model, order)
 }
 
 // assess is the shared implementation; fixedOrder 0 sweeps 1..MaxOrder
 // with the StopAtThreshold short-circuit, fixedOrder >= 1 tests exactly
 // that order at every point.
-func (e *Engine) assess(ctx context.Context, pattern *bitvec.Vector, round, fixedOrder int) (Assessment, error) {
+func (e *Engine) assess(ctx context.Context, pattern *bitvec.Vector, round int, model fault.Model, fixedOrder int) (Assessment, error) {
 	if pattern.IsZero() {
 		return Assessment{}, fmt.Errorf("evaluate: empty fault pattern")
 	}
@@ -204,6 +219,8 @@ func (e *Engine) assess(ctx context.Context, pattern *bitvec.Vector, round, fixe
 		Pattern:   *pattern,
 		Round:     round,
 		Mode:      e.cfg.Mode,
+		Model:     model,
+		Oracle:    e.cfg.Oracle,
 		Samples:   e.cfg.Samples,
 		Points:    points,
 		GroupBits: e.cfg.GroupBits,
@@ -228,6 +245,8 @@ func (e *Engine) assess(ctx context.Context, pattern *bitvec.Vector, round, fixe
 	sp.SetAttr("cipher", e.cipher.Name())
 	sp.SetAttr("round", round)
 	sp.SetAttr("pattern", hex.EncodeToString(pattern.Bytes()))
+	sp.SetAttr("fault_model", model.String())
+	sp.SetAttr("oracle", e.cfg.Oracle.String())
 
 	// Instrumentation: resolved once per assessment, nil no-ops when
 	// disabled; the clock is read only when metrics or events are on.
@@ -237,13 +256,15 @@ func (e *Engine) assess(ctx context.Context, pattern *bitvec.Vector, round, fixe
 		start = time.Now()
 		m.Counter("evaluate.assessments_total").Inc()
 		events.Emit(obs.EventCampaignStarted, map[string]any{
-			"cipher":  e.cipher.Name(),
-			"round":   round,
-			"pattern": hex.EncodeToString(pattern.Bytes()),
-			"bits":    pattern.Count(),
-			"samples": e.cfg.Samples,
-			"workers": workers,
-			"batch":   !e.cfg.NoBatch,
+			"cipher":      e.cipher.Name(),
+			"round":       round,
+			"pattern":     hex.EncodeToString(pattern.Bytes()),
+			"bits":        pattern.Count(),
+			"samples":     e.cfg.Samples,
+			"workers":     workers,
+			"batch":       !e.cfg.NoBatch,
+			"fault_model": model.String(),
+			"oracle":      e.cfg.Oracle.String(),
 		})
 	}
 	shardHist := m.Histogram("evaluate.shard_seconds", obs.LatencyBuckets)
@@ -312,6 +333,8 @@ func (e *Engine) assess(ctx context.Context, pattern *bitvec.Vector, round, fixe
 			"leaky":       out.Leaky,
 			"shards":      (e.cfg.Samples + ShardSize - 1) / ShardSize,
 			"duration_ms": float64(wall) / float64(time.Millisecond),
+			"fault_model": model.String(),
+			"oracle":      e.cfg.Oracle.String(),
 		})
 	}
 	return out, nil

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/ciphers"
 	"repro/internal/ciphers/gift"
+	"repro/internal/fault"
 	"repro/internal/prng"
 )
 
@@ -77,11 +78,11 @@ func GIFT128DFA(target *gift.Cipher, pattern *bitvec.Vector, cfg GIFTDFAConfig, 
 	if err != nil {
 		return nil, err
 	}
-	tmpl40, err := diffTemplate128(tmplCipher, pattern, cfg.FaultRound, rounds, cfg.TemplateSamples, rng)
+	tmpl40, err := diffTemplate128(tmplCipher, pattern, cfg.Model, cfg.FaultRound, rounds, cfg.TemplateSamples, rng)
 	if err != nil {
 		return nil, err
 	}
-	tmpl39, err := diffTemplate128(tmplCipher, pattern, cfg.FaultRound, rounds-1, cfg.TemplateSamples, rng)
+	tmpl39, err := diffTemplate128(tmplCipher, pattern, cfg.Model, cfg.FaultRound, rounds-1, cfg.TemplateSamples, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -91,12 +92,10 @@ func GIFT128DFA(target *gift.Cipher, pattern *bitvec.Vector, cfg GIFTDFAConfig, 
 	tr := ciphers.NewTrace(target)
 	pt := make([]byte, 16)
 	out := make([]byte, 16)
-	mask := make([]byte, 16)
-	f := &ciphers.Fault{Round: cfg.FaultRound, Mask: mask}
+	mf := newModelFault(pattern, cfg.Model, cfg.FaultRound)
 	for p := 0; p < cfg.Pairs; p++ {
 		rng.Fill(pt)
-		m := bitvec.RandomMask(pattern, rng)
-		copy(mask, m.Bytes())
+		f := mf.draw(rng)
 		target.Encrypt(out, pt, nil, tr)
 		cc[p] = le128(tr.Ciphertext)
 		target.Encrypt(out, pt, f, tr)
@@ -143,17 +142,15 @@ func GIFT128DFA(target *gift.Cipher, pattern *bitvec.Vector, cfg GIFTDFAConfig, 
 }
 
 // diffTemplate128 mirrors diffTemplate for the 32-nibble state.
-func diffTemplate128(c *gift.Cipher, pattern *bitvec.Vector, faultRound, obsRound, samples int, rng *prng.Source) ([32][16]float64, error) {
+func diffTemplate128(c *gift.Cipher, pattern *bitvec.Vector, model fault.Model, faultRound, obsRound, samples int, rng *prng.Source) ([32][16]float64, error) {
 	var hist [32][16]int
 	tr := ciphers.NewTrace(c)
 	pt := make([]byte, 16)
 	out := make([]byte, 16)
-	mask := make([]byte, 16)
-	f := &ciphers.Fault{Round: faultRound, Mask: mask}
+	mf := newModelFault(pattern, model, faultRound)
 	for s := 0; s < samples; s++ {
 		rng.Fill(pt)
-		m := bitvec.RandomMask(pattern, rng)
-		copy(mask, m.Bytes())
+		f := mf.draw(rng)
 		c.Encrypt(out, pt, nil, tr)
 		clean := le128(tr.Inputs[obsRound-1])
 		c.Encrypt(out, pt, f, tr)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/ciphers"
 	"repro/internal/ciphers/gift"
+	"repro/internal/fault"
 	"repro/internal/prng"
 )
 
@@ -29,6 +30,12 @@ type GIFTDFAConfig struct {
 	// indistinguishable — e.g. genuinely symmetric key bits — are
 	// reported unrecovered instead of being coin-flipped.
 	MinMargin float64
+	// Model is the typed fault model injected at FaultRound (default
+	// fault.XorFlip, bit-identical to the historical bit-flip attack).
+	// The offline templates are rebuilt under the same model, so the
+	// guess-and-filter machinery works unchanged for stuck-at and
+	// random-value faults.
+	Model fault.Model
 }
 
 func (c *GIFTDFAConfig) setDefaults() {
@@ -91,11 +98,11 @@ func GIFTDFA(target *gift.Cipher, pattern *bitvec.Vector, cfg GIFTDFAConfig, rng
 	if err != nil {
 		return nil, err
 	}
-	tmpl28, err := diffTemplate(tmplCipher, pattern, cfg.FaultRound, rounds, cfg.TemplateSamples, rng)
+	tmpl28, err := diffTemplate(tmplCipher, pattern, cfg.Model, cfg.FaultRound, rounds, cfg.TemplateSamples, rng)
 	if err != nil {
 		return nil, err
 	}
-	tmpl27, err := diffTemplate(tmplCipher, pattern, cfg.FaultRound, rounds-1, cfg.TemplateSamples, rng)
+	tmpl27, err := diffTemplate(tmplCipher, pattern, cfg.Model, cfg.FaultRound, rounds-1, cfg.TemplateSamples, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -106,12 +113,10 @@ func GIFTDFA(target *gift.Cipher, pattern *bitvec.Vector, cfg GIFTDFAConfig, rng
 	tr := ciphers.NewTrace(target)
 	pt := make([]byte, 8)
 	out := make([]byte, 8)
-	mask := make([]byte, 8)
-	f := &ciphers.Fault{Round: cfg.FaultRound, Mask: mask}
+	mf := newModelFault(pattern, cfg.Model, cfg.FaultRound)
 	for p := 0; p < cfg.Pairs; p++ {
 		rng.Fill(pt)
-		m := bitvec.RandomMask(pattern, rng)
-		copy(mask, m.Bytes())
+		f := mf.draw(rng)
 		target.Encrypt(out, pt, nil, tr)
 		cc[p] = le64(tr.Ciphertext)
 		target.Encrypt(out, pt, f, tr)
@@ -182,18 +187,16 @@ func GIFTDFA(target *gift.Cipher, pattern *bitvec.Vector, cfg GIFTDFAConfig, rng
 
 // diffTemplate returns, per nibble, the distribution of the differential
 // at the input of obsRound for the fault model, from samples simulations.
-func diffTemplate(c *gift.Cipher, pattern *bitvec.Vector, faultRound, obsRound, samples int, rng *prng.Source) ([16][16]float64, error) {
+func diffTemplate(c *gift.Cipher, pattern *bitvec.Vector, model fault.Model, faultRound, obsRound, samples int, rng *prng.Source) ([16][16]float64, error) {
 	var hist [16][16]int
 	tr := ciphers.NewTrace(c)
 	pt := make([]byte, 8)
 	out := make([]byte, 8)
-	mask := make([]byte, 8)
-	f := &ciphers.Fault{Round: faultRound, Mask: mask}
+	mf := newModelFault(pattern, model, faultRound)
 	var cleanIn, faultIn uint64
 	for s := 0; s < samples; s++ {
 		rng.Fill(pt)
-		m := bitvec.RandomMask(pattern, rng)
-		copy(mask, m.Bytes())
+		f := mf.draw(rng)
 		c.Encrypt(out, pt, nil, tr)
 		cleanIn = le64(tr.Inputs[obsRound-1])
 		c.Encrypt(out, pt, f, tr)

@@ -1,0 +1,43 @@
+package expfault
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/ciphers"
+	"repro/internal/fault"
+	"repro/internal/prng"
+)
+
+// modelFault draws per-trace typed-model injections for the offline
+// template and online collection loops. For fault.XorFlip the draw is
+// bit-for-bit the historical bitvec.RandomMask stream, so bit-flip
+// attacks are unchanged; other models exercise the generalized
+// (AND, XOR) injection op of internal/ciphers.
+//
+// The template-based attacks stay sound for every model: uniform
+// plaintexts make the state at the injection point uniform regardless of
+// key, so the joint (state, fault) distribution — and with it every later
+// round's differential distribution — is key-independent, which is all
+// diffTemplate needs.
+type modelFault struct {
+	inj *fault.Injector
+	f   ciphers.Fault
+}
+
+func newModelFault(pattern *bitvec.Vector, model fault.Model, round int) *modelFault {
+	mf := &modelFault{inj: fault.NewInjector(*pattern, model, fault.RandomMask)}
+	bb := (pattern.Len() + 7) / 8
+	mf.f.Round = round
+	if mf.inj.HasXor() {
+		mf.f.Mask = make([]byte, bb)
+	}
+	if mf.inj.HasAnd() {
+		mf.f.And = make([]byte, bb)
+	}
+	return mf
+}
+
+// draw refreshes the fault halves for one trace and returns the fault.
+func (mf *modelFault) draw(rng *prng.Source) *ciphers.Fault {
+	mf.inj.Draw(mf.f.Mask, mf.f.And, rng)
+	return &mf.f
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/ciphers"
+	"repro/internal/fault"
 	"repro/internal/prng"
 )
 
@@ -50,6 +51,13 @@ type PropagationProfile struct {
 // count is at least one group below the state total or its mean entropy is
 // at least 0.25 bits below the uniform maximum.
 func Profile(c ciphers.Cipher, pattern *bitvec.Vector, round, samples int, rng *prng.Source) (*PropagationProfile, error) {
+	return ProfileModel(c, pattern, fault.XorFlip, round, samples, rng)
+}
+
+// ProfileModel is Profile under a typed fault model. For fault.XorFlip it
+// is bit-identical to Profile; other models draw per-trace (AND, XOR)
+// injections from the same pattern.
+func ProfileModel(c ciphers.Cipher, pattern *bitvec.Vector, model fault.Model, round, samples int, rng *prng.Source) (*PropagationProfile, error) {
 	stateBits := 8 * c.BlockBytes()
 	if pattern.Len() != stateBits {
 		return nil, fmt.Errorf("expfault: pattern width %d, want %d", pattern.Len(), stateBits)
@@ -94,12 +102,10 @@ func Profile(c ciphers.Cipher, pattern *bitvec.Vector, round, samples int, rng *
 	n := c.BlockBytes()
 	pt := make([]byte, n)
 	out := make([]byte, n)
-	mask := make([]byte, n)
-	f := &ciphers.Fault{Round: round, Mask: mask}
+	mf := newModelFault(pattern, model, round)
 	for s := 0; s < samples; s++ {
 		rng.Fill(pt)
-		m := bitvec.RandomMask(pattern, rng)
-		copy(mask, m.Bytes())
+		f := mf.draw(rng)
 		c.Encrypt(out, pt, nil, cleanTr)
 		c.Encrypt(out, pt, f, faultTr)
 		for r := round; r < rounds; r++ {

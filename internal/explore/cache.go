@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/bitvec"
+	"repro/internal/fault"
 )
 
 // DefaultCacheCapacity bounds a CachedOracle's memo table. Each entry is
@@ -105,21 +106,23 @@ func (c *CachedOracle) Stats() CacheStats {
 	return c.stats
 }
 
-func (c *CachedOracle) key(pattern *bitvec.Vector) string {
+func (c *CachedOracle) key(pattern *bitvec.Vector, model fault.Model) string {
 	b := pattern.Bytes()
-	k := make([]byte, 4+len(b))
+	k := make([]byte, 5+len(b))
 	round := 0
 	if r, ok := c.inner.(Rounder); ok {
 		round = r.InjectionRound()
 	}
 	binary.LittleEndian.PutUint32(k, uint32(round))
-	copy(k[4:], b)
+	k[4] = byte(model)
+	copy(k[5:], b)
 	return string(k)
 }
 
-// Evaluate implements Oracle, serving repeated patterns from the cache.
-func (c *CachedOracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64, error) {
-	k := c.key(pattern)
+// Evaluate implements Oracle, serving repeated (pattern, model) pairs from
+// the cache.
+func (c *CachedOracle) Evaluate(ctx context.Context, pattern *bitvec.Vector, model fault.Model) (float64, error) {
+	k := c.key(pattern, model)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
@@ -128,7 +131,7 @@ func (c *CachedOracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (fl
 		return el.Value.(*cacheEntry).t, nil
 	}
 	c.stats.Misses++
-	t, err := c.inner.Evaluate(ctx, pattern)
+	t, err := c.inner.Evaluate(ctx, pattern, model)
 	if err != nil {
 		return 0, err
 	}

@@ -7,19 +7,21 @@ import (
 	"testing"
 
 	"repro/internal/bitvec"
+	"repro/internal/fault"
 	"repro/internal/prng"
 )
 
 // countingOracle counts real evaluations; leakage is a deterministic
-// function of the pattern so cached replies can be checked for exactness.
+// function of the pattern and fault model so cached replies can be
+// checked for exactness.
 type countingOracle struct {
 	evals int
 	round int
 }
 
-func (o *countingOracle) Evaluate(_ context.Context, p *bitvec.Vector) (float64, error) {
+func (o *countingOracle) Evaluate(_ context.Context, p *bitvec.Vector, m fault.Model) (float64, error) {
 	o.evals++
-	return float64(p.Count()*10 + o.round), nil
+	return float64(p.Count()*10 + o.round + 100*int(m)), nil
 }
 
 func (o *countingOracle) StateBits() int      { return 16 }
@@ -34,7 +36,7 @@ func TestCachedOracleHitsAndMisses(t *testing.T) {
 
 	p1, p2 := pat(1), pat(1, 2)
 	for i := 0; i < 3; i++ {
-		got, err := c.Evaluate(context.Background(), &p1)
+		got, err := c.Evaluate(context.Background(), &p1, fault.XorFlip)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,7 +44,7 @@ func TestCachedOracleHitsAndMisses(t *testing.T) {
 			t.Fatalf("Evaluate(p1) = %v, want 13", got)
 		}
 	}
-	if _, err := c.Evaluate(context.Background(), &p2); err != nil {
+	if _, err := c.Evaluate(context.Background(), &p2, fault.XorFlip); err != nil {
 		t.Fatal(err)
 	}
 	if inner.evals != 2 {
@@ -61,7 +63,7 @@ func TestCachedOracleEvicts(t *testing.T) {
 
 	mustEval := func(p *bitvec.Vector) {
 		t.Helper()
-		if _, err := c.Evaluate(context.Background(), p); err != nil {
+		if _, err := c.Evaluate(context.Background(), p, fault.XorFlip); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -88,7 +90,7 @@ func TestCachedOracleKeyedByRound(t *testing.T) {
 	p := pat(5)
 	for _, round := range []int{1, 2} {
 		c := NewCachedOracle(&countingOracle{round: round}, 4)
-		got, err := c.Evaluate(context.Background(), &p)
+		got, err := c.Evaluate(context.Background(), &p, fault.XorFlip)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,6 +101,33 @@ func TestCachedOracleKeyedByRound(t *testing.T) {
 		if c.InjectionRound() != round {
 			t.Errorf("InjectionRound = %d, want %d", c.InjectionRound(), round)
 		}
+	}
+}
+
+// TestCachedOracleKeyedByModel: the same pattern under different fault
+// models must hit distinct cache entries — the model byte is part of the
+// memoization key, so stuck-at results can never shadow bit-flip results.
+func TestCachedOracleKeyedByModel(t *testing.T) {
+	inner := &countingOracle{round: 1}
+	c := NewCachedOracle(inner, 8)
+	p := pat(5)
+	for _, m := range fault.Models() {
+		for i := 0; i < 2; i++ { // second pass must be a pure cache hit
+			got, err := c.Evaluate(context.Background(), &p, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := float64(10 + 1 + 100*int(m)); got != want {
+				t.Errorf("model %s: got %v, want %v", m, got, want)
+			}
+		}
+	}
+	n := len(fault.Models())
+	if inner.evals != n {
+		t.Errorf("inner evaluated %d times, want %d (one per model)", inner.evals, n)
+	}
+	if st := c.Stats(); st.Hits != uint64(n) || st.Misses != uint64(n) {
+		t.Errorf("stats = %+v, want %d hits and %d misses", st, n, n)
 	}
 }
 
@@ -164,7 +193,7 @@ func TestCachedOracleConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				p := patterns[(g*31+i)%len(patterns)]
-				got, err := c.Evaluate(context.Background(), &p)
+				got, err := c.Evaluate(context.Background(), &p, fault.XorFlip)
 				if err != nil {
 					t.Error(err)
 					return

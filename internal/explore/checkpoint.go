@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/checkpoint"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/rl/ppo"
@@ -65,6 +66,7 @@ type CheckpointRecord struct {
 	Width    int
 	Bits     []int
 	Distinct int
+	Model    fault.Model // absent in pre-zoo checkpoints; gob decodes it as XorFlip
 	T        float64
 	Leaky    bool
 	Reward   float64
@@ -121,6 +123,7 @@ func (s *Session) snapshot() *Checkpoint {
 			Width:    rec.Pattern.Len(),
 			Bits:     rec.Pattern.Bits(),
 			Distinct: rec.Distinct,
+			Model:    rec.Model,
 			T:        rec.T,
 			Leaky:    rec.Leaky,
 			Reward:   rec.Reward,
@@ -165,6 +168,7 @@ func (s *Session) RestoreCheckpoint(ck *Checkpoint) error {
 			Episode:  i,
 			Pattern:  bitvec.FromBits(cr.Width, cr.Bits...),
 			Distinct: cr.Distinct,
+			Model:    cr.Model,
 			T:        cr.T,
 			Leaky:    cr.Leaky,
 			Reward:   cr.Reward,

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/bitvec"
+	"repro/internal/fault"
 	"repro/internal/prng"
 	"repro/internal/rl/ppo"
 )
@@ -252,7 +253,7 @@ type funcOracle struct {
 	fn   func(context.Context, *bitvec.Vector) (float64, error)
 }
 
-func (o *funcOracle) Evaluate(ctx context.Context, p *bitvec.Vector) (float64, error) {
+func (o *funcOracle) Evaluate(ctx context.Context, p *bitvec.Vector, _ fault.Model) (float64, error) {
 	return o.fn(ctx, p)
 }
 func (o *funcOracle) StateBits() int     { return o.bits }

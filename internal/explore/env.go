@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/bitvec"
+	"repro/internal/fault"
 	"repro/internal/obs/trace"
 	"repro/internal/rl"
 )
@@ -47,6 +48,13 @@ type EnvConfig struct {
 	// EpisodeLen is T; 0 means the paper's choice, the number of cipher
 	// state bits.
 	EpisodeLen int
+	// Models is the set of typed fault models the agent can choose from.
+	// Empty means {fault.XorFlip}: the paper's action encoding, bit- and
+	// checkpoint-identical to the pre-zoo engine. With more than one
+	// model, actions [StateBits, StateBits+len(Models)) select the model
+	// of the episode's injection (the last selection wins; episodes start
+	// on Models[0]) and the observation gains a one-hot model segment.
+	Models []fault.Model
 }
 
 func (c *EnvConfig) setDefaults(stateBits int) {
@@ -56,6 +64,18 @@ func (c *EnvConfig) setDefaults(stateBits int) {
 	if c.EpisodeLen == 0 {
 		c.EpisodeLen = stateBits
 	}
+	if len(c.Models) == 0 {
+		c.Models = []fault.Model{fault.XorFlip}
+	}
+}
+
+// modelActions is the number of model-select actions: zero in the
+// single-model (paper) encoding.
+func (c *EnvConfig) modelActions() int {
+	if len(c.Models) > 1 {
+		return len(c.Models)
+	}
+	return 0
 }
 
 // EpisodeInfo summarizes the episode that just finished.
@@ -63,6 +83,7 @@ type EpisodeInfo struct {
 	Pattern  bitvec.Vector // final fault pattern
 	Bits     []int         // distinct bits in selection order (arr_bit)
 	Distinct int           // n
+	Model    fault.Model   // fault model of the episode's injection
 	T        float64       // leakage statistic of the final pattern
 	Leaky    bool
 	Reward   float64 // terminal reward
@@ -75,12 +96,13 @@ type Env struct {
 	cfg    EnvConfig
 	ctx    context.Context
 
-	state bitvec.Vector
-	obs   []float64
-	arr   []int
-	step  int
-	last  EpisodeInfo
-	done  bool
+	state    bitvec.Vector
+	obs      []float64
+	arr      []int
+	modelIdx int // index into cfg.Models of the episode's fault model
+	step     int
+	last     EpisodeInfo
+	done     bool
 
 	// lastT and lastLeaky carry the most recent oracle evaluation into
 	// the terminal EpisodeInfo.
@@ -108,7 +130,7 @@ func NewEnv(oracle Oracle, cfg EnvConfig) *Env {
 		cfg:    cfg,
 		ctx:    context.Background(),
 		state:  bitvec.New(oracle.StateBits()),
-		obs:    make([]float64, oracle.StateBits()),
+		obs:    make([]float64, oracle.StateBits()+cfg.modelActions()),
 	}
 	return e
 }
@@ -125,16 +147,24 @@ func (e *Env) SetContext(ctx context.Context) {
 	e.ctx = ctx
 }
 
-// ObsSize implements rl.Env.
-func (e *Env) ObsSize() int { return e.oracle.StateBits() }
+// ObsSize implements rl.Env: the bit-selection state, plus a one-hot
+// fault-model segment when the action space spans several models.
+func (e *Env) ObsSize() int { return e.oracle.StateBits() + e.cfg.modelActions() }
 
-// NumActions implements rl.Env.
-func (e *Env) NumActions() int { return e.oracle.StateBits() }
+// NumActions implements rl.Env: one action per state bit, plus one
+// model-select action per fault model when more than one is configured
+// (the single-model encoding is exactly the paper's).
+func (e *Env) NumActions() int { return e.oracle.StateBits() + e.cfg.modelActions() }
+
+// Model returns the fault model currently selected for the in-flight (or
+// just-finished) episode.
+func (e *Env) Model() fault.Model { return e.cfg.Models[e.modelIdx] }
 
 // Reset implements rl.Env.
 func (e *Env) Reset() []float64 {
 	e.state.Reset()
 	e.arr = e.arr[:0]
+	e.modelIdx = 0
 	e.step = 0
 	e.done = false
 	for i := range e.obs {
@@ -142,19 +172,22 @@ func (e *Env) Reset() []float64 {
 	}
 	e.epSpan, e.spanCtx = trace.StartSpanCross(e.ctx, trace.SpanEpisode)
 	e.epSpan.SetLane(e.lane)
-	return e.obs
+	return e.stateAsObs()
 }
 
-// Step implements rl.Env. The action is the bit location to fault; a
-// repeated location is a no-op append, exactly as in §III-E.
+// Step implements rl.Env. Actions below StateBits select the bit location
+// to fault (a repeated location is a no-op append, exactly as in §III-E);
+// actions at StateBits+m select fault model m for the episode's injection.
 func (e *Env) Step(action int) ([]float64, float64, bool) {
 	if e.done {
 		panic("explore: Step on finished episode; call Reset")
 	}
-	if action < 0 || action >= e.state.Len() {
-		panic(fmt.Sprintf("explore: action %d out of range [0,%d)", action, e.state.Len()))
+	if action < 0 || action >= e.NumActions() {
+		panic(fmt.Sprintf("explore: action %d out of range [0,%d)", action, e.NumActions()))
 	}
-	if !e.state.Bit(action) {
+	if action >= e.state.Len() {
+		e.modelIdx = action - e.state.Len()
+	} else if !e.state.Bit(action) {
 		e.state.Set(action)
 		e.arr = append(e.arr, action)
 	}
@@ -171,21 +204,23 @@ func (e *Env) Step(action int) ([]float64, float64, bool) {
 			Pattern:  e.state,
 			Bits:     append([]int(nil), e.arr...),
 			Distinct: len(e.arr),
+			Model:    e.Model(),
 			Reward:   reward,
 		}
 		e.last.T = e.lastT
 		e.last.Leaky = e.lastLeaky
 		e.epSpan.SetAttr("bits", len(e.arr))
+		e.epSpan.SetAttr("fault_model", e.Model().String())
 		e.epSpan.SetAttr("t", e.lastT)
 		e.epSpan.SetAttr("leaky", e.lastLeaky)
 		e.epSpan.SetAttr("reward", reward)
 		e.epSpan.End()
 	}
-	copy(e.obs, e.stateAsObs())
-	return e.obs, reward, terminal
+	return e.stateAsObs(), reward, terminal
 }
 
-// stateAsObs converts the bit state to the float observation in place.
+// stateAsObs converts the bit state (and, in multi-model configurations,
+// the one-hot model selection) to the float observation in place.
 func (e *Env) stateAsObs() []float64 {
 	for i := 0; i < e.state.Len(); i++ {
 		if e.state.Bit(i) {
@@ -194,19 +229,34 @@ func (e *Env) stateAsObs() []float64 {
 			e.obs[i] = 0
 		}
 	}
+	for m := 0; m < e.cfg.modelActions(); m++ {
+		v := 0.0
+		if m == e.modelIdx {
+			v = 1
+		}
+		e.obs[e.state.Len()+m] = v
+	}
 	return e.obs
 }
 
 // evaluate runs the oracle on the current pattern and maps the statistic
 // to the configured reward.
 func (e *Env) evaluate() float64 {
+	if e.state.IsZero() {
+		// Possible only in multi-model configurations, when every step
+		// was a model selection: an empty pattern injects nothing, so it
+		// is non-leaky by definition and the oracle is not consulted.
+		e.lastT, e.lastLeaky = 0, false
+		return e.cfg.Beta
+	}
 	ctx := e.spanCtx
 	if ctx == nil {
 		ctx = e.ctx
 	}
 	sp, ctx := trace.StartSpan(ctx, trace.SpanOracleEval)
 	sp.SetAttr("bits", len(e.arr))
-	t, err := e.oracle.Evaluate(ctx, &e.state)
+	sp.SetAttr("fault_model", e.Model().String())
+	t, err := e.oracle.Evaluate(ctx, &e.state, e.Model())
 	sp.SetAttr("t", t)
 	sp.SetAttr("leaky", err == nil && t > e.oracle.Threshold())
 	sp.End()

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/bitvec"
+	"repro/internal/fault"
 	"repro/internal/prng"
 	"repro/internal/rl/ppo"
 )
@@ -19,7 +20,7 @@ type subsetOracle struct {
 	calls   int
 }
 
-func (o *subsetOracle) Evaluate(_ context.Context, p *bitvec.Vector) (float64, error) {
+func (o *subsetOracle) Evaluate(_ context.Context, p *bitvec.Vector, _ fault.Model) (float64, error) {
 	o.calls++
 	if !p.IsZero() && p.SubsetOf(&o.allowed) {
 		return 100, nil

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/bitvec"
+	"repro/internal/fault"
 )
 
 // Record is one completed training episode.
@@ -12,6 +13,7 @@ type Record struct {
 	Episode  int // global episode index, 0-based, in completion order
 	Pattern  bitvec.Vector
 	Distinct int
+	Model    fault.Model // fault model of the episode's injection
 	T        float64
 	Leaky    bool
 	Reward   float64
@@ -35,6 +37,7 @@ func (l *Log) Add(info EpisodeInfo) int {
 		Episode:  idx,
 		Pattern:  info.Pattern,
 		Distinct: info.Distinct,
+		Model:    info.Model,
 		T:        info.T,
 		Leaky:    info.Leaky,
 		Reward:   info.Reward,
@@ -134,18 +137,21 @@ func (l *Log) Buckets(size int) []Bucket {
 // raw material for Table V.
 type PatternCount struct {
 	Pattern bitvec.Vector
+	Model   fault.Model
 	Count   int
 }
 
-// PatternCounts implements the Table V view of the log.
+// PatternCounts implements the Table V view of the log. Identical
+// patterns discovered under different fault models count separately (a
+// single-model run is unaffected).
 func (l *Log) PatternCounts(n int) []PatternCount {
 	counts := map[string]*PatternCount{}
 	for _, r := range l.Leaky(n) {
-		key := r.Pattern.String()
+		key := r.Model.String() + "|" + r.Pattern.String()
 		if pc, ok := counts[key]; ok {
 			pc.Count++
 		} else {
-			counts[key] = &PatternCount{Pattern: r.Pattern, Count: 1}
+			counts[key] = &PatternCount{Pattern: r.Pattern, Model: r.Model, Count: 1}
 		}
 	}
 	out := make([]PatternCount, 0, len(counts))
@@ -155,6 +161,9 @@ func (l *Log) PatternCounts(n int) []PatternCount {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
 			return out[i].Count > out[j].Count
+		}
+		if out[i].Model != out[j].Model {
+			return out[i].Model < out[j].Model
 		}
 		return out[i].Pattern.String() < out[j].Pattern.String()
 	})

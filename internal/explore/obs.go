@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/bitvec"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -42,13 +43,13 @@ func newInstrumentedOracle(inner Oracle, cache *CachedOracle, env int, m *obs.Re
 
 // Evaluate implements Oracle, timing the inner evaluation and attributing
 // it to the cache-hit or cache-miss latency band.
-func (o *instrumentedOracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64, error) {
+func (o *instrumentedOracle) Evaluate(ctx context.Context, pattern *bitvec.Vector, model fault.Model) (float64, error) {
 	var hitsBefore uint64
 	if o.cache != nil {
 		hitsBefore = o.cache.Stats().Hits
 	}
 	start := time.Now()
-	t, err := o.inner.Evaluate(ctx, pattern)
+	t, err := o.inner.Evaluate(ctx, pattern, model)
 	d := time.Since(start)
 	if err != nil {
 		return t, err
@@ -68,6 +69,7 @@ func (o *instrumentedOracle) Evaluate(ctx context.Context, pattern *bitvec.Vecto
 		"env":         o.env,
 		"pattern":     hex.EncodeToString(pattern.Bytes()),
 		"bits":        pattern.Count(),
+		"fault_model": model.String(),
 		"t":           t,
 		"leaky":       t > o.inner.Threshold(),
 		"cached":      cached,

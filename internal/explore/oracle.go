@@ -10,26 +10,34 @@
 // final pattern shows no information leakage, or e^n (n = distinct bits
 // selected) if it does. Table II's slow variant computes the reward at
 // every step; Fig. 3's weak variant uses the linear reward n.
+//
+// When the environment is configured with more than one typed fault model
+// (EnvConfig.Models), the action space is widened with one model-select
+// action per model, so the agent searches over fault type as well as bit
+// set; single-model configurations keep the paper's exact action encoding,
+// which is what keeps old checkpoints loadable.
 package explore
 
 import (
 	"context"
 
 	"repro/internal/bitvec"
+	"repro/internal/fault"
 	"repro/internal/leakage"
 )
 
-// Oracle decides the information leakage of a fault pattern. It is the
-// abstraction boundary between the RL machinery and the cipher world:
-// unprotected ciphers use AssessorOracle; the duplication countermeasure
-// provides its own implementation (package countermeasure).
+// Oracle decides the information leakage of a fault pattern under a typed
+// fault model. It is the abstraction boundary between the RL machinery and
+// the cipher world: unprotected ciphers use AssessorOracle; the
+// duplication countermeasure provides its own implementation (package
+// countermeasure).
 type Oracle interface {
-	// Evaluate returns the leakage statistic l for the pattern. A done
-	// ctx aborts the underlying campaign at its next shard boundary and
-	// returns ctx.Err().
-	Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64, error)
-	// StateBits is the width of patterns this oracle accepts, which is
-	// also the RL action-space size.
+	// Evaluate returns the leakage statistic l for the pattern under the
+	// given fault model (fault.XorFlip is the paper's bit-flip model). A
+	// done ctx aborts the underlying campaign at its next shard boundary
+	// and returns ctx.Err().
+	Evaluate(ctx context.Context, pattern *bitvec.Vector, model fault.Model) (float64, error)
+	// StateBits is the width of patterns this oracle accepts.
 	StateBits() int
 	// Threshold is the exploitability threshold θ.
 	Threshold() float64
@@ -45,8 +53,8 @@ type AssessorOracle struct {
 var _ Oracle = (*AssessorOracle)(nil)
 
 // Evaluate implements Oracle.
-func (o *AssessorOracle) Evaluate(ctx context.Context, pattern *bitvec.Vector) (float64, error) {
-	res, err := o.Assessor.Assess(ctx, pattern, o.Round)
+func (o *AssessorOracle) Evaluate(ctx context.Context, pattern *bitvec.Vector, model fault.Model) (float64, error) {
+	res, err := o.Assessor.AssessModel(ctx, pattern, o.Round, model)
 	if err != nil {
 		return 0, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/checkpoint"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/prng"
@@ -131,9 +132,12 @@ type Outcome struct {
 	// the largest leaky pattern among FinalRollouts stochastic rollouts
 	// (falling back to the best training-log pattern if none leak).
 	Converged bitvec.Vector
-	// ConvergedT is its leakage statistic; ConvergedLeaky its verdict.
+	// ConvergedT is its leakage statistic; ConvergedLeaky its verdict;
+	// ConvergedModel the fault model it was discovered under (always
+	// fault.XorFlip in single-model sessions).
 	ConvergedT     float64
 	ConvergedLeaky bool
+	ConvergedModel fault.Model
 	// Log holds every training episode for later harvesting.
 	Log *Log
 	// Episodes actually run; Duration the wall-clock training time.
@@ -227,16 +231,13 @@ func NewSession(factory OracleFactory, cfg SessionConfig) (*Session, error) {
 	}
 	if agentCfg.ExplorationFloor == 0 {
 		// One expected stray per episode keeps pattern growth alive
-		// (see ppo.Config.ExplorationFloor).
-		episodeLen := cfg.Env.EpisodeLen
-		if episodeLen == 0 {
-			episodeLen = obsSize
-		}
-		agentCfg.ExplorationFloor = 1 / float64(episodeLen)
+		// (see ppo.Config.ExplorationFloor). The env applied its own
+		// defaults, so read the effective episode length back from it.
+		agentCfg.ExplorationFloor = 1 / float64(s.raw[0].cfg.EpisodeLen)
 	} else if agentCfg.ExplorationFloor < 0 {
 		agentCfg.ExplorationFloor = 0
 	}
-	s.agent = ppo.New(obsSize, obsSize, agentCfg, root.Split())
+	s.agent = ppo.New(obsSize, s.raw[0].NumActions(), agentCfg, root.Split())
 	s.runner = rl.NewRunner(s.envs, s.agent)
 	s.runner.Gamma = cfg.Gamma
 	s.runner.Lambda = cfg.Lambda
@@ -386,13 +387,14 @@ func (s *Session) Run(ctx context.Context) (*Outcome, error) {
 			}
 			if s.obs.enabled {
 				s.obs.events.Emit(obs.EventEpisode, map[string]any{
-					"episode": s.run.episodes + i + 1,
-					"env":     ep.EnvIndex,
-					"pattern": hex.EncodeToString(info.Pattern.Bytes()),
-					"bits":    info.Distinct,
-					"t":       info.T,
-					"leaky":   info.Leaky,
-					"reward":  info.Reward,
+					"episode":     s.run.episodes + i + 1,
+					"env":         ep.EnvIndex,
+					"pattern":     hex.EncodeToString(info.Pattern.Bytes()),
+					"bits":        info.Distinct,
+					"fault_model": info.Model.String(),
+					"t":           info.T,
+					"leaky":       info.Leaky,
+					"reward":      info.Reward,
 				})
 			}
 		}
@@ -479,6 +481,7 @@ func (s *Session) Run(ctx context.Context) (*Outcome, error) {
 			"converged":        hex.EncodeToString(out.Converged.Bytes()),
 			"converged_t":      out.ConvergedT,
 			"converged_leaky":  out.ConvergedLeaky,
+			"converged_model":  out.ConvergedModel.String(),
 			"cache_hits":       out.Cache.Hits,
 			"cache_misses":     out.Cache.Misses,
 			"cache_evictions":  out.Cache.Evictions,
@@ -518,6 +521,7 @@ func (s *Session) readOutConverged(out *Outcome) {
 			out.Converged = info.Pattern
 			out.ConvergedT = info.T
 			out.ConvergedLeaky = true
+			out.ConvergedModel = info.Model
 		}
 	}
 	if bestN >= 0 {
@@ -529,6 +533,7 @@ func (s *Session) readOutConverged(out *Outcome) {
 			out.Converged = r.Pattern
 			out.ConvergedT = r.T
 			out.ConvergedLeaky = true
+			out.ConvergedModel = r.Model
 		}
 	}
 }

@@ -6,6 +6,7 @@
 package fault
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 
@@ -127,6 +128,16 @@ type Campaign struct {
 	Pattern bitvec.Vector // width must equal 8*Cipher.BlockBytes()
 	Round   int
 	Mode    Mode
+	// Model is the typed fault model applied to the pattern bits. The
+	// zero value XorFlip reproduces the engine's historical XOR-mask
+	// behavior bit-identically (Mode only applies to XorFlip).
+	Model Model
+	// Oracle selects what the campaign emits: grouped (clean XOR faulty)
+	// differentials for OracleWelch (the default), or grouped clean state
+	// values of the ineffective-fault sub-distribution for OracleSIFA.
+	// SIFA campaigns have a data-dependent trace count, so they are only
+	// supported through the accumulator path (CollectInto), not Collect.
+	Oracle  OracleKind
 	Samples int
 	Points  []Point
 	// GroupBits is the differential grouping granularity: 1 (bits),
@@ -164,6 +175,14 @@ func (cp *Campaign) Validate() error {
 	}
 	if cp.Samples <= 1 {
 		return fmt.Errorf("fault: need at least 2 samples, got %d", cp.Samples)
+	}
+	if int(cp.Model) < 0 || int(cp.Model) >= numModels {
+		return fmt.Errorf("fault: invalid fault model %d", int(cp.Model))
+	}
+	switch cp.Oracle {
+	case OracleWelch, OracleSIFA:
+	default:
+		return fmt.Errorf("fault: invalid oracle %d", int(cp.Oracle))
 	}
 	if cp.GroupBits == 0 {
 		cp.GroupBits = cp.Cipher.GroupBits()
@@ -211,6 +230,11 @@ func (cp *Campaign) Collect(rng *prng.Source) (*Result, error) {
 	if err := cp.Validate(); err != nil {
 		return nil, err
 	}
+	if cp.Oracle == OracleSIFA {
+		// The ineffective-fault sub-distribution has a data-dependent
+		// size, so there is no Samples x Groups matrix to build.
+		return nil, fmt.Errorf("fault: the SIFA oracle requires accumulator collection (CollectInto)")
+	}
 	groups := cp.Groups()
 	res := &Result{Points: cp.Points, Matrices: make([][][]float64, len(cp.Points))}
 	for i := range res.Matrices {
@@ -257,18 +281,26 @@ func (cp *Campaign) CollectIntoContext(ctx context.Context, rng *prng.Source, n 
 }
 
 // forEachDiff runs n paired (clean, faulty) traces and calls emit with
-// the raw XOR differential of every observation point, in (sample, point)
-// order. The campaign must be validated.
+// the per-point observation of every emitted trace, in (sample, point)
+// order: the raw XOR differential under OracleWelch, or — under
+// OracleSIFA — the raw clean state of only the traces whose fault left
+// the ciphertext unchanged. The campaign must be validated.
 //
 // Traces are processed in blocks: each block first draws every
-// plaintext and fault mask — in the same per-sample interleaving a
-// trace-at-a-time loop would use, so the PRNG stream is independent of
-// the block size — and then encrypts the whole block through the
-// cipher's batch kernel (shared-prefix forking, word-oriented rounds)
-// or, for ciphers without one, through the scalar reference path. Both
-// engines produce bit-identical differentials, and neither allocates per
+// plaintext and fault injection pair — in the same per-sample
+// interleaving a trace-at-a-time loop would use, so the PRNG stream is
+// independent of the block size — and then encrypts the whole block
+// through the generalized-injection dispatcher (batch kernel, FaultKernel
+// extension, or the scalar reference path; see ciphers.EncryptForksOps).
+// All engines produce bit-identical observations, and none allocates per
 // sample. Cancellation is checked once per block, before any of the
 // block's PRNG draws.
+//
+// Ineffective-fault conditioning compares ciphertexts only: every
+// observation point sits at or after the injection round, and the rounds
+// from injection to ciphertext are a bijection, so an unchanged
+// ciphertext implies the fault was the identity on the actual state and
+// every intermediate observation coincides with the clean branch.
 func (cp *Campaign) forEachDiff(ctx context.Context, rng *prng.Source, n int, emit func(s, pi int, diff []byte)) error {
 	bb := cp.Cipher.BlockBytes()
 	np := len(cp.Points)
@@ -276,8 +308,15 @@ func (cp *Campaign) forEachDiff(ctx context.Context, rng *prng.Source, n int, em
 	if n < block {
 		block = n
 	}
+	inj := NewInjector(cp.Pattern, cp.Model, cp.Mode)
 	pts := make([]byte, block*bb)
-	maskBuf := make([]byte, block*bb)
+	var xorBuf, andBuf []byte
+	if inj.HasXor() {
+		xorBuf = make([]byte, block*bb)
+	}
+	if inj.HasAnd() {
+		andBuf = make([]byte, block*bb)
+	}
 	clean := make([]byte, block*np*bb)
 	faulty := make([]byte, block*np*bb)
 	diff := make([]byte, bb)
@@ -285,9 +324,14 @@ func (cp *Campaign) forEachDiff(ctx context.Context, rng *prng.Source, n int, em
 	for i, p := range cp.Points {
 		bpts[i] = p.batchPoint()
 	}
-	masks := [][]byte{nil, maskBuf}
+	xors := [][]byte{nil, xorBuf}
+	ands := [][]byte{nil, andBuf}
 	states := [][]byte{clean, faulty}
-	noCts := [][]byte{nil, nil}
+	cts := [][]byte{nil, nil}
+	sifa := cp.Oracle == OracleSIFA
+	if sifa {
+		cts = [][]byte{make([]byte, block*bb), make([]byte, block*bb)}
+	}
 	var kern ciphers.BatchKernel
 	if be, ok := cp.Cipher.(ciphers.BatchEncrypter); ok && !cp.NoBatch {
 		kern = be.NewBatchKernel()
@@ -297,6 +341,8 @@ func (cp *Campaign) forEachDiff(ctx context.Context, rng *prng.Source, n int, em
 	sp, _ := trace.StartSpan(ctx, trace.SpanCollect)
 	sp.SetAttr("samples", n)
 	sp.SetAttr("batch", kern != nil)
+	sp.SetAttr("fault_model", cp.Model.String())
+	sp.SetAttr("oracle", cp.Oracle.String())
 	defer sp.End()
 	// Handles are resolved once per call (not per trace); all of them are
 	// nil no-ops when cp.Metrics is nil.
@@ -305,6 +351,7 @@ func (cp *Campaign) forEachDiff(ctx context.Context, rng *prng.Source, n int, em
 	if kern != nil {
 		pathBlocks = cp.Metrics.Counter("campaign.batch_blocks_total")
 	}
+	ineffective := cp.Metrics.Counter("campaign.ineffective_total")
 	collectTimer := cp.Metrics.Histogram("campaign.collect_seconds", obs.LatencyBuckets).Start()
 	for base := 0; base < n; base += block {
 		if err := ctx.Err(); err != nil {
@@ -317,16 +364,30 @@ func (cp *Campaign) forEachDiff(ctx context.Context, rng *prng.Source, n int, em
 		}
 		for i := 0; i < bn; i++ {
 			rng.Fill(pts[i*bb : (i+1)*bb])
-			cp.drawMask(maskBuf[i*bb:(i+1)*bb], rng)
+			var xm, am []byte
+			if xorBuf != nil {
+				xm = xorBuf[i*bb : (i+1)*bb]
+			}
+			if andBuf != nil {
+				am = andBuf[i*bb : (i+1)*bb]
+			}
+			inj.Draw(xm, am, rng)
 		}
-		if kern != nil {
-			kern.EncryptForks(cp.Round, bpts, bn, pts, masks, states, noCts)
-		} else {
-			ciphers.ScalarForks(cp.Cipher, cp.Round, bpts, bn, pts, masks, states, noCts)
-		}
+		ciphers.EncryptForksOps(cp.Cipher, kern, cp.Round, bpts, bn, pts, xors, ands, states, cts)
 		traces.Add(uint64(bn))
 		pathBlocks.Inc()
 		for i := 0; i < bn; i++ {
+			if sifa {
+				if !bytes.Equal(cts[0][i*bb:(i+1)*bb], cts[1][i*bb:(i+1)*bb]) {
+					continue
+				}
+				ineffective.Inc()
+				for pi := 0; pi < np; pi++ {
+					off := (i*np + pi) * bb
+					emit(base+i, pi, clean[off:off+bb])
+				}
+				continue
+			}
 			for pi := 0; pi < np; pi++ {
 				off := (i*np + pi) * bb
 				a, b := clean[off:off+bb], faulty[off:off+bb]
@@ -350,18 +411,6 @@ func (p Point) batchPoint() ciphers.BatchPoint {
 		return ciphers.BatchPoint{Round: p.Round, PostSub: true}
 	default:
 		return ciphers.BatchPoint{}
-	}
-}
-
-// drawMask fills mask with the fault value for one trace, without
-// allocating.
-func (cp *Campaign) drawMask(mask []byte, rng *prng.Source) {
-	switch cp.Mode {
-	case FlipAll:
-		cp.Pattern.PutBytes(mask)
-	default:
-		m := bitvec.RandomMask(&cp.Pattern, rng)
-		m.PutBytes(mask)
 	}
 }
 

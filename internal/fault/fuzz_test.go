@@ -1,0 +1,113 @@
+package fault_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/fault"
+	"repro/internal/prng"
+)
+
+// FuzzFaultApply pins the algebraic contract of every typed fault model's
+// injection pair — bit' = (bit AND a) XOR x — on arbitrary patterns,
+// states and seeds:
+//
+//   - the op never touches bits outside the model's effective set (the
+//     pattern, widened to value groups for random-byte/random-nibble);
+//   - every AND-carrying model is idempotent per draw: applying the same
+//     (AND, XOR) pair twice equals applying it once, because the XOR half
+//     only sets bits the AND half cleared;
+//   - XorFlip is a self-inverse involution;
+//   - the XOR-free models (stuck-at-0, biased-and) are monotone
+//     non-increasing: they can only clear state bits, never set them.
+func FuzzFaultApply(f *testing.F) {
+	f.Add(byte(0), uint16(7), []byte{0xff, 0x00, 0xff}, []byte("state material"), uint64(1))
+	f.Add(byte(1), uint16(15), []byte{0x0f}, bytes.Repeat([]byte{0xa5}, 16), uint64(99))
+	f.Add(byte(5), uint16(3), []byte{0x80, 0x01}, []byte{}, uint64(7))
+	f.Fuzz(func(t *testing.T, modelSel byte, widthSel uint16, patMaterial, stateMaterial []byte, seed uint64) {
+		models := fault.Models()
+		model := models[int(modelSel)%len(models)]
+		width := 8 * (1 + int(widthSel)%16) // 8..128 bits, byte-aligned like real states
+
+		pattern := bitvec.New(width)
+		for i := 0; i < width; i++ {
+			if len(patMaterial) > 0 && patMaterial[(i/8)%len(patMaterial)]&(1<<uint(i%8)) != 0 {
+				pattern.Set(i)
+			}
+		}
+		if pattern.IsZero() {
+			pattern.Set(int(widthSel) % width)
+		}
+
+		inj := fault.NewInjector(pattern, model, fault.RandomMask)
+		bb := (width + 7) / 8
+		var xor, and []byte
+		if inj.HasXor() {
+			xor = make([]byte, bb)
+		}
+		if inj.HasAnd() {
+			and = make([]byte, bb)
+		}
+		inj.Draw(xor, and, prng.New(seed))
+
+		state := make([]byte, bb)
+		for i := range state {
+			if len(stateMaterial) > 0 {
+				state[i] = stateMaterial[i%len(stateMaterial)]
+			}
+		}
+		apply := func(s []byte) []byte {
+			out := make([]byte, bb)
+			for i := range out {
+				a, x := byte(0xff), byte(0)
+				if and != nil {
+					a = and[i]
+				}
+				if xor != nil {
+					x = xor[i]
+				}
+				out[i] = s[i]&a ^ x
+			}
+			return out
+		}
+		once := apply(state)
+		twice := apply(once)
+
+		eff := inj.Effective()
+		effBytes := eff.Bytes()
+		for i := range state {
+			if (once[i]^state[i])&^effBytes[i] != 0 {
+				t.Fatalf("%s: byte %d changed outside effective set %s (state %02x -> %02x)",
+					model, i, eff.String(), state[i], once[i])
+			}
+		}
+
+		if model == fault.XorFlip {
+			if !bytes.Equal(twice, state) {
+				t.Fatalf("XorFlip not self-inverse: %x -> %x -> %x", state, once, twice)
+			}
+		} else {
+			if !bytes.Equal(twice, once) {
+				t.Fatalf("%s not idempotent: %x -> %x -> %x", model, state, once, twice)
+			}
+		}
+
+		if !inj.HasXor() {
+			for i := range once {
+				if once[i]&^state[i] != 0 {
+					t.Fatalf("%s set bits it may only clear: byte %d %02x -> %02x",
+						model, i, state[i], once[i])
+				}
+			}
+		}
+		if xor != nil && and != nil {
+			for i := range xor {
+				if xor[i]&and[i] != 0 {
+					t.Fatalf("%s: XOR half %02x overlaps kept bits of AND half %02x at byte %d (breaks idempotence)",
+						model, xor[i], and[i], i)
+				}
+			}
+		}
+	})
+}

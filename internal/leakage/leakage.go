@@ -45,6 +45,12 @@ type Config struct {
 	Points []fault.Point
 	// Mode selects the fault-value model (default fault.RandomMask).
 	Mode fault.Mode
+	// Model is the typed fault model (default fault.XorFlip); see
+	// evaluate.Config.Model.
+	Model fault.Model
+	// Oracle selects the statistical oracle (default fault.OracleWelch);
+	// see evaluate.Config.Oracle.
+	Oracle fault.OracleKind
 	// StopAtThreshold makes Assess return as soon as one observation
 	// point exceeds the threshold instead of sweeping all points for
 	// the global maximum. Training uses this; reporting does not.
@@ -93,6 +99,8 @@ func NewAssessor(c ciphers.Cipher, cfg Config, rng *prng.Source) *Assessor {
 		Window:          cfg.Window,
 		Points:          cfg.Points,
 		Mode:            cfg.Mode,
+		Model:           cfg.Model,
+		Oracle:          cfg.Oracle,
 		StopAtThreshold: cfg.StopAtThreshold,
 		Workers:         cfg.Workers,
 		NoBatch:         cfg.NoBatch,
@@ -121,6 +129,12 @@ func (a *Assessor) Threshold() float64 { return a.engine.Threshold() }
 // done ctx aborts the campaign at the next shard boundary.
 func (a *Assessor) Assess(ctx context.Context, pattern *bitvec.Vector, round int) (Assessment, error) {
 	return a.engine.Assess(ctx, pattern, round)
+}
+
+// AssessModel is Assess with a per-call fault model override (see
+// evaluate.Engine.AssessModel).
+func (a *Assessor) AssessModel(ctx context.Context, pattern *bitvec.Vector, round int, model fault.Model) (Assessment, error) {
+	return a.engine.AssessModel(ctx, pattern, round, model)
 }
 
 // AssessOrder runs a single fixed-order assessment (used by the Table I

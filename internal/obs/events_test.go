@@ -24,22 +24,28 @@ func TestEmitterGoldenSchema(t *testing.T) {
 		return base.Add(time.Duration(n) * 250 * time.Millisecond)
 	})
 
-	e.Emit(EventRunStarted, map[string]any{"binary": "faultsim", "cipher": "gift64", "round": 25})
+	e.Emit(EventRunStarted, map[string]any{"binary": "faultsim", "cipher": "gift64", "round": 25, "fault_model": "stuck-at-0", "oracle": "sifa"})
 	e.Emit(EventCampaignStarted, map[string]any{
 		"cipher": "gift64", "round": 25, "pattern": "0f000000f0000000",
 		"bits": 8, "samples": 2048, "workers": 4, "batch": true,
+		"fault_model": "stuck-at-0",
 	})
 	e.Emit(EventCampaignFinished, map[string]any{
 		"cipher": "gift64", "round": 25, "pattern": "0f000000f0000000",
 		"t": 87.5, "leaky": true, "shards": 8, "duration_ms": 12.25,
+		"fault_model": "stuck-at-0",
+	})
+	e.Emit(EventEpisode, map[string]any{
+		"episode": 1, "bits": 8, "t": 87.5, "leaky": true, "fault_model": "stuck-at-0",
 	})
 	e.Emit(EventRunFinished, nil)
 
 	want := strings.Join([]string{
-		`{"ts":"2026-08-06T12:00:00.25Z","seq":0,"event":"run_started","fields":{"binary":"faultsim","cipher":"gift64","round":25}}`,
-		`{"ts":"2026-08-06T12:00:00.5Z","seq":1,"event":"campaign_started","fields":{"batch":true,"bits":8,"cipher":"gift64","pattern":"0f000000f0000000","round":25,"samples":2048,"workers":4}}`,
-		`{"ts":"2026-08-06T12:00:00.75Z","seq":2,"event":"campaign_finished","fields":{"cipher":"gift64","duration_ms":12.25,"leaky":true,"pattern":"0f000000f0000000","round":25,"shards":8,"t":87.5}}`,
-		`{"ts":"2026-08-06T12:00:01Z","seq":3,"event":"run_finished"}`,
+		`{"ts":"2026-08-06T12:00:00.25Z","seq":0,"event":"run_started","fields":{"binary":"faultsim","cipher":"gift64","fault_model":"stuck-at-0","oracle":"sifa","round":25}}`,
+		`{"ts":"2026-08-06T12:00:00.5Z","seq":1,"event":"campaign_started","fields":{"batch":true,"bits":8,"cipher":"gift64","fault_model":"stuck-at-0","pattern":"0f000000f0000000","round":25,"samples":2048,"workers":4}}`,
+		`{"ts":"2026-08-06T12:00:00.75Z","seq":2,"event":"campaign_finished","fields":{"cipher":"gift64","duration_ms":12.25,"fault_model":"stuck-at-0","leaky":true,"pattern":"0f000000f0000000","round":25,"shards":8,"t":87.5}}`,
+		`{"ts":"2026-08-06T12:00:01Z","seq":3,"event":"episode","fields":{"bits":8,"episode":1,"fault_model":"stuck-at-0","leaky":true,"t":87.5}}`,
+		`{"ts":"2026-08-06T12:00:01.25Z","seq":4,"event":"run_finished"}`,
 	}, "\n") + "\n"
 	if got := buf.String(); got != want {
 		t.Errorf("golden mismatch:\n got: %s\nwant: %s", got, want)

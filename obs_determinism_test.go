@@ -92,6 +92,37 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 		}
 	})
 
+	t.Run("assess_typed", func(t *testing.T) {
+		// Same contract along the fault-model axis: a typed (AND, XOR)
+		// campaign under the SIFA oracle must be indifferent to
+		// instrumentation too.
+		pattern := explorefault.PatternFromGroups(64, 4, 5)
+		for _, model := range explorefault.FaultModels() {
+			var want uint64
+			for i, v := range variants {
+				cfg := explorefault.AssessConfig{
+					Cipher: "gift64", Round: 25, Samples: 320, Workers: 4, Seed: 9,
+					FaultModel: model, Oracle: explorefault.OracleSIFA,
+				}
+				instrument(v, &cfg)
+				ctx, tr := traceCtx(v)
+				res, err := explorefault.AssessContext(ctx, pattern, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSpans(t, v, tr)
+				bits := math.Float64bits(res.T)
+				if i == 0 {
+					want = bits
+					continue
+				}
+				if bits != want {
+					t.Errorf("%s/%s: T bits %x != off bits %x", model, v.name, bits, want)
+				}
+			}
+		}
+	})
+
 	t.Run("assess_protected", func(t *testing.T) {
 		pattern := explorefault.PatternFromBits(128, 12, 64+12)
 		var want uint64

@@ -102,6 +102,60 @@ func TestResumeDeterminism(t *testing.T) {
 	}
 }
 
+// TestResumeDeterminismMultiModel: the resume guarantee holds when the
+// agent chooses among several typed fault models — the checkpoint records
+// each replayed episode's chosen model, so the per-model candidate
+// partition (and with it the final result) survives the restart.
+func TestResumeDeterminismMultiModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-variant training run")
+	}
+	base := explorefault.DiscoverConfig{
+		Cipher:      "gift64",
+		Round:       25,
+		Episodes:    16,
+		NumEnvs:     4,
+		Samples:     128,
+		Seed:        31,
+		SkipHarvest: true,
+		FaultModels: []explorefault.FaultModel{explorefault.XorFlip, explorefault.StuckAtZero},
+		Oracle:      explorefault.OracleSIFA,
+	}
+	ref, err := explorefault.Discover(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := discoverFingerprint(ref) + "|model=" + ref.ConvergedModel.String()
+
+	path := filepath.Join(t.TempDir(), "ck-multimodel.bin")
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := base
+	cfg.Checkpoint = path
+	cfg.CheckpointEvery = 1
+	cfg.Progress = func(p explorefault.Progress) {
+		if p.Episodes >= 8 {
+			cancel()
+		}
+	}
+	if _, err := explorefault.DiscoverContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		cancel()
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	cancel()
+
+	cfg = base
+	cfg.Checkpoint = path
+	cfg.CheckpointEvery = 1
+	cfg.Resume = true
+	res, err := explorefault.DiscoverContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := discoverFingerprint(res) + "|model=" + res.ConvergedModel.String(); got != want {
+		t.Errorf("resumed multi-model outcome differs from uninterrupted run\n got: %s\nwant: %s", got, want)
+	}
+}
+
 // TestResumeRejectsForeignCheckpoint: resuming with a different seed or
 // cipher configuration must fail loudly, not silently train on the wrong
 // stream.
@@ -128,6 +182,15 @@ func TestResumeRejectsForeignCheckpoint(t *testing.T) {
 	otherRound.Resume = true
 	if _, err := explorefault.DiscoverContext(context.Background(), otherRound); err == nil {
 		t.Error("resume accepted a checkpoint from a different round")
+	}
+
+	// The fault-model set widens the action space, so a checkpoint from a
+	// single-model run must not resume a multi-model one.
+	otherModels := cfg
+	otherModels.FaultModels = []explorefault.FaultModel{explorefault.XorFlip, explorefault.StuckAtZero}
+	otherModels.Resume = true
+	if _, err := explorefault.DiscoverContext(context.Background(), otherModels); err == nil {
+		t.Error("resume accepted a checkpoint from a different fault-model set")
 	}
 
 	// A missing checkpoint file with -resume starts fresh instead of

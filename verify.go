@@ -29,6 +29,12 @@ type VerifyConfig struct {
 	// Pairs is the number of faulty encryptions (GIFT default 256;
 	// AES uses 3 per column = 12 total).
 	Pairs int
+	// FaultModel is the typed injection model (default XorFlip, the
+	// historical bit-flip attack). The GIFT attacks rebuild their
+	// offline templates under the chosen model; Piret–Quisquater on
+	// AES-128 is defined only for bit-flip byte differentials and
+	// rejects other models.
+	FaultModel FaultModel
 	// Seed drives plaintexts and fault values.
 	Seed uint64
 }
@@ -41,6 +47,9 @@ func VerifyKeyRecovery(pattern Pattern, cfg VerifyConfig) (*KeyRecovery, error) 
 	rng := prng.New(cfg.Seed)
 	switch cfg.Cipher {
 	case "aes128":
+		if cfg.FaultModel != XorFlip {
+			return nil, fmt.Errorf("explorefault: Piret–Quisquater needs bit-flip byte differentials; fault model %s is not supported on aes128", cfg.FaultModel)
+		}
 		c, key, err := newKeyedCipher(cfg.Cipher, cfg.Key, rng)
 		if err != nil {
 			return nil, err
@@ -59,6 +68,7 @@ func VerifyKeyRecovery(pattern Pattern, cfg VerifyConfig) (*KeyRecovery, error) 
 		return expfault.GIFTDFA(c.(*gift.Cipher), &pattern, expfault.GIFTDFAConfig{
 			FaultRound: cfg.Round,
 			Pairs:      cfg.Pairs,
+			Model:      cfg.FaultModel,
 		}, rng.Split())
 	case "gift128":
 		c, _, err := newKeyedCipher(cfg.Cipher, cfg.Key, rng)
@@ -68,6 +78,7 @@ func VerifyKeyRecovery(pattern Pattern, cfg VerifyConfig) (*KeyRecovery, error) 
 		return expfault.GIFT128DFA(c.(*gift.Cipher), &pattern, expfault.GIFTDFAConfig{
 			FaultRound: cfg.Round,
 			Pairs:      cfg.Pairs,
+			Model:      cfg.FaultModel,
 		}, rng.Split())
 	default:
 		return nil, fmt.Errorf("explorefault: no key-recovery attack implemented for %q", cfg.Cipher)
@@ -78,6 +89,12 @@ func VerifyKeyRecovery(pattern Pattern, cfg VerifyConfig) (*KeyRecovery, error) 
 // round (active groups and per-group entropy), identifying the deepest
 // distinguisher round — ExpFault's analysis view of a model.
 func Propagate(pattern Pattern, cipherName string, key []byte, round, samples int, seed uint64) (*PropagationProfile, error) {
+	return PropagateModel(pattern, cipherName, key, XorFlip, round, samples, seed)
+}
+
+// PropagateModel is Propagate under a typed fault model; XorFlip is
+// bit-identical to Propagate.
+func PropagateModel(pattern Pattern, cipherName string, key []byte, model FaultModel, round, samples int, seed uint64) (*PropagationProfile, error) {
 	rng := prng.New(seed)
 	c, _, err := newKeyedCipher(cipherName, key, rng)
 	if err != nil {
@@ -86,5 +103,5 @@ func Propagate(pattern Pattern, cipherName string, key []byte, round, samples in
 	if samples == 0 {
 		samples = 1024
 	}
-	return expfault.Profile(c, &pattern, round, samples, rng.Split())
+	return expfault.ProfileModel(c, &pattern, model, round, samples, rng.Split())
 }
