@@ -1,6 +1,6 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr6.json
-BENCH_BASE ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr7.json
+BENCH_BASE ?= BENCH_pr6.json
 BENCH_LABEL ?= after
 FUZZTIME ?= 10s
 
@@ -27,12 +27,13 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-# Engine benchmarks (campaign, oracle, per-cipher fork kernels), 5
-# repetitions averaged into $(BENCH_OUT) under label $(BENCH_LABEL).
-# Run with BENCH_LABEL=before on the parent commit to record a baseline;
-# entries of other labels in an existing file are preserved.
+# Engine benchmarks (campaign, oracle, per-cipher fork kernels, DFA key
+# recovery), 5 repetitions averaged into $(BENCH_OUT) under label
+# $(BENCH_LABEL). Run with BENCH_LABEL=before on the parent commit to
+# record a baseline; entries of other labels in an existing file are
+# preserved.
 bench:
-	$(GO) test -run '^$$' -bench 'Campaign|Oracle|Encrypt' -benchmem -count 5 . \
+	$(GO) test -run '^$$' -bench 'Campaign|Oracle|Encrypt|DFA' -benchmem -count 5 . \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -o $(BENCH_OUT)
 
 # Every benchmark in the repo, including the paper-table harness runs.

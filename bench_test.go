@@ -21,7 +21,9 @@ import (
 
 	explorefault "repro"
 	"repro/internal/ciphers"
+	"repro/internal/ciphers/gift"
 	"repro/internal/evaluate"
+	"repro/internal/expfault"
 	"repro/internal/explore"
 	"repro/internal/fault"
 	"repro/internal/harness"
@@ -340,46 +342,63 @@ func BenchmarkCampaignCollect(b *testing.B) {
 		})
 	}
 
-	// The ISSUE acceptance pair: the same AES-128 round-8 diagonal
-	// campaign on the scalar reference path and on the batch kernel
-	// (T-table rounds + shared-prefix forking). Both produce bit-identical
-	// accumulators; the batch bar is >= 2.5x on ns/op.
-	aesKey := make([]byte, 16)
-	prng.New(2023).Fill(aesKey)
-	aesC, err := ciphers.New("aes128", aesKey)
-	if err != nil {
-		b.Fatal(err)
-	}
-	aesPattern := explorefault.PatternFromGroups(128, 8, 2, 7, 8, 13)
-	for _, sub := range []struct {
-		name    string
-		noBatch bool
+	// The ISSUE acceptance pairs: the same campaign on the scalar
+	// reference path and on each cipher's batch kernel (T-table rounds
+	// for AES, bitsliced lanes for GIFT/PRESENT, packed-word lanes for
+	// SIMON/SPECK, shared-prefix forking for all). Both sides of a pair
+	// produce bit-identical accumulators; the batch bar is >= 2.5x for
+	// AES and >= 10x for the bitsliced/lane-packed ciphers.
+	for _, cc := range []struct {
+		cipher  string
+		round   int
+		pattern explorefault.Pattern
 	}{
-		{"aes128-r8-scalar", true},
-		{"aes128-r8-batch", false},
+		{"aes128", 8, explorefault.PatternFromGroups(128, 8, 2, 7, 8, 13)},
+		{"present80", 28, explorefault.PatternFromGroups(64, 4, 5)},
+		{"simon32", 29, explorefault.PatternFromGroups(32, 4, 5)},
+		{"simon64", 41, explorefault.PatternFromGroups(64, 4, 5)},
+		{"speck64", 24, explorefault.PatternFromGroups(64, 4, 5)},
 	} {
-		b.Run(sub.name, func(b *testing.B) {
-			cp := fault.Campaign{
-				Cipher:  aesC,
-				Pattern: aesPattern,
-				Round:   8,
-				Samples: 2048,
-				NoBatch: sub.noBatch,
-			}
-			if err := cp.Validate(); err != nil {
-				b.Fatal(err)
-			}
-			for i := 0; i < b.N; i++ {
-				_, err := evaluate.RunSharded(context.Background(), cp.Samples, 1, len(cp.Points),
-					cp.Groups(), 2, uint64(i),
-					func(rng *prng.Source, shard, n int, accs []*stats.Accumulator) error {
-						return cp.CollectInto(rng, n, accs)
-					})
-				if err != nil {
+		info, err := ciphers.Lookup(cc.cipher)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ckey := make([]byte, info.KeyBytes)
+		prng.New(2023).Fill(ckey)
+		cipher, err := ciphers.New(cc.cipher, ckey)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sub := range []struct {
+			name    string
+			noBatch bool
+		}{
+			{fmt.Sprintf("%s-r%d-scalar", cc.cipher, cc.round), true},
+			{fmt.Sprintf("%s-r%d-batch", cc.cipher, cc.round), false},
+		} {
+			b.Run(sub.name, func(b *testing.B) {
+				cp := fault.Campaign{
+					Cipher:  cipher,
+					Pattern: cc.pattern,
+					Round:   cc.round,
+					Samples: 2048,
+					NoBatch: sub.noBatch,
+				}
+				if err := cp.Validate(); err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				for i := 0; i < b.N; i++ {
+					_, err := evaluate.RunSharded(context.Background(), cp.Samples, 1, len(cp.Points),
+						cp.Groups(), 2, uint64(i),
+						func(rng *prng.Source, shard, n int, accs []*stats.Accumulator) error {
+							return cp.CollectInto(rng, n, accs)
+						})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -448,7 +467,11 @@ func benchForkPoints(c ciphers.Cipher, round int) []ciphers.BatchPoint {
 // through either the scalar reference path or the cipher's batch kernel.
 func benchEncryptForks(b *testing.B, name string, round int, batch bool) {
 	rng := prng.New(2023)
-	key := make([]byte, 16)
+	info, err := ciphers.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := make([]byte, info.KeyBytes)
 	rng.Fill(key)
 	c, err := ciphers.New(name, key)
 	if err != nil {
@@ -490,6 +513,11 @@ var benchEncryptCases = []struct {
 	{"aes128", 8},
 	{"gift64", 25},
 	{"gift128", 36},
+	{"present80", 28},
+	{"simon32", 29},
+	{"simon64", 41},
+	{"speck32", 19},
+	{"speck64", 24},
 }
 
 // BenchmarkEncryptScalar is the reference path: one full Encrypt with a
@@ -559,4 +587,47 @@ func BenchmarkOracleEvaluate(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkDFARecovery measures the end-to-end GIFT DFA key-recovery
+// attacks with batched collection and guess evaluation (templates and
+// online pairs through the bitsliced fork kernel, guesses through the
+// precomputed log-likelihood tables) against the per-pair scalar
+// reference the attacks shipped with. Both paths are bit-identical
+// (TestGIFTDFABatchMatchesScalar); the pair quantifies the speedup the
+// ISSUE asks to report.
+func BenchmarkDFARecovery(b *testing.B) {
+	rng := prng.New(2023)
+	key := make([]byte, 16)
+	rng.Fill(key)
+	c64, err := gift.New64(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c128, err := gift.New128(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat64 := explorefault.PatternFromGroups(64, 4, 8, 9, 10, 11, 12, 14)
+	pat128 := explorefault.PatternFromGroups(128, 4, 5)
+	for _, sub := range []struct {
+		name    string
+		noBatch bool
+	}{{"batch", false}, {"scalar", true}} {
+		cfg := expfault.GIFTDFAConfig{Pairs: 64, TemplateSamples: 1024, NoBatch: sub.noBatch}
+		b.Run("gift64-"+sub.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := expfault.GIFTDFA(c64, &pat64, cfg, rng.Split()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("gift128-"+sub.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := expfault.GIFT128DFA(c128, &pat128, cfg, rng.Split()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -11,8 +11,10 @@
 //
 // -compare mode instead diffs two record files benchmark by benchmark and
 // exits nonzero when any shared benchmark slowed down beyond the
-// threshold, so CI (or a pre-merge checklist) can gate on "this PR did
-// not regress the kernels":
+// threshold or any baseline benchmark is missing from the new record, so
+// CI (or a pre-merge checklist) can gate on "this PR did not regress the
+// kernels and did not silently drop coverage". Added and removed
+// benchmarks are listed in their own sections:
 //
 //	go run ./cmd/benchjson -compare BENCH_pr2.json BENCH_pr5.json
 package main
@@ -198,8 +200,11 @@ func pickLabel(entries map[string]*Metrics, label string) *Metrics {
 
 // compareRecords prints per-benchmark ns/op deltas between two record
 // files and returns an error when any shared benchmark regressed beyond
-// threshold. Benchmarks present in only one file are listed but never
-// fail the comparison: a renamed or added benchmark is not a slowdown.
+// threshold or when any benchmark disappeared. Added and removed
+// benchmarks get their own sections after the shared table: additions are
+// informational, but a removed benchmark usually means lost coverage (a
+// rename or a dropped case), so it fails the comparison and must be
+// renamed in the baseline or acknowledged by regenerating it.
 func compareRecords(w io.Writer, oldPath, newPath string, label string, threshold float64) error {
 	load := func(path string) (*Record, error) {
 		data, err := os.ReadFile(path)
@@ -239,15 +244,16 @@ func compareRecords(w io.Writer, oldPath, newPath string, label string, threshol
 		oldPath, newPath, 100*threshold)
 	regressed := 0
 	compared := 0
+	var added, removed []string
 	for _, name := range names {
 		o := pickLabel(oldRec.Benchmarks[name], label)
 		n := pickLabel(newRec.Benchmarks[name], label)
 		short := strings.TrimPrefix(name, "Benchmark")
 		switch {
 		case o == nil:
-			fmt.Fprintf(w, "  %-50s only in %s\n", short, newPath)
+			added = append(added, short)
 		case n == nil:
-			fmt.Fprintf(w, "  %-50s only in %s\n", short, oldPath)
+			removed = append(removed, short)
 		case o.NsPerOp <= 0:
 			fmt.Fprintf(w, "  %-50s old ns/op is zero; skipped\n", short)
 		default:
@@ -262,13 +268,32 @@ func compareRecords(w io.Writer, oldPath, newPath string, label string, threshol
 				short, o.NsPerOp, n.NsPerOp, 100*delta, verdict)
 		}
 	}
+	if len(added) > 0 {
+		fmt.Fprintf(w, "added (%d):\n", len(added))
+		for _, name := range added {
+			fmt.Fprintf(w, "  %s\n", name)
+		}
+	}
+	if len(removed) > 0 {
+		fmt.Fprintf(w, "removed (%d):\n", len(removed))
+		for _, name := range removed {
+			fmt.Fprintf(w, "  %s\n", name)
+		}
+	}
 	if compared == 0 {
 		return errors.New("no shared benchmarks to compare")
 	}
+	var failures []string
 	if regressed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", regressed, 100*threshold)
+		failures = append(failures, fmt.Sprintf("%d benchmark(s) regressed beyond %.0f%%", regressed, 100*threshold))
 	}
-	fmt.Fprintf(w, "ok: %d benchmarks compared, none regressed\n", compared)
+	if len(removed) > 0 {
+		failures = append(failures, fmt.Sprintf("%d benchmark(s) removed", len(removed)))
+	}
+	if len(failures) > 0 {
+		return errors.New(strings.Join(failures, "; "))
+	}
+	fmt.Fprintf(w, "ok: %d benchmarks compared, none regressed, none removed\n", compared)
 	return nil
 }
 

@@ -89,7 +89,7 @@ func TestCompare(t *testing.T) {
 	t.Run("ok_within_threshold", func(t *testing.T) {
 		cur := filepath.Join(dir, "ok.json")
 		writeRecord(t, cur, "after", map[string]float64{
-			"BenchmarkCampaign": 110, "BenchmarkOracle": 40, "BenchmarkNew": 7,
+			"BenchmarkCampaign": 110, "BenchmarkOracle": 40, "BenchmarkGone": 10, "BenchmarkNew": 7,
 		})
 		var out bytes.Buffer
 		if err := run([]string{"-compare", old, cur}, nil, &out, &out); err != nil {
@@ -99,8 +99,23 @@ func TestCompare(t *testing.T) {
 		if !strings.Contains(text, "+10.0%") || !strings.Contains(text, "-20.0%") {
 			t.Errorf("deltas missing:\n%s", text)
 		}
-		if !strings.Contains(text, "only in") {
-			t.Errorf("added/removed benchmarks should be listed:\n%s", text)
+		if !strings.Contains(text, "added (1):") || !strings.Contains(text, "New") {
+			t.Errorf("added benchmarks should be listed:\n%s", text)
+		}
+	})
+
+	t.Run("removed_fails", func(t *testing.T) {
+		cur := filepath.Join(dir, "shrunk.json")
+		writeRecord(t, cur, "after", map[string]float64{
+			"BenchmarkCampaign": 100, "BenchmarkOracle": 50,
+		})
+		var out bytes.Buffer
+		err := run([]string{"-compare", old, cur}, nil, &out, &out)
+		if err == nil {
+			t.Fatalf("a removed benchmark should fail the comparison:\n%s", out.String())
+		}
+		if !strings.Contains(err.Error(), "removed") || !strings.Contains(out.String(), "removed (1):") {
+			t.Errorf("removal not reported: err=%v\n%s", err, out.String())
 		}
 	})
 
@@ -121,7 +136,9 @@ func TestCompare(t *testing.T) {
 
 	t.Run("custom_threshold", func(t *testing.T) {
 		cur := filepath.Join(dir, "slow2.json")
-		writeRecord(t, cur, "after", map[string]float64{"BenchmarkCampaign": 130})
+		writeRecord(t, cur, "after", map[string]float64{
+			"BenchmarkCampaign": 130, "BenchmarkOracle": 50, "BenchmarkGone": 10,
+		})
 		var out bytes.Buffer
 		if err := run([]string{"-compare", "-threshold", "0.5", old, cur}, nil, &out, &out); err != nil {
 			t.Fatalf("30%% slowdown under 50%% threshold should pass: %v", err)

@@ -118,6 +118,11 @@ type Report struct {
 	EpisodesPerMin float64 `json:"episodes_per_min,omitempty"`
 	BestT          float64 `json:"best_t,omitempty"`
 
+	// BatchPaths counts campaigns per cipher and encryption engine, from
+	// the batch_path field campaign events carry ("kernel" when the
+	// cipher's batch kernel ran, "scalar-fallback" otherwise).
+	BatchPaths []BatchPathStat `json:"batch_paths,omitempty"`
+
 	// FaultModels breaks the run down per typed fault model, from the
 	// fault_model field episode and campaign events carry: exploitable
 	// rate per model (which model the agent found rewarding) and
@@ -160,6 +165,13 @@ type FaultModelStat struct {
 	Campaigns      int     `json:"campaigns"`
 	CampaignMeanMS float64 `json:"campaign_mean_ms"`
 	CampaignMaxMS  float64 `json:"campaign_max_ms"`
+}
+
+// BatchPathStat counts one cipher's campaigns on one encryption engine.
+type BatchPathStat struct {
+	Cipher    string `json:"cipher"`
+	Path      string `json:"path"`
+	Campaigns int    `json:"campaigns"`
 }
 
 // ThroughputPoint is the mean campaign throughput (t-test traces per
@@ -262,6 +274,7 @@ func analyze(r io.Reader) (*Report, error) {
 	// lives on the matching campaign_started; campaigns from concurrent
 	// environments interleave, so pair them by pattern.
 	samplesByPattern := map[string]float64{}
+	batchPaths := map[[2]string]int{}
 	var firstTS, lastTS time.Time
 	var evalHits, evalLookups uint64
 	var sessionCache *CacheStat
@@ -305,6 +318,10 @@ func analyze(r io.Reader) (*Report, error) {
 			}
 			if w, ok := num(f, "workers"); ok && w > workers {
 				workers = w
+			}
+			if bp, ok := f["batch_path"].(string); ok && bp != "" {
+				cipher, _ := f["cipher"].(string)
+				batchPaths[[2]string{cipher, bp}]++
 			}
 		case obs.EventCampaignFinished:
 			ms, _ := num(f, "duration_ms")
@@ -427,6 +444,16 @@ func analyze(r io.Reader) (*Report, error) {
 		rep.FaultModels = append(rep.FaultModels, *m)
 	}
 	sort.Slice(rep.FaultModels, func(i, j int) bool { return rep.FaultModels[i].Model < rep.FaultModels[j].Model })
+
+	for key, n := range batchPaths {
+		rep.BatchPaths = append(rep.BatchPaths, BatchPathStat{Cipher: key[0], Path: key[1], Campaigns: n})
+	}
+	sort.Slice(rep.BatchPaths, func(i, j int) bool {
+		if rep.BatchPaths[i].Cipher != rep.BatchPaths[j].Cipher {
+			return rep.BatchPaths[i].Cipher < rep.BatchPaths[j].Cipher
+		}
+		return rep.BatchPaths[i].Path < rep.BatchPaths[j].Path
+	})
 
 	rep.Throughput = bucketThroughput(throughput, rep.WallClock)
 	rep.Warnings = warnings(rep)
@@ -615,6 +642,20 @@ func writeMarkdown(w io.Writer, rep *Report) {
 		}
 		fmt.Fprintln(w)
 		fmt.Fprintln(w)
+	}
+
+	if len(rep.BatchPaths) > 0 {
+		total, kernel := 0, 0
+		var parts []string
+		for _, b := range rep.BatchPaths {
+			total += b.Campaigns
+			if b.Path == "kernel" {
+				kernel += b.Campaigns
+			}
+			parts = append(parts, fmt.Sprintf("%s %s x%d", b.Cipher, b.Path, b.Campaigns))
+		}
+		fmt.Fprintf(w, "batch coverage: %d/%d campaigns on the kernel path (%s)\n\n",
+			kernel, total, strings.Join(parts, ", "))
 	}
 
 	if len(rep.FaultModels) > 0 {

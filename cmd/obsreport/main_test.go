@@ -38,8 +38,15 @@ func writeLog(t *testing.T, path string, campaignMS float64, close bool) {
 		if i%2 == 1 {
 			model = "stuck-at-0"
 		}
+		// Campaign i=3 pretends its cipher lacks a batch kernel so the
+		// coverage line has both paths.
+		bp := "kernel"
+		if i == 3 {
+			bp = "scalar-fallback"
+		}
 		e.Emit(obs.EventCampaignStarted, map[string]any{
 			"pattern": "aa00", "samples": 640, "workers": 4, "fault_model": model,
+			"cipher": "gift64", "batch_path": bp,
 		})
 		e.Emit(obs.EventCampaignFinished, map[string]any{
 			"pattern": "aa00", "t": 5.5, "leaky": true, "duration_ms": campaignMS, "fault_model": model,
@@ -83,6 +90,7 @@ func TestReportMarkdown(t *testing.T) {
 		"episodes: 4 total, 3 exploitable (75.0%), best t = 8.5, 120 episodes/min",
 		"per fault model",
 		"stuck-at-0",
+		"batch coverage: 3/4 campaigns on the kernel path (gift64 kernel x3, gift64 scalar-fallback x1)",
 		"throughput over time",
 		"event log complete: emitter reported 0 dropped events",
 	} {
@@ -133,6 +141,11 @@ func TestReportJSON(t *testing.T) {
 	}
 	if len(rep.Warnings) != 0 {
 		t.Errorf("unexpected warnings: %v", rep.Warnings)
+	}
+	if len(rep.BatchPaths) != 2 ||
+		rep.BatchPaths[0] != (BatchPathStat{Cipher: "gift64", Path: "kernel", Campaigns: 3}) ||
+		rep.BatchPaths[1] != (BatchPathStat{Cipher: "gift64", Path: "scalar-fallback", Campaigns: 1}) {
+		t.Errorf("batch paths = %+v, want gift64 kernel x3 + scalar-fallback x1", rep.BatchPaths)
 	}
 	// 4 campaigns at 640 samples per 50ms = 12800 traces/sec.
 	if len(rep.Throughput) == 0 || rep.Throughput[0].TracesPerSec < 12000 || rep.Throughput[0].TracesPerSec > 13000 {

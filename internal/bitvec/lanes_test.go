@@ -1,0 +1,73 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTranspose64Involution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var a, orig [64]uint64
+	for i := range a {
+		a[i] = rng.Uint64()
+		orig[i] = a[i]
+	}
+	Transpose64(&a)
+	// Spot-check the defining property: bit k of word i -> bit i of word k.
+	for i := 0; i < 64; i++ {
+		for k := 0; k < 64; k += 7 {
+			if a[k]>>uint(i)&1 != orig[i]>>uint(k)&1 {
+				t.Fatalf("transpose: bit (%d,%d) mismatch", i, k)
+			}
+		}
+	}
+	Transpose64(&a)
+	if a != orig {
+		t.Fatal("Transpose64 is not an involution")
+	}
+}
+
+func TestRippleAddMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, width := range []int{16, 32} {
+		// 64 independent additions per call, sliced across lanes.
+		as := make([]uint64, 64)
+		bs := make([]uint64, 64)
+		for tr := range as {
+			as[tr] = rng.Uint64() & (1<<uint(width) - 1)
+			bs[tr] = rng.Uint64() & (1<<uint(width) - 1)
+		}
+		// Carry-heavy operands in a few traces.
+		as[0], bs[0] = 1<<uint(width)-1, 1
+		as[1], bs[1] = 1<<uint(width)-1, 1<<uint(width)-1
+		as[2], bs[2] = 0, 0
+		laneA := make([]uint64, width)
+		laneB := make([]uint64, width)
+		for i := 0; i < width; i++ {
+			for tr := 0; tr < 64; tr++ {
+				laneA[i] |= (as[tr] >> uint(i) & 1) << uint(tr)
+				laneB[i] |= (bs[tr] >> uint(i) & 1) << uint(tr)
+			}
+		}
+		sum := make([]uint64, width)
+		RippleAdd(sum, laneA, laneB)
+		for tr := 0; tr < 64; tr++ {
+			want := (as[tr] + bs[tr]) & (1<<uint(width) - 1)
+			var got uint64
+			for i := 0; i < width; i++ {
+				got |= (sum[i] >> uint(tr) & 1) << uint(i)
+			}
+			if got != want {
+				t.Fatalf("width %d trace %d: %#x + %#x = %#x, want %#x", width, tr, as[tr], bs[tr], got, want)
+			}
+		}
+		// In-place: dst aliasing a must give the same result.
+		aliased := append([]uint64(nil), laneA...)
+		RippleAdd(aliased, aliased, laneB)
+		for i := range sum {
+			if aliased[i] != sum[i] {
+				t.Fatalf("width %d: aliased RippleAdd diverges at lane %d", width, i)
+			}
+		}
+	}
+}

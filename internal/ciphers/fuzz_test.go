@@ -95,7 +95,9 @@ func FuzzBatchScalarEquivalence(f *testing.F) {
 		}
 		bb := info.BlockBytes
 		round := 1 + int(roundSel)%info.Rounds
-		n := 1 + int(nSel)%6
+		// Batch sizes reach past bitsliceMin (8) so the fuzzer drives the
+		// lane-packed kernels as well as the small-block per-trace path.
+		n := 1 + int(nSel)%12
 
 		pts := make([]byte, n*bb)
 		copy(pts, ptMaterial)

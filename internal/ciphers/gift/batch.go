@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"math/bits"
 
+	"repro/internal/bitvec"
 	"repro/internal/ciphers"
 )
 
@@ -49,21 +50,10 @@ func (c *Cipher) NewBatchKernel() ciphers.BatchKernel {
 	}
 }
 
-// transpose64 transposes the 64x64 bit matrix in place: bit k of word i
-// becomes bit i of word k (Hacker's Delight 7-3). It is an involution,
-// so the same routine converts trace words to lanes and back.
-func transpose64(a *[laneBlock]uint64) {
-	m := uint64(0x00000000ffffffff)
-	for j := 32; j != 0; {
-		for k := 0; k < 64; k = (k + j + 1) &^ j {
-			t := (a[k]>>uint(j) ^ a[k+j]) & m
-			a[k] ^= t << uint(j)
-			a[k+j] ^= t
-		}
-		j >>= 1
-		m ^= m << uint(j)
-	}
-}
+// transpose64 converts trace state words to lanes and back; the in-place
+// 64x64 bit transpose (an involution) is shared by all bitsliced kernels
+// via bitvec.Transpose64.
+func transpose64(a *[laneBlock]uint64) { bitvec.Transpose64(a) }
 
 // sboxLanes applies the GIFT S-box to one bitsliced nibble. The circuit
 // is the standard software bitslice of GS (Banik et al.); it is verified

@@ -243,6 +243,7 @@ func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector, model fau
 			"samples":     o.cfg.Samples,
 			"protected":   true,
 			"batch":       batch,
+			"batch_path":  fault.BatchPathOf(o.cipher, o.cfg.NoBatch),
 			"fault_model": model.String(),
 			"oracle":      o.cfg.Oracle.String(),
 		})
@@ -292,6 +293,7 @@ func (o *Oracle) Evaluate(ctx context.Context, pattern *bitvec.Vector, model fau
 			"muted_rate":  o.LastMutedRate,
 			"protected":   true,
 			"duration_ms": float64(wall) / float64(time.Millisecond),
+			"batch_path":  fault.BatchPathOf(o.cipher, o.cfg.NoBatch),
 			"fault_model": model.String(),
 			"oracle":      o.cfg.Oracle.String(),
 		})

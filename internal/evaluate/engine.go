@@ -263,6 +263,7 @@ func (e *Engine) assess(ctx context.Context, pattern *bitvec.Vector, round int, 
 			"samples":     e.cfg.Samples,
 			"workers":     workers,
 			"batch":       !e.cfg.NoBatch,
+			"batch_path":  cp.BatchPath(),
 			"fault_model": model.String(),
 			"oracle":      e.cfg.Oracle.String(),
 		})
@@ -333,6 +334,7 @@ func (e *Engine) assess(ctx context.Context, pattern *bitvec.Vector, round int, 
 			"leaky":       out.Leaky,
 			"shards":      (e.cfg.Samples + ShardSize - 1) / ShardSize,
 			"duration_ms": float64(wall) / float64(time.Millisecond),
+			"batch_path":  cp.BatchPath(),
 			"fault_model": model.String(),
 			"oracle":      e.cfg.Oracle.String(),
 		})

@@ -21,11 +21,17 @@ import (
 //
 // The attack runs against the trace-level simulator, so its success is
 // verified against the true key. pairsPerColumn faulty ciphertexts are
-// collected per column (2 suffice in theory; 3 is robust).
+// collected per column (2 suffice in theory; 3 is robust). Each column's
+// pairs run through the cipher's batched fork kernel in one call — the
+// rounds before the injection are computed once per plaintext and both
+// branches use the T-table fast path — with the PRNG drawn per pair in
+// the scalar order, so collected pairs (and with them every candidate
+// set) are bit-identical to per-pair Encrypt calls.
 func AESPiretQuisquater(c *aes.Cipher, pairsPerColumn int, rng *prng.Source) (*KeyRecoveryResult, error) {
 	if pairsPerColumn < 2 {
 		return nil, fmt.Errorf("expfault: need at least 2 pairs per column")
 	}
+	kern := batchKernelFor(c)
 	// MixColumns coefficient column for a fault entering at row r:
 	// output byte i of the column gets mc[i][r]·z.
 	mc := [4][4]byte{
@@ -43,7 +49,15 @@ func AESPiretQuisquater(c *aes.Cipher, pairsPerColumn int, rng *prng.Source) (*K
 	pt := make([]byte, 16)
 	clean := make([]byte, 16)
 	faulty := make([]byte, 16)
-	mask := make([]byte, 16)
+
+	// Batch buffers: up to pairsPerColumn pairs per fork call (the rare
+	// adaptive extensions run one pair at a time, preserving the scalar
+	// PRNG draw order).
+	ptBuf := make([]byte, pairsPerColumn*16)
+	maskBuf := make([]byte, pairsPerColumn*16)
+	cleanBuf := make([]byte, pairsPerColumn*16)
+	faultyBuf := make([]byte, pairsPerColumn*16)
+	noPoints := []ciphers.BatchPoint{}
 
 	// For each target column j of the round-10 input, fault the round-9
 	// input byte at row 0 that ShiftRows sends to column j: byte (0, j).
@@ -64,29 +78,37 @@ func AESPiretQuisquater(c *aes.Cipher, pairsPerColumn int, rng *prng.Source) (*K
 		var survivors [][4]byte
 		first := true
 		pairsBudget := pairsPerColumn
-		for p := 0; p < pairsBudget; p++ {
-			rng.Fill(pt)
-			for i := range mask {
-				mask[i] = 0
+		for collected := 0; collected < pairsBudget; {
+			n := pairsBudget - collected
+			for t := 0; t < n; t++ {
+				rng.Fill(ptBuf[t*16 : (t+1)*16])
+				mask := maskBuf[t*16 : (t+1)*16]
+				for i := range mask {
+					mask[i] = 0
+				}
+				// Non-zero random fault value on the chosen byte.
+				for mask[faultByte] == 0 {
+					mask[faultByte] = rng.Byte()
+				}
 			}
-			// Non-zero random fault value on the chosen byte.
-			for mask[faultByte] == 0 {
-				mask[faultByte] = rng.Byte()
+			ciphers.EncryptForksOps(c, kern, 9, noPoints, n, ptBuf,
+				[][]byte{nil, maskBuf}, nil, [][]byte{nil, nil}, [][]byte{cleanBuf, faultyBuf})
+			faults += n
+			for t := 0; t < n; t++ {
+				cands := pqColumnCandidates(cleanBuf[t*16:(t+1)*16], faultyBuf[t*16:(t+1)*16], ctPos, mc, row)
+				guessesScored += 1024 // 4 * 256 table builds per pair
+				if first {
+					survivors = cands
+					first = false
+					continue
+				}
+				survivors = intersectQuads(survivors, cands)
 			}
-			c.Encrypt(clean, pt, nil, nil)
-			c.Encrypt(faulty, pt, &ciphers.Fault{Round: 9, Mask: mask}, nil)
-			faults++
-
-			cands := pqColumnCandidates(clean, faulty, ctPos, mc, row)
-			guessesScored += 1024 // 4 * 256 table builds per pair
-			if first {
-				survivors = cands
-				first = false
-				continue
-			}
-			survivors = intersectQuads(survivors, cands)
-			if len(survivors) > 1 && p == pairsBudget-1 && pairsBudget < pairsPerColumn+4 {
-				pairsBudget++
+			collected += n
+			// Extend the budget one pair at a time while ambiguity and
+			// the cap allow, exactly as the scalar loop did.
+			if len(survivors) > 1 && pairsBudget < pairsPerColumn+4 {
+				pairsBudget = collected + 1
 			}
 		}
 		if len(survivors) != 1 {

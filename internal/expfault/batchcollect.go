@@ -1,0 +1,74 @@
+package expfault
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/ciphers"
+	"repro/internal/fault"
+	"repro/internal/prng"
+)
+
+// batchKernelFor returns a fork kernel for c when it provides one, nil
+// otherwise (selecting the scalar reference path in EncryptForksOps).
+func batchKernelFor(c ciphers.Cipher) ciphers.BatchKernel {
+	if be, ok := c.(ciphers.BatchEncrypter); ok {
+		return be.NewBatchKernel()
+	}
+	return nil
+}
+
+// collectForks drives count (clean, faulty) paired encryptions through
+// the batched fork engine in 64-wide blocks and hands each pair's bytes
+// at the observation point to visit, in sample order. It is the batched
+// replacement for the DFA collection loops' per-pair Encrypt calls: the
+// shared prefix up to the fault round is computed once per plaintext
+// instead of twice, and the forked rounds run through the cipher's
+// bitsliced/word kernel.
+//
+// The PRNG draw order is the scalar loops' exactly — per sample, the
+// plaintext is filled first and the fault model drawn second, with no
+// other consumers in between — so the collected pairs are bit-identical
+// to the scalar path at any block size.
+func collectForks(c ciphers.Cipher, kern ciphers.BatchKernel, pattern *bitvec.Vector, model fault.Model, faultRound int, point ciphers.BatchPoint, count int, rng *prng.Source, visit func(clean, faulty []byte)) {
+	bb := c.BlockBytes()
+	inj := fault.NewInjector(*pattern, model, fault.RandomMask)
+	const block = 64
+	pts := make([]byte, block*bb)
+	var xorBuf, andBuf []byte
+	if inj.HasXor() {
+		xorBuf = make([]byte, block*bb)
+	}
+	if inj.HasAnd() {
+		andBuf = make([]byte, block*bb)
+	}
+	stClean := make([]byte, block*bb)
+	stFault := make([]byte, block*bb)
+	points := []ciphers.BatchPoint{point}
+	xors := [][]byte{nil, xorBuf}
+	var ands [][]byte
+	if andBuf != nil {
+		ands = [][]byte{nil, andBuf}
+	}
+	states := [][]byte{stClean, stFault}
+	cts := [][]byte{nil, nil}
+	for base := 0; base < count; base += block {
+		bn := count - base
+		if bn > block {
+			bn = block
+		}
+		for t := 0; t < bn; t++ {
+			rng.Fill(pts[t*bb : (t+1)*bb])
+			var xs, as []byte
+			if xorBuf != nil {
+				xs = xorBuf[t*bb : (t+1)*bb]
+			}
+			if andBuf != nil {
+				as = andBuf[t*bb : (t+1)*bb]
+			}
+			inj.Draw(xs, as, rng)
+		}
+		ciphers.EncryptForksOps(c, kern, faultRound, points, bn, pts, xors, ands, states, cts)
+		for t := 0; t < bn; t++ {
+			visit(stClean[t*bb:(t+1)*bb], stFault[t*bb:(t+1)*bb])
+		}
+	}
+}

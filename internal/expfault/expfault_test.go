@@ -240,10 +240,17 @@ func BenchmarkGIFTDFA(b *testing.B) {
 	rng.Fill(key)
 	c, _ := gift.New64(key)
 	pattern := nibblePattern(8, 9, 10, 11, 12, 14)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := GIFTDFA(c, &pattern, GIFTDFAConfig{Pairs: 64, TemplateSamples: 1024}, rng.Split()); err != nil {
-			b.Fatal(err)
-		}
+	for _, sub := range []struct {
+		name    string
+		noBatch bool
+	}{{"batch", false}, {"scalar", true}} {
+		b.Run(sub.name, func(b *testing.B) {
+			cfg := GIFTDFAConfig{Pairs: 64, TemplateSamples: 1024, NoBatch: sub.noBatch}
+			for i := 0; i < b.N; i++ {
+				if _, err := GIFTDFA(c, &pattern, cfg, rng.Split()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -78,28 +78,42 @@ func GIFT128DFA(target *gift.Cipher, pattern *bitvec.Vector, cfg GIFTDFAConfig, 
 	if err != nil {
 		return nil, err
 	}
-	tmpl40, err := diffTemplate128(tmplCipher, pattern, cfg.Model, cfg.FaultRound, rounds, cfg.TemplateSamples, rng)
+	var tmplKern ciphers.BatchKernel
+	if !cfg.NoBatch {
+		tmplKern = batchKernelFor(tmplCipher)
+	}
+	tmpl40, err := diffTemplate128(tmplCipher, tmplKern, pattern, cfg.Model, cfg.FaultRound, rounds, cfg.TemplateSamples, rng)
 	if err != nil {
 		return nil, err
 	}
-	tmpl39, err := diffTemplate128(tmplCipher, pattern, cfg.Model, cfg.FaultRound, rounds-1, cfg.TemplateSamples, rng)
+	tmpl39, err := diffTemplate128(tmplCipher, tmplKern, pattern, cfg.Model, cfg.FaultRound, rounds-1, cfg.TemplateSamples, rng)
 	if err != nil {
 		return nil, err
 	}
 
 	cc := make([]state128, cfg.Pairs)
 	cf := make([]state128, cfg.Pairs)
-	tr := ciphers.NewTrace(target)
-	pt := make([]byte, 16)
-	out := make([]byte, 16)
-	mf := newModelFault(pattern, cfg.Model, cfg.FaultRound)
-	for p := 0; p < cfg.Pairs; p++ {
-		rng.Fill(pt)
-		f := mf.draw(rng)
-		target.Encrypt(out, pt, nil, tr)
-		cc[p] = le128(tr.Ciphertext)
-		target.Encrypt(out, pt, f, tr)
-		cf[p] = le128(tr.Ciphertext)
+	if !cfg.NoBatch {
+		p := 0
+		collectForks(target, batchKernelFor(target), pattern, cfg.Model, cfg.FaultRound,
+			ciphers.BatchPoint{Round: 0}, cfg.Pairs, rng, func(clean, faulty []byte) {
+				cc[p] = le128(clean)
+				cf[p] = le128(faulty)
+				p++
+			})
+	} else {
+		tr := ciphers.NewTrace(target)
+		pt := make([]byte, 16)
+		out := make([]byte, 16)
+		mf := newModelFault(pattern, cfg.Model, cfg.FaultRound)
+		for p := 0; p < cfg.Pairs; p++ {
+			rng.Fill(pt)
+			f := mf.draw(rng)
+			target.Encrypt(out, pt, nil, tr)
+			cc[p] = le128(tr.Ciphertext)
+			target.Encrypt(out, pt, f, tr)
+			cf[p] = le128(tr.Ciphertext)
+		}
 	}
 
 	guesses := 0.0
@@ -141,23 +155,34 @@ func GIFT128DFA(target *gift.Cipher, pattern *bitvec.Vector, cfg GIFTDFAConfig, 
 	}, nil
 }
 
-// diffTemplate128 mirrors diffTemplate for the 32-nibble state.
-func diffTemplate128(c *gift.Cipher, pattern *bitvec.Vector, model fault.Model, faultRound, obsRound, samples int, rng *prng.Source) ([32][16]float64, error) {
+// diffTemplate128 mirrors diffTemplate for the 32-nibble state: a
+// non-nil kern routes the paired simulations through the batched fork
+// engine, bit-identically to the scalar loop.
+func diffTemplate128(c *gift.Cipher, kern ciphers.BatchKernel, pattern *bitvec.Vector, model fault.Model, faultRound, obsRound, samples int, rng *prng.Source) ([32][16]float64, error) {
 	var hist [32][16]int
-	tr := ciphers.NewTrace(c)
-	pt := make([]byte, 16)
-	out := make([]byte, 16)
-	mf := newModelFault(pattern, model, faultRound)
-	for s := 0; s < samples; s++ {
-		rng.Fill(pt)
-		f := mf.draw(rng)
-		c.Encrypt(out, pt, nil, tr)
-		clean := le128(tr.Inputs[obsRound-1])
-		c.Encrypt(out, pt, f, tr)
-		faulty := le128(tr.Inputs[obsRound-1])
-		d := clean.xor(faulty)
+	bin := func(d state128) {
 		for n := 0; n < 32; n++ {
 			hist[n][d.nibble(n)]++
+		}
+	}
+	if kern != nil && faultRound <= obsRound {
+		collectForks(c, kern, pattern, model, faultRound,
+			ciphers.BatchPoint{Round: obsRound}, samples, rng, func(clean, faulty []byte) {
+				bin(le128(clean).xor(le128(faulty)))
+			})
+	} else {
+		tr := ciphers.NewTrace(c)
+		pt := make([]byte, 16)
+		out := make([]byte, 16)
+		mf := newModelFault(pattern, model, faultRound)
+		for s := 0; s < samples; s++ {
+			rng.Fill(pt)
+			f := mf.draw(rng)
+			c.Encrypt(out, pt, nil, tr)
+			clean := le128(tr.Inputs[obsRound-1])
+			c.Encrypt(out, pt, f, tr)
+			faulty := le128(tr.Inputs[obsRound-1])
+			bin(clean.xor(faulty))
 		}
 	}
 	var tmpl [32][16]float64
@@ -192,6 +217,7 @@ func recoverRoundKey128(cc, cf []state128, tmpl [32][16]float64, round int, minM
 	for g := range perPair {
 		perPair[g] = make([]float64, pairs)
 	}
+	idx := make([]uint16, pairs)
 	for n := 0; n < 32; n++ {
 		var pos [4]int
 		for j := 0; j < 4; j++ {
@@ -199,17 +225,33 @@ func recoverRoundKey128(cc, cf []state128, tmpl [32][16]float64, round int, minM
 		}
 		vIdx := (pos[1] - 1) / 4
 		uIdx := (pos[2] - 2) / 4
+		// Batched guess evaluation, as in recoverRoundKey: the guess bits
+		// land at intra-nibble positions 1 (V) and 2 (U), so guess g XORs
+		// the value g<<1 into both sides of the guess-free nibble pair,
+		// extracted once per trace; the inverse S-box passes and the log
+		// fold into a 4x256 table with float values and summation order
+		// identical to the direct loop.
+		for p := range cc {
+			a0 := extractNibble128(cc[p].xor(cm), pos)
+			b0 := extractNibble128(cf[p].xor(cm), pos)
+			idx[p] = uint16(a0) | uint16(b0)<<4
+		}
+		var llTab [4][256]float64
+		for g := 0; g < 4; g++ {
+			gx := byte(g) << 1
+			for a0 := 0; a0 < 16; a0++ {
+				for b0 := 0; b0 < 16; b0++ {
+					d := gift.InvSBox(byte(a0)^gx) ^ gift.InvSBox(byte(b0)^gx)
+					llTab[g][a0|b0<<4] = math.Log(tmpl[n][d])
+				}
+			}
+		}
 		var score [4]float64
 		for g := 0; g < 4; g++ { // g = vBit | uBit<<1
-			var gm state128
-			gm[pos[1]/64] |= uint64(g&1) << (uint(pos[1]) % 64)
-			gm[pos[2]/64] |= uint64(g>>1) << (uint(pos[2]) % 64)
+			tab := &llTab[g]
 			var s float64
 			for p := range cc {
-				a := extractNibble128(cc[p].xor(cm).xor(gm), pos)
-				b := extractNibble128(cf[p].xor(cm).xor(gm), pos)
-				d := gift.InvSBox(a) ^ gift.InvSBox(b)
-				ll := math.Log(tmpl[n][d])
+				ll := tab[idx[p]]
 				perPair[g][p] = ll
 				s += ll
 			}

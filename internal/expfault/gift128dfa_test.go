@@ -129,10 +129,17 @@ func BenchmarkGIFT128DFA(b *testing.B) {
 	rng.Fill(key)
 	c, _ := gift.New128(key)
 	pattern := nibblePattern128(5)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := GIFT128DFA(c, &pattern, GIFTDFAConfig{Pairs: 128, TemplateSamples: 1024}, rng.Split()); err != nil {
-			b.Fatal(err)
-		}
+	for _, sub := range []struct {
+		name    string
+		noBatch bool
+	}{{"batch", false}, {"scalar", true}} {
+		b.Run(sub.name, func(b *testing.B) {
+			cfg := GIFTDFAConfig{Pairs: 128, TemplateSamples: 1024, NoBatch: sub.noBatch}
+			for i := 0; i < b.N; i++ {
+				if _, err := GIFT128DFA(c, &pattern, cfg, rng.Split()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

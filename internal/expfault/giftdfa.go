@@ -36,6 +36,12 @@ type GIFTDFAConfig struct {
 	// guess-and-filter machinery works unchanged for stuck-at and
 	// random-value faults.
 	Model fault.Model
+	// NoBatch forces the per-pair scalar Encrypt loops for the offline
+	// templates and the online pair collection. The batched default
+	// drives the same PRNG stream through the cipher's fork kernel in
+	// 64-wide blocks and is bit-identical; the knob exists for
+	// benchmarking and cross-checks.
+	NoBatch bool
 }
 
 func (c *GIFTDFAConfig) setDefaults() {
@@ -98,11 +104,15 @@ func GIFTDFA(target *gift.Cipher, pattern *bitvec.Vector, cfg GIFTDFAConfig, rng
 	if err != nil {
 		return nil, err
 	}
-	tmpl28, err := diffTemplate(tmplCipher, pattern, cfg.Model, cfg.FaultRound, rounds, cfg.TemplateSamples, rng)
+	var tmplKern ciphers.BatchKernel
+	if !cfg.NoBatch {
+		tmplKern = batchKernelFor(tmplCipher)
+	}
+	tmpl28, err := diffTemplate(tmplCipher, tmplKern, pattern, cfg.Model, cfg.FaultRound, rounds, cfg.TemplateSamples, rng)
 	if err != nil {
 		return nil, err
 	}
-	tmpl27, err := diffTemplate(tmplCipher, pattern, cfg.Model, cfg.FaultRound, rounds-1, cfg.TemplateSamples, rng)
+	tmpl27, err := diffTemplate(tmplCipher, tmplKern, pattern, cfg.Model, cfg.FaultRound, rounds-1, cfg.TemplateSamples, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -110,17 +120,27 @@ func GIFTDFA(target *gift.Cipher, pattern *bitvec.Vector, cfg GIFTDFAConfig, rng
 	// Online phase: collect ciphertext pairs from the target.
 	cc := make([]uint64, cfg.Pairs)
 	cf := make([]uint64, cfg.Pairs)
-	tr := ciphers.NewTrace(target)
-	pt := make([]byte, 8)
-	out := make([]byte, 8)
-	mf := newModelFault(pattern, cfg.Model, cfg.FaultRound)
-	for p := 0; p < cfg.Pairs; p++ {
-		rng.Fill(pt)
-		f := mf.draw(rng)
-		target.Encrypt(out, pt, nil, tr)
-		cc[p] = le64(tr.Ciphertext)
-		target.Encrypt(out, pt, f, tr)
-		cf[p] = le64(tr.Ciphertext)
+	if !cfg.NoBatch {
+		p := 0
+		collectForks(target, batchKernelFor(target), pattern, cfg.Model, cfg.FaultRound,
+			ciphers.BatchPoint{Round: 0}, cfg.Pairs, rng, func(clean, faulty []byte) {
+				cc[p] = le64(clean)
+				cf[p] = le64(faulty)
+				p++
+			})
+	} else {
+		tr := ciphers.NewTrace(target)
+		pt := make([]byte, 8)
+		out := make([]byte, 8)
+		mf := newModelFault(pattern, cfg.Model, cfg.FaultRound)
+		for p := 0; p < cfg.Pairs; p++ {
+			rng.Fill(pt)
+			f := mf.draw(rng)
+			target.Encrypt(out, pt, nil, tr)
+			cc[p] = le64(tr.Ciphertext)
+			target.Encrypt(out, pt, f, tr)
+			cf[p] = le64(tr.Ciphertext)
+		}
 	}
 
 	guesses := 0.0
@@ -187,23 +207,35 @@ func GIFTDFA(target *gift.Cipher, pattern *bitvec.Vector, cfg GIFTDFAConfig, rng
 
 // diffTemplate returns, per nibble, the distribution of the differential
 // at the input of obsRound for the fault model, from samples simulations.
-func diffTemplate(c *gift.Cipher, pattern *bitvec.Vector, model fault.Model, faultRound, obsRound, samples int, rng *prng.Source) ([16][16]float64, error) {
+// A non-nil kern routes the paired simulations through the batched fork
+// engine (bit-identical to the scalar loop; see collectForks); injection
+// points past the observation round keep the scalar path, which reads
+// the observation from the shared prefix.
+func diffTemplate(c *gift.Cipher, kern ciphers.BatchKernel, pattern *bitvec.Vector, model fault.Model, faultRound, obsRound, samples int, rng *prng.Source) ([16][16]float64, error) {
 	var hist [16][16]int
-	tr := ciphers.NewTrace(c)
-	pt := make([]byte, 8)
-	out := make([]byte, 8)
-	mf := newModelFault(pattern, model, faultRound)
-	var cleanIn, faultIn uint64
-	for s := 0; s < samples; s++ {
-		rng.Fill(pt)
-		f := mf.draw(rng)
-		c.Encrypt(out, pt, nil, tr)
-		cleanIn = le64(tr.Inputs[obsRound-1])
-		c.Encrypt(out, pt, f, tr)
-		faultIn = le64(tr.Inputs[obsRound-1])
-		d := cleanIn ^ faultIn
+	bin := func(d uint64) {
 		for n := 0; n < 16; n++ {
 			hist[n][d>>(4*uint(n))&0xf]++
+		}
+	}
+	if kern != nil && faultRound <= obsRound {
+		collectForks(c, kern, pattern, model, faultRound,
+			ciphers.BatchPoint{Round: obsRound}, samples, rng, func(clean, faulty []byte) {
+				bin(le64(clean) ^ le64(faulty))
+			})
+	} else {
+		tr := ciphers.NewTrace(c)
+		pt := make([]byte, 8)
+		out := make([]byte, 8)
+		mf := newModelFault(pattern, model, faultRound)
+		for s := 0; s < samples; s++ {
+			rng.Fill(pt)
+			f := mf.draw(rng)
+			c.Encrypt(out, pt, nil, tr)
+			cleanIn := le64(tr.Inputs[obsRound-1])
+			c.Encrypt(out, pt, f, tr)
+			faultIn := le64(tr.Inputs[obsRound-1])
+			bin(cleanIn ^ faultIn)
 		}
 	}
 	var tmpl [16][16]float64
@@ -245,6 +277,7 @@ func recoverRoundKey(cc, cf []uint64, tmpl [16][16]float64, round int, minMargin
 	for g := range perPair {
 		perPair[g] = make([]float64, pairs)
 	}
+	idx := make([]uint16, pairs)
 	for n := 0; n < 16; n++ {
 		var pos [4]int
 		for j := 0; j < 4; j++ {
@@ -252,15 +285,33 @@ func recoverRoundKey(cc, cf []uint64, tmpl [16][16]float64, round int, minMargin
 		}
 		vIdx := pos[0] / 4
 		uIdx := (pos[1] - 1) / 4
+		// Batched guess evaluation: the guess bits land at intra-nibble
+		// positions 0 and 1 of the assembled nibble, so a guess g XORs the
+		// value g straight into both sides. Extract the guess-free nibble
+		// pair once per trace and fold the guess plus both inverse S-box
+		// passes and the log into a 4x256 table — the per-(guess, pair)
+		// work drops from eight bit gathers to one lookup, with float
+		// values and summation order identical to the direct loop.
+		for p := range cc {
+			a0 := extractNibble(cc[p]^cm, pos)
+			b0 := extractNibble(cf[p]^cm, pos)
+			idx[p] = uint16(a0) | uint16(b0)<<4
+		}
+		var llTab [4][256]float64
+		for g := 0; g < 4; g++ {
+			for a0 := 0; a0 < 16; a0++ {
+				for b0 := 0; b0 < 16; b0++ {
+					d := gift.InvSBox(byte(a0)^byte(g)) ^ gift.InvSBox(byte(b0)^byte(g))
+					llTab[g][a0|b0<<4] = math.Log(tmpl[n][d])
+				}
+			}
+		}
 		var score [4]float64
 		for g := 0; g < 4; g++ { // g = vBit | uBit<<1
-			gm := uint64(g&1)<<uint(pos[0]) | uint64(g>>1)<<uint(pos[1])
+			tab := &llTab[g]
 			var s float64
 			for p := range cc {
-				a := extractNibble(cc[p]^cm^gm, pos)
-				b := extractNibble(cf[p]^cm^gm, pos)
-				d := gift.InvSBox(a) ^ gift.InvSBox(b)
-				ll := math.Log(tmpl[n][d])
+				ll := tab[idx[p]]
 				perPair[g][p] = ll
 				s += ll
 			}
@@ -427,7 +478,28 @@ func coneRecover(cc, cf []uint64, tmpl [16][16]float64, rounds int, rk28, rk27 *
 				tabs[j].vals[g] = vals
 			}
 		}
-		// Enumerate joint guesses.
+		// Enumerate joint guesses. The RK27 guess bits sit at intra-nibble
+		// positions 0 (V) and 1 (U) of the assembled pre-S-box nibble (the
+		// round-27 constant bits too), so both inverse S-box passes and
+		// the log collapse into a 4x256 table per g27 — all four g27
+		// scores of one feeding-guess combination then come from a single
+		// pass over the pairs, with float values and per-accumulator
+		// summation order identical to the direct loop.
+		cmbits := byte(cm27>>uint(q[0])&1) |
+			byte(cm27>>uint(q[1])&1)<<1 |
+			byte(cm27>>uint(q[2])&1)<<2 |
+			byte(cm27>>uint(q[3])&1)<<3
+		var llTab27 [4][256]float64
+		for g27 := 0; g27 < 4; g27++ {
+			km := byte(g27&1) | byte(g27>>1)<<1
+			for xa := 0; xa < 16; xa++ {
+				for xb := 0; xb < 16; xb++ {
+					da := gift.InvSBox(byte(xa) ^ km ^ cmbits)
+					db := gift.InvSBox(byte(xb) ^ km ^ cmbits)
+					llTab27[g27][xa|xb<<4] = math.Log(tmpl[m][da^db])
+				}
+			}
+		}
 		best, second := -1e18, -1e18
 		var bestCone coneResult
 		var bestGs, secondGs [5]int // g0..g3, g27 of the top two guesses
@@ -449,29 +521,26 @@ func coneRecover(cc, cf []uint64, tmpl [16][16]float64, rounds int, rk28, rk27 *
 							continue
 						}
 						gs := [4]int{g0, g1, g2, g3}
+						v0, v1, v2, v3 := tabs[0].vals[g0], tabs[1].vals[g1], tabs[2].vals[g2], tabs[3].vals[g3]
+						var scores [4]float64
+						for p := 0; p < pairs; p++ {
+							xa := v0[p]>>uint(off[0])&1 |
+								v1[p]>>uint(off[1])&1<<1 |
+								v2[p]>>uint(off[2])&1<<2 |
+								v3[p]>>uint(off[3])&1<<3
+							xb := v0[p]>>uint(4+off[0])&1 |
+								v1[p]>>uint(4+off[1])&1<<1 |
+								v2[p]>>uint(4+off[2])&1<<2 |
+								v3[p]>>uint(4+off[3])&1<<3
+							iv := uint16(xa) | uint16(xb)<<4
+							scores[0] += llTab27[0][iv]
+							scores[1] += llTab27[1][iv]
+							scores[2] += llTab27[2][iv]
+							scores[3] += llTab27[3][iv]
+						}
+						work += 4 * float64(pairs)
 						for g27 := 0; g27 < 4; g27++ {
-							var score float64
-							for p := 0; p < pairs; p++ {
-								var xa, xb byte
-								for j := 0; j < 4; j++ {
-									v := tabs[j].vals[gs[j]][p]
-									xa |= (v >> uint(off[j]) & 1) << uint(j)
-									xb |= (v >> uint(4+off[j]) & 1) << uint(j)
-								}
-								// RK27 bits sit at intra-nibble
-								// positions 0 (V) and 1 (U) of the
-								// assembled pre-S-box nibble; the
-								// round-27 constant bits too.
-								km := byte(g27&1) | byte(g27>>1)<<1
-								cmbits := byte(cm27>>uint(q[0])&1) |
-									byte(cm27>>uint(q[1])&1)<<1 |
-									byte(cm27>>uint(q[2])&1)<<2 |
-									byte(cm27>>uint(q[3])&1)<<3
-								da := gift.InvSBox(xa ^ km ^ cmbits)
-								db := gift.InvSBox(xb ^ km ^ cmbits)
-								score += math.Log(tmpl[m][da^db])
-							}
-							work += float64(pairs)
+							score := scores[g27]
 							if score > best {
 								second = best
 								secondGs = bestGs

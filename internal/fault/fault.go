@@ -211,6 +211,23 @@ func (cp *Campaign) Groups() int {
 	return 8 * cp.Cipher.BlockBytes() / cp.GroupBits
 }
 
+// BatchPath names the encryption engine the campaign's collection will
+// use: "kernel" when the cipher provides a batch kernel and NoBatch is
+// unset, "scalar-fallback" otherwise. Campaign events carry the value so
+// run logs show which ciphers actually exercised the fast path.
+func (cp *Campaign) BatchPath() string {
+	return BatchPathOf(cp.Cipher, cp.NoBatch)
+}
+
+// BatchPathOf is BatchPath for callers that drive ciphers.EncryptForksOps
+// directly instead of through a Campaign.
+func BatchPathOf(c ciphers.Cipher, noBatch bool) string {
+	if _, ok := c.(ciphers.BatchEncrypter); ok && !noBatch {
+		return "kernel"
+	}
+	return "scalar-fallback"
+}
+
 // Result holds the collected differential matrices, one per observation
 // point, each Samples x Groups of group values.
 type Result struct {
