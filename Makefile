@@ -1,10 +1,10 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr7.json
-BENCH_BASE ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr8.json
+BENCH_BASE ?= BENCH_pr7.json
 BENCH_LABEL ?= after
 FUZZTIME ?= 10s
 
-.PHONY: all build test check vet race bench bench-all bench-compare fuzz smoke-resume smoke-trace fmt
+.PHONY: all build test check vet race bench bench-all bench-compare fuzz smoke-resume smoke-trace smoke-atlas fmt
 
 all: build
 
@@ -28,12 +28,12 @@ race:
 	$(GO) test -race -short ./...
 
 # Engine benchmarks (campaign, oracle, per-cipher fork kernels, DFA key
-# recovery), 5 repetitions averaged into $(BENCH_OUT) under label
-# $(BENCH_LABEL). Run with BENCH_LABEL=before on the parent commit to
-# record a baseline; entries of other labels in an existing file are
+# recovery, atlas sweeps), 5 repetitions averaged into $(BENCH_OUT) under
+# label $(BENCH_LABEL). Run with BENCH_LABEL=before on the parent commit
+# to record a baseline; entries of other labels in an existing file are
 # preserved.
 bench:
-	$(GO) test -run '^$$' -bench 'Campaign|Oracle|Encrypt|DFA' -benchmem -count 5 . \
+	$(GO) test -run '^$$' -bench 'Campaign|Oracle|Encrypt|DFA|Sweep' -benchmem -count 5 . \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -o $(BENCH_OUT)
 
 # Every benchmark in the repo, including the paper-table harness runs.
@@ -65,6 +65,12 @@ smoke-resume:
 # the Chrome trace, and run obsreport over the artifacts.
 smoke-trace:
 	sh scripts/smoke_trace.sh
+
+# Exhaustive-sweep smoke: reduced-round atlas sweep, SIGINT'd mid-run and
+# resumed bit-identically, plus tracecheck, atlas -validate, and a
+# coverage replay of a real discovery event log.
+smoke-atlas:
+	sh scripts/smoke_atlas.sh
 
 fmt:
 	gofmt -l -w .

@@ -631,3 +631,36 @@ func BenchmarkDFARecovery(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSweep measures the exhaustive campaign engine: one full
+// round's worth of single-position cells per cipher, reporting cells/sec
+// so the atlas throughput is tracked across PRs alongside the campaign
+// and kernel benchmarks it is built from.
+func BenchmarkSweep(b *testing.B) {
+	for _, cc := range []struct {
+		cipher string
+		round  int
+	}{
+		{"aes128", 8},
+		{"gift64", 25},
+		{"speck64", 24},
+	} {
+		b.Run(cc.cipher, func(b *testing.B) {
+			cfg := explorefault.SweepConfig{
+				Cipher:  cc.cipher,
+				Rounds:  []int{cc.round},
+				Samples: 256,
+				Seed:    7,
+			}
+			var cells int
+			for i := 0; i < b.N; i++ {
+				atlas, err := explorefault.Sweep(context.Background(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = atlas.Summary.Cells
+			}
+			b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+		})
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	_ "repro/internal/ciphers/gift" // register gift64
+)
+
+func TestParseRounds(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []int
+	}{
+		{"", nil},
+		{"25", []int{25}},
+		{"8-10", []int{8, 9, 10}},
+		{"1,3,5", []int{1, 3, 5}},
+		{"1, 3-4 ,9", []int{1, 3, 4, 9}},
+	} {
+		got, err := parseRounds(tc.in)
+		if err != nil || !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseRounds(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"x", "9-8", "3-"} {
+		if _, err := parseRounds(bad); err == nil {
+			t.Errorf("parseRounds(%q) should fail", bad)
+		}
+	}
+}
+
+// TestRunSweepValidateReplay drives the three CLI modes end to end on a
+// tiny reduced-round sweep: sweep to a file, validate that file, then
+// replay a synthetic event log against it.
+func TestRunSweepValidateReplay(t *testing.T) {
+	dir := t.TempDir()
+	atlasPath := filepath.Join(dir, "gift64.atlas.json")
+
+	var out, errb bytes.Buffer
+	err := run(context.Background(), []string{
+		"-cipher", "gift64", "-rounds", "25", "-samples", "64",
+		"-fault-type", "xor,stuck-at-0", "-seed", "7",
+		"-heatmap", "markdown", "-o", atlasPath,
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("sweep: %v\nstderr: %s", err, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "cipher gift64: 32 cells") {
+		t.Errorf("summary line missing or wrong:\n%s", text)
+	}
+	if !strings.Contains(text, `| round\nibble |`) {
+		t.Errorf("markdown heatmap missing:\n%s", text)
+	}
+	if !strings.Contains(text, "atlas written to "+atlasPath) {
+		t.Errorf("no write confirmation:\n%s", text)
+	}
+
+	out.Reset()
+	if err := run(context.Background(), []string{"-validate", atlasPath}, &out, &errb); err != nil {
+		t.Fatalf("-validate: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid atlas") {
+		t.Errorf("-validate output:\n%s", out.String())
+	}
+
+	// A synthetic two-episode log: one leaky hit on nibble 0 (exploitable
+	// at round 25 / seed 7), one non-leaky.
+	logPath := filepath.Join(dir, "events.jsonl")
+	lines := []string{
+		`{"ts":"2026-01-01T00:00:00Z","seq":1,"event":"run_started","fields":{"round":25}}`,
+		`{"ts":"2026-01-01T00:00:01Z","seq":2,"event":"episode","fields":{"episode":1,"pattern":"0f00000000000000","fault_model":"xor","t":1.0,"leaky":false}}`,
+		`{"ts":"2026-01-01T00:00:02Z","seq":3,"event":"episode","fields":{"episode":2,"pattern":"0f00000000000000","fault_model":"xor","t":50.0,"leaky":true}}`,
+	}
+	if err := os.WriteFile(logPath, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(context.Background(), []string{"-replay", logPath, "-atlas", atlasPath}, &out, &errb); err != nil {
+		t.Fatalf("-replay: %v", err)
+	}
+	text = out.String()
+	if !strings.Contains(text, "round 25: 2 episodes (1 leaky)") {
+		t.Errorf("replay header wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "coverage: 1/") {
+		t.Errorf("coverage line wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "episodes to first exploitable hit: 2") {
+		t.Errorf("first-hit line wrong:\n%s", text)
+	}
+}
+
+// TestRunCheckpointResume exercises the -checkpoint path: a cancelled
+// sweep leaves a resumable file, and the rerun produces the same atlas
+// as an uninterrupted sweep.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sweep.ckpt")
+	refPath := filepath.Join(dir, "ref.atlas.json")
+	gotPath := filepath.Join(dir, "resumed.atlas.json")
+	args := func(out string) []string {
+		return []string{
+			"-cipher", "gift64", "-rounds", "25", "-samples", "64",
+			"-fault-type", "xor,stuck-at-0", "-seed", "7",
+			"-heatmap", "none", "-checkpoint", ckpt, "-o", out,
+		}
+	}
+
+	var sink bytes.Buffer
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // interrupted before the first shard
+	if err := run(ctx, args(gotPath), &sink, &sink); err == nil {
+		t.Fatal("cancelled sweep should report an error")
+	}
+	if !strings.Contains(sink.String(), "rerun with the same arguments to resume") {
+		t.Errorf("resume hint missing on interrupt:\n%s", sink.String())
+	}
+
+	if err := run(context.Background(), args(gotPath), &sink, &sink); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if err := run(context.Background(), []string{
+		"-cipher", "gift64", "-rounds", "25", "-samples", "64",
+		"-fault-type", "xor,stuck-at-0", "-seed", "7",
+		"-heatmap", "none", "-o", refPath,
+	}, &sink, &sink); err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	got, err := os.ReadFile(gotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("resumed atlas differs from uninterrupted reference")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var sink bytes.Buffer
+	for _, args := range [][]string{
+		{"-rounds", "bogus"},
+		{"-fault-type", "nope"},
+		{"-oracle", "nope"},
+		{"-heatmap", "nope"},
+		{"-replay", "x.jsonl"}, // missing -atlas
+		{"-cipher", "nonesuch", "-rounds", "1"},
+	} {
+		if err := run(context.Background(), args, &sink, &sink); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

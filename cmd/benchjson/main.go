@@ -281,7 +281,13 @@ func compareRecords(w io.Writer, oldPath, newPath string, label string, threshol
 		}
 	}
 	if compared == 0 {
-		return errors.New("no shared benchmarks to compare")
+		// No overlap at all usually means the two files come from
+		// different bench regexes (or one side was regenerated under new
+		// names); say so explicitly instead of printing an empty table.
+		fmt.Fprintf(w, "warning: %s and %s share no benchmarks (%d only in old, %d only in new) — were they produced by the same -bench pattern?\n",
+			oldPath, newPath, len(removed), len(added))
+		return fmt.Errorf("no shared benchmarks to compare (%d only in %s, %d only in %s)",
+			len(removed), oldPath, len(added), newPath)
 	}
 	var failures []string
 	if regressed > 0 {

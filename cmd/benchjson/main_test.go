@@ -158,6 +158,32 @@ func TestCompare(t *testing.T) {
 		}
 	})
 
+	t.Run("no_overlap", func(t *testing.T) {
+		// Disjoint benchmark sets (e.g. two files from different -bench
+		// regexes) must fail loudly with the counts, not silently print an
+		// empty table or pretend nothing regressed.
+		cur := filepath.Join(dir, "disjoint.json")
+		writeRecord(t, cur, "after", map[string]float64{
+			"BenchmarkSweep": 42, "BenchmarkOther": 7,
+		})
+		var out bytes.Buffer
+		err := run([]string{"-compare", old, cur}, nil, &out, &out)
+		if err == nil {
+			t.Fatalf("disjoint records should fail the comparison:\n%s", out.String())
+		}
+		if !strings.Contains(err.Error(), "no shared benchmarks") ||
+			!strings.Contains(err.Error(), "3 only in") || !strings.Contains(err.Error(), "2 only in") {
+			t.Errorf("error should carry the per-side counts: %v", err)
+		}
+		text := out.String()
+		if !strings.Contains(text, "warning:") || !strings.Contains(text, "share no benchmarks") {
+			t.Errorf("explicit warning missing:\n%s", text)
+		}
+		if !strings.Contains(text, "added (2):") || !strings.Contains(text, "removed (3):") {
+			t.Errorf("added/removed sections should still be listed:\n%s", text)
+		}
+	})
+
 	t.Run("bad_inputs", func(t *testing.T) {
 		var sink bytes.Buffer
 		for _, args := range [][]string{

@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	iofs "io/fs" // the flag set below takes the fs name
 	"os"
 	"os/signal"
 	"strconv"
@@ -31,20 +30,15 @@ import (
 
 // stageCheckpointKind tags faultsim stage checkpoints inside the envelope
 // of internal/checkpoint (distinct from explore-session checkpoints).
-const stageCheckpointKind = "faultsim-stages"
-
-// stageCheckpoint persists per-stage results of one assessment run, so an
-// interrupted multi-stage run (order-1, order-2, full verdict,
-// propagation) resumes after the last finished stage instead of repeating
-// multi-second campaigns. Key is the canonical argument string; a file
+//
+// Per-stage results (order-1, order-2, full verdict, propagation) live in
+// a checkpoint.Stages store so an interrupted multi-stage run resumes
+// after the last finished stage instead of repeating multi-second
+// campaigns. The store key is the canonical argument string; a file
 // written for different arguments is discarded, not misapplied. Workers
 // and -scalar are excluded from the key because results are bit-identical
 // across them.
-type stageCheckpoint struct {
-	Key     string
-	Assess  map[string]explorefault.Assessment
-	Profile *explorefault.PropagationProfile
-}
+const stageCheckpointKind = "faultsim-stages"
 
 func parseInts(s string) ([]int, error) {
 	if s == "" {
@@ -171,38 +165,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 
 	// Stage checkpointing: load any prior partial run for these exact
 	// arguments, then persist after every finished stage so an interrupt
-	// costs at most one stage.
-	ck := stageCheckpoint{
-		Key: fmt.Sprintf("%s|r%d|%s|s=%d|m=%s|o=%s|seed=%d",
-			*cipher, *round, pattern.String(), *samples, faultModel, oracle, *seed),
+	// costs at most one stage. An empty -checkpoint yields an in-memory
+	// store with the same control flow.
+	key := fmt.Sprintf("%s|r%d|%s|s=%d|m=%s|o=%s|seed=%d",
+		*cipher, *round, pattern.String(), *samples, faultModel, oracle, *seed)
+	stages, err := checkpoint.OpenStages(*checkpointPath, stageCheckpointKind, key)
+	if err != nil {
+		return fmt.Errorf("loading -checkpoint: %w", err)
 	}
-	if *checkpointPath != "" {
-		var prior stageCheckpoint
-		err := checkpoint.Load(*checkpointPath, stageCheckpointKind, &prior)
-		if err != nil && !errors.Is(err, iofs.ErrNotExist) {
-			return fmt.Errorf("loading -checkpoint: %w", err)
-		}
-		if err == nil && prior.Key == ck.Key {
-			ck = prior
-		}
-	}
-	if ck.Assess == nil {
-		ck.Assess = map[string]explorefault.Assessment{}
-	}
-	saveStages := func(stage string) error {
-		if *checkpointPath == "" {
-			return nil
-		}
-		if err := checkpoint.Save(*checkpointPath, stageCheckpointKind, &ck); err != nil {
+	putStage := func(stage string, val any) error {
+		if err := stages.Put(stage, val); err != nil {
 			return err
 		}
-		events.Emit(obs.EventCheckpointSaved, map[string]any{
-			"binary": "faultsim", "stage": stage, "path": *checkpointPath,
-		})
+		if *checkpointPath != "" {
+			events.Emit(obs.EventCheckpointSaved, map[string]any{
+				"binary": "faultsim", "stage": stage, "path": *checkpointPath,
+			})
+		}
 		return nil
 	}
 	assessStage := func(stage string, fixedOrder int) (explorefault.Assessment, error) {
-		if a, ok := ck.Assess[stage]; ok {
+		var a explorefault.Assessment
+		if stages.Done(stage, &a) {
 			return a, nil
 		}
 		// One span per stage, named after it, so the trace timeline shows
@@ -220,8 +204,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		if err != nil {
 			return a, err
 		}
-		ck.Assess[stage] = a
-		return a, saveStages(stage)
+		return a, putStage(stage, &a)
 	}
 
 	fmt.Fprintf(stdout, "cipher %s, fault at round %d, pattern %s (%d bits), model %s, oracle %s\n\n",
@@ -241,8 +224,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	fmt.Fprintf(stdout, "verdict: t = %.2f (threshold %.1f) -> exploitable = %v\n\n",
 		full.T, full.Threshold, full.Leaky)
 
-	prof := ck.Profile
-	if prof == nil {
+	var prof *explorefault.PropagationProfile
+	if !stages.Done("propagation", &prof) {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -252,8 +235,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		if err != nil {
 			return err
 		}
-		ck.Profile = prof
-		if err := saveStages("propagation"); err != nil {
+		if err := putStage("propagation", prof); err != nil {
 			return err
 		}
 	}

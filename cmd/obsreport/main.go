@@ -130,6 +130,10 @@ type Report struct {
 	// XOR-only hot path versus (AND, XOR) lanes versus scalar fallback).
 	FaultModels []FaultModelStat `json:"fault_models,omitempty"`
 
+	// Sweep aggregates an exhaustive atlas sweep's events, when the log
+	// came from cmd/atlas (or anything else emitting sweep_* events).
+	Sweep *SweepStat `json:"sweep,omitempty"`
+
 	// Span aggregates from the optional trace file.
 	Spans []SpanStat `json:"spans,omitempty"`
 	// WorkerUtilization is busy-shard time over workers*campaign wall
@@ -165,6 +169,32 @@ type FaultModelStat struct {
 	Campaigns      int     `json:"campaigns"`
 	CampaignMeanMS float64 `json:"campaign_mean_ms"`
 	CampaignMaxMS  float64 `json:"campaign_max_ms"`
+}
+
+// SweepStat distills sweep_started / sweep_cell / sweep_finished events:
+// how big the enumeration was, how fast it went, and which fault models
+// carried the exploitable cells. CellEvents counts freshly assessed
+// cells (resumed shards replay from the checkpoint without re-emitting),
+// so CellEvents < Cells on a resumed run is expected, not data loss.
+type SweepStat struct {
+	Cells           int              `json:"cells"`
+	ResumedShards   int              `json:"resumed_shards,omitempty"`
+	CellEvents      int              `json:"cell_events"`
+	Exploitable     int              `json:"exploitable"`
+	ExploitableRate float64          `json:"exploitable_rate"`
+	MaxT            float64          `json:"max_t"`
+	DurationSeconds float64          `json:"duration_seconds,omitempty"`
+	CellsPerSec     float64          `json:"cells_per_sec,omitempty"`
+	Finished        bool             `json:"finished"`
+	ByModel         []SweepModelStat `json:"by_model,omitempty"`
+}
+
+// SweepModelStat is one fault model's share of the sweep's cell events.
+type SweepModelStat struct {
+	Model       string  `json:"model"`
+	Cells       int     `json:"cells"`
+	Exploitable int     `json:"exploitable"`
+	MaxT        float64 `json:"max_t"`
 }
 
 // BatchPathStat counts one cipher's campaigns on one encryption engine.
@@ -275,6 +305,8 @@ func analyze(r io.Reader) (*Report, error) {
 	// environments interleave, so pair them by pattern.
 	samplesByPattern := map[string]float64{}
 	batchPaths := map[[2]string]int{}
+	var sweep *SweepStat
+	sweepModels := map[string]*SweepModelStat{}
 	var firstTS, lastTS time.Time
 	var evalHits, evalLookups uint64
 	var sessionCache *CacheStat
@@ -390,6 +422,64 @@ func analyze(r io.Reader) (*Report, error) {
 					Hits:    uint64(hits),
 				}
 			}
+		case obs.EventSweepStarted:
+			sweep = &SweepStat{}
+			if n, ok := num(f, "cells"); ok {
+				sweep.Cells = int(n)
+			}
+			if n, ok := num(f, "resumed_shards"); ok {
+				sweep.ResumedShards = int(n)
+			}
+		case obs.EventSweepCell:
+			if sweep == nil {
+				sweep = &SweepStat{}
+			}
+			sweep.CellEvents++
+			exploitable := false
+			if e, ok := f["exploitable"].(bool); ok && e {
+				exploitable = true
+			}
+			t, _ := num(f, "t")
+			if name, ok := f["model"].(string); ok && name != "" {
+				m := sweepModels[name]
+				if m == nil {
+					m = &SweepModelStat{Model: name}
+					sweepModels[name] = m
+				}
+				m.Cells++
+				if exploitable {
+					m.Exploitable++
+				}
+				if t > m.MaxT {
+					m.MaxT = t
+				}
+			}
+			// Provisional totals; sweep_finished overwrites them with the
+			// authoritative atlas summary (which includes resumed cells).
+			if exploitable {
+				sweep.Exploitable++
+			}
+			if t > sweep.MaxT {
+				sweep.MaxT = t
+			}
+		case obs.EventSweepFinished:
+			if sweep == nil {
+				sweep = &SweepStat{}
+			}
+			sweep.Finished = true
+			if n, ok := num(f, "cells"); ok {
+				sweep.Cells = int(n)
+			}
+			if n, ok := num(f, "exploitable"); ok {
+				sweep.Exploitable = int(n)
+			}
+			if t, ok := num(f, "max_t"); ok {
+				sweep.MaxT = t
+			}
+			if ms, ok := num(f, "duration_ms"); ok && ms > 0 {
+				sweep.DurationSeconds = ms / 1e3
+				sweep.CellsPerSec = float64(sweep.Cells) / sweep.DurationSeconds
+			}
 		case obs.EventEmitterStats:
 			rep.EmitterStatsSeen = true
 			if d, ok := num(f, "dropped"); ok {
@@ -454,6 +544,17 @@ func analyze(r io.Reader) (*Report, error) {
 		}
 		return rep.BatchPaths[i].Path < rep.BatchPaths[j].Path
 	})
+
+	if sweep != nil {
+		if sweep.Cells > 0 {
+			sweep.ExploitableRate = float64(sweep.Exploitable) / float64(sweep.Cells)
+		}
+		for _, m := range sweepModels {
+			sweep.ByModel = append(sweep.ByModel, *m)
+		}
+		sort.Slice(sweep.ByModel, func(i, j int) bool { return sweep.ByModel[i].Model < sweep.ByModel[j].Model })
+		rep.Sweep = sweep
+	}
 
 	rep.Throughput = bucketThroughput(throughput, rep.WallClock)
 	rep.Warnings = warnings(rep)
@@ -656,6 +757,35 @@ func writeMarkdown(w io.Writer, rep *Report) {
 		}
 		fmt.Fprintf(w, "batch coverage: %d/%d campaigns on the kernel path (%s)\n\n",
 			kernel, total, strings.Join(parts, ", "))
+	}
+
+	if s := rep.Sweep; s != nil {
+		fmt.Fprintf(w, "sweep: %d cells, %d exploitable (%.1f%%), max t = %.1f",
+			s.Cells, s.Exploitable, 100*s.ExploitableRate, s.MaxT)
+		if s.CellsPerSec > 0 {
+			fmt.Fprintf(w, ", %.1f cells/sec over %.2fs", s.CellsPerSec, s.DurationSeconds)
+		}
+		if s.ResumedShards > 0 {
+			fmt.Fprintf(w, " (%d shards resumed from checkpoint)", s.ResumedShards)
+		}
+		if !s.Finished {
+			fmt.Fprint(w, " — INTERRUPTED before sweep_finished")
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w)
+		if len(s.ByModel) > 0 {
+			tb := report.NewTable("sweep cells per fault model", "model", "cells", "exploitable", "rate", "max t")
+			for _, m := range s.ByModel {
+				rate := 0.0
+				if m.Cells > 0 {
+					rate = float64(m.Exploitable) / float64(m.Cells)
+				}
+				tb.AddRow(m.Model, m.Cells, m.Exploitable,
+					fmt.Sprintf("%.1f%%", 100*rate),
+					fmt.Sprintf("%.1f", m.MaxT))
+			}
+			renderFenced(w, tb)
+		}
 	}
 
 	if len(rep.FaultModels) > 0 {

@@ -153,6 +153,122 @@ func TestReportJSON(t *testing.T) {
 	}
 }
 
+// writeSweepLog synthesizes a cmd/atlas-style sweep event log: 4 cells
+// across two fault models, one shard resumed from a checkpoint.
+func writeSweepLog(t *testing.T, path string, finished bool) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	e := obs.NewEmitter(f)
+	base := time.Date(2026, 2, 3, 4, 5, 6, 0, time.UTC)
+	n := 0
+	e.SetClock(func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * 100 * time.Millisecond)
+	})
+
+	e.Emit(obs.EventRunStarted, map[string]any{"binary": "atlas", "cipher": "gift64"})
+	e.Emit(obs.EventSweepStarted, map[string]any{
+		"cipher": "gift64", "cells": 6, "shards": 2, "resumed_shards": 1,
+	})
+	for i, cell := range []struct {
+		model       string
+		tval        float64
+		exploitable bool
+	}{
+		{"xor", 12.0, true},
+		{"xor", 1.5, false},
+		{"stuck-at-0", 8.0, true},
+		{"stuck-at-0", 9.0, true},
+	} {
+		e.Emit(obs.EventSweepCell, map[string]any{
+			"round": 25, "pos": []int{i}, "model": cell.model,
+			"t": cell.tval, "exploitable": cell.exploitable, "point": "r25",
+		})
+	}
+	if finished {
+		// The finished totals include the 2 cells of the resumed shard
+		// that never re-emitted sweep_cell.
+		e.Emit(obs.EventSweepFinished, map[string]any{
+			"cipher": "gift64", "cells": 6, "exploitable": 4,
+			"max_t": 12.0, "duration_ms": 3000.0,
+		})
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	writeSweepLog(t, path, true)
+
+	var out bytes.Buffer
+	if err := run([]string{"-format", "json", path}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	s := rep.Sweep
+	if s == nil {
+		t.Fatal("sweep section missing from a sweep log")
+	}
+	if s.Cells != 6 || s.CellEvents != 4 || s.ResumedShards != 1 || !s.Finished {
+		t.Errorf("sweep census %+v, want 6 cells / 4 cell events / 1 resumed shard / finished", s)
+	}
+	// The authoritative finished totals, not the 3 exploitable cell events.
+	if s.Exploitable != 4 || s.MaxT != 12.0 {
+		t.Errorf("sweep totals %+v, want 4 exploitable max t 12 (from sweep_finished)", s)
+	}
+	if s.ExploitableRate != 4.0/6.0 {
+		t.Errorf("exploitable rate %v, want 4/6", s.ExploitableRate)
+	}
+	if s.CellsPerSec != 2.0 || s.DurationSeconds != 3.0 {
+		t.Errorf("throughput %v cells/sec over %vs, want 2.0 over 3.0", s.CellsPerSec, s.DurationSeconds)
+	}
+	if len(s.ByModel) != 2 || s.ByModel[0].Model != "stuck-at-0" || s.ByModel[1].Model != "xor" {
+		t.Fatalf("by-model rows %+v, want sorted stuck-at-0, xor", s.ByModel)
+	}
+	if sa := s.ByModel[0]; sa.Cells != 2 || sa.Exploitable != 2 || sa.MaxT != 9.0 {
+		t.Errorf("stuck-at-0 row %+v, want 2/2 max t 9", sa)
+	}
+	if xor := s.ByModel[1]; xor.Cells != 2 || xor.Exploitable != 1 || xor.MaxT != 12.0 {
+		t.Errorf("xor row %+v, want 2/1 max t 12", xor)
+	}
+
+	out.Reset()
+	if err := run([]string{path}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"sweep: 6 cells, 4 exploitable (66.7%), max t = 12.0, 2.0 cells/sec over 3.00s (1 shards resumed from checkpoint)",
+		"sweep cells per fault model",
+		"stuck-at-0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("markdown sweep report missing %q\n%s", want, text)
+		}
+	}
+
+	// An interrupted sweep (no sweep_finished) keeps provisional totals
+	// and is flagged.
+	cut := filepath.Join(t.TempDir(), "cut.jsonl")
+	writeSweepLog(t, cut, false)
+	out.Reset()
+	if err := run([]string{cut}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "INTERRUPTED before sweep_finished") {
+		t.Errorf("interrupted sweep not flagged:\n%s", out.String())
+	}
+}
+
 func TestReportWarnsOnTruncatedLog(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.jsonl")
 	writeLog(t, path, 50, false) // no Close: no emitter_stats line

@@ -42,6 +42,7 @@ import (
 	"repro/internal/leakage"
 	"repro/internal/obs"
 	"repro/internal/prng"
+	"repro/internal/sweep"
 )
 
 // Pattern is a fault pattern: the set of cipher state bits targeted for
@@ -328,6 +329,42 @@ func AssessProtectedContext(ctx context.Context, pattern Pattern, cfg AssessConf
 		Threshold: oracle.Threshold(),
 		Point:     "ciphertext",
 	}, nil
+}
+
+// SweepConfig tunes an exhaustive sweep (see internal/sweep): the
+// complement of Discover that enumerates the full round × position ×
+// fault-model space instead of sampling it.
+type SweepConfig = sweep.Config
+
+// Atlas is a machine-readable exploitability map: one classified cell
+// per enumerated (round, positions, model) triple. Atlases are pure
+// functions of their SweepConfig — bit-identical across worker counts,
+// batch/scalar paths and checkpoint resumes.
+type Atlas = sweep.Atlas
+
+// AtlasCell is one classified cell of an Atlas.
+type AtlasCell = sweep.Cell
+
+// CoverageReport quantifies a discovery run's sample efficiency against
+// an exhaustive atlas (found/exploitable cells, episodes to first hit).
+type CoverageReport = sweep.CoverageReport
+
+// Sweep runs an exhaustive campaign over the configured fault space and
+// returns the exploitability atlas. A cancelled ctx aborts at the next
+// trace-block boundary; configure SweepConfig.Checkpoint to make the
+// sweep resumable.
+func Sweep(ctx context.Context, cfg SweepConfig) (*Atlas, error) {
+	return sweep.Run(ctx, cfg)
+}
+
+// ReadAtlas loads and validates an atlas JSON document.
+func ReadAtlas(path string) (*Atlas, error) { return sweep.ReadFile(path) }
+
+// CompareAtlas replays a discovery run's JSONL event log (the -events
+// output of cmd/explorefault or Discover) against an atlas; round 0
+// auto-detects the injection round from the log.
+func CompareAtlas(a *Atlas, round int, events io.Reader) (*CoverageReport, error) {
+	return sweep.Compare(a, round, events)
 }
 
 // CacheStats re-exports the oracle-memoization counters.

@@ -1,0 +1,124 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"sync"
+)
+
+// stagesPayload is the persisted form of a Stages store: the canonical
+// key identifying the run configuration, plus one gob-encoded blob per
+// finished stage. Stage values are encoded individually so the store can
+// hold heterogeneous types (an Assessment here, a propagation profile
+// there, a sweep shard result elsewhere) without a registry.
+type stagesPayload struct {
+	Key    string
+	Stages map[string][]byte
+}
+
+// Stages is a keyed store of per-stage results backing resumable
+// multi-stage runs (faultsim's order-1/order-2/full/propagation stages,
+// sweep cell shards). Each Put persists the whole store atomically via
+// Save, so an interrupt costs at most the in-flight stage. A Stages with
+// an empty path is purely in-memory: same API, nothing written — callers
+// don't need a "checkpointing enabled?" branch at every stage.
+//
+// The key is the canonical argument string of the run. Opening a path
+// whose file was written under a different key silently starts fresh
+// (the old results belong to a different run and must not be
+// misapplied); a corrupt or wrong-kind file is an error.
+//
+// All methods are safe for concurrent use, so parallel workers can Put
+// independent stages; writes are serialized internally.
+type Stages struct {
+	mu   sync.Mutex
+	path string
+	kind string
+	data stagesPayload
+}
+
+// OpenStages opens (or initializes) the stage store at path under the
+// given envelope kind and run key. An empty path yields an in-memory
+// store. A missing file, or an existing file written for a different
+// key, yields an empty store; a malformed file is an error.
+func OpenStages(path, kind, key string) (*Stages, error) {
+	s := &Stages{
+		path: path,
+		kind: kind,
+		data: stagesPayload{Key: key, Stages: map[string][]byte{}},
+	}
+	if path == "" {
+		return s, nil
+	}
+	var prior stagesPayload
+	err := Load(path, kind, &prior)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// No checkpoint yet: first run.
+	case err != nil:
+		return nil, err
+	case prior.Key == key && prior.Stages != nil:
+		s.data.Stages = prior.Stages
+	}
+	return s, nil
+}
+
+// Done reports whether stage has a stored result, decoding it into out
+// when out is non-nil. A stored blob that no longer decodes (the value's
+// type changed across builds) reports false, so the stage reruns instead
+// of resuming wrong.
+func (s *Stages) Done(stage string, out any) bool {
+	s.mu.Lock()
+	raw, ok := s.data.Stages[stage]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if out == nil {
+		return true
+	}
+	return gob.NewDecoder(bytes.NewReader(raw)).Decode(out) == nil
+}
+
+// Put records val as stage's result and, for a file-backed store,
+// persists the whole store atomically.
+func (s *Stages) Put(stage string, val any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(val); err != nil {
+		return fmt.Errorf("checkpoint: encoding stage %q: %w", stage, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data.Stages[stage] = buf.Bytes()
+	if s.path == "" {
+		return nil
+	}
+	return Save(s.path, s.kind, &s.data)
+}
+
+// Len reports the number of stored stages.
+func (s *Stages) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data.Stages)
+}
+
+// Names returns the stored stage names in sorted order (for diagnostics
+// and tests).
+func (s *Stages) Names() []string {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.data.Stages))
+	for name := range s.data.Stages {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Path reports the backing file path ("" for in-memory stores).
+func (s *Stages) Path() string { return s.path }

@@ -1,0 +1,139 @@
+package checkpoint
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type stageVal struct {
+	N int
+	S string
+}
+
+func TestStagesRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stages.ck")
+	s, err := OpenStages(path, "test-stages", "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got stageVal
+	if s.Done("a", &got) {
+		t.Fatal("fresh store reports stage done")
+	}
+	if err := s.Put("a", stageVal{N: 7, S: "seven"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done("a", &got) || got.N != 7 || got.S != "seven" {
+		t.Fatalf("Done after Put: got %+v", got)
+	}
+
+	// Reopen with the same key: stage survives.
+	s2, err := OpenStages(path, "test-stages", "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = stageVal{}
+	if !s2.Done("a", &got) || got.N != 7 {
+		t.Fatalf("reopened store lost stage: %+v", got)
+	}
+	if s2.Len() != 1 || s2.Names()[0] != "a" {
+		t.Fatalf("Len/Names: %d %v", s2.Len(), s2.Names())
+	}
+}
+
+func TestStagesKeyMismatchStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stages.ck")
+	s, err := OpenStages(path, "test-stages", "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", stageVal{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStages(path, "test-stages", "k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Done("a", nil) {
+		t.Fatal("store opened under a different key kept foreign stages")
+	}
+}
+
+func TestStagesWrongKindErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stages.ck")
+	s, err := OpenStages(path, "kind-a", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStages(path, "kind-b", "k"); err == nil {
+		t.Fatal("opening under the wrong kind succeeded")
+	}
+}
+
+func TestStagesInMemory(t *testing.T) {
+	s, err := OpenStages("", "test-stages", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", stageVal{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var got stageVal
+	if !s.Done("a", &got) || got.N != 3 {
+		t.Fatalf("in-memory store: %+v", got)
+	}
+	if s.Path() != "" {
+		t.Fatal("in-memory store reports a path")
+	}
+}
+
+func TestStagesUndecodableValueRerunsStage(t *testing.T) {
+	s, err := OpenStages("", "test-stages", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", "a string"); err != nil {
+		t.Fatal(err)
+	}
+	var out stageVal
+	if s.Done("a", &out) {
+		t.Fatal("Done decoded a string into a struct")
+	}
+	// Without decoding, existence still reports true.
+	if !s.Done("a", nil) {
+		t.Fatal("Done(nil) missed an existing stage")
+	}
+}
+
+func TestStagesConcurrentPut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stages.ck")
+	s, err := OpenStages(path, "test-stages", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Put(string(rune('a'+i)), stageVal{N: i}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", s.Len())
+	}
+	s2, err := OpenStages(path, "test-stages", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 16 {
+		t.Fatalf("reopened Len = %d, want 16", s2.Len())
+	}
+}

@@ -40,6 +40,12 @@ const (
 	// path); EventCheckpointResumed records a session restored from one.
 	EventCheckpointSaved   = "checkpoint_saved"
 	EventCheckpointResumed = "checkpoint_resumed"
+	// EventSweepStarted / EventSweepFinished bracket one exhaustive sweep
+	// (internal/sweep); EventSweepCell records one assessed cell with its
+	// round, positions, model and t-statistic.
+	EventSweepStarted  = "sweep_started"
+	EventSweepCell     = "sweep_cell"
+	EventSweepFinished = "sweep_finished"
 	// EventEmitterStats is the final line the emitter writes about itself
 	// at Close: how many events were emitted and how many were silently
 	// dropped to marshal or write errors. Analysis tools (obsreport) use

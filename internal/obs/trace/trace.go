@@ -69,6 +69,8 @@ const (
 	SpanCollect    = "collect"     // one fault.Campaign trace collection
 	SpanTrain      = "train"       // discovery training phase (Discover)
 	SpanHarvest    = "harvest"     // abstraction/verification phase (Discover)
+	SpanSweep      = "sweep"       // one exhaustive sweep (sweep.Run)
+	SpanSweepShard = "sweep_shard" // one cell shard of a sweep
 )
 
 // LaneMain is the Chrome "thread" lane of the main control flow; spans

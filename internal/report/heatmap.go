@@ -1,0 +1,182 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Heatmap renders a round × position grid of values (max t-statistic per
+// cell in the sweep atlas) as terminal text or a markdown table. Cells at
+// or above Threshold are "hot" (exploitable); the text ramp switches
+// character sets at the threshold so the exploitable region is visible
+// at a glance even without color.
+type Heatmap struct {
+	Title     string
+	RowLabel  string // e.g. "round"
+	ColLabel  string // e.g. "byte" or "nibble"
+	Threshold float64
+
+	rows map[int]map[int]float64 // row -> col -> value
+}
+
+// NewHeatmap creates an empty heatmap.
+func NewHeatmap(title, rowLabel, colLabel string, threshold float64) *Heatmap {
+	return &Heatmap{
+		Title:     title,
+		RowLabel:  rowLabel,
+		ColLabel:  colLabel,
+		Threshold: threshold,
+		rows:      map[int]map[int]float64{},
+	}
+}
+
+// Set records the value at (row, col), keeping the maximum when the cell
+// is set more than once (a cell aggregates over fault models).
+func (h *Heatmap) Set(row, col int, v float64) {
+	r, ok := h.rows[row]
+	if !ok {
+		r = map[int]float64{}
+		h.rows[row] = r
+	}
+	if old, ok := r[col]; !ok || v > old {
+		r[col] = v
+	}
+}
+
+// coldRamp maps sub-threshold values; hotRamp maps at/above-threshold
+// values on a log scale (t-statistics span orders of magnitude).
+const (
+	coldRamp = " .:-=+"
+	hotRamp  = "*#%@"
+)
+
+func (h *Heatmap) glyph(v float64, ok bool) byte {
+	if !ok {
+		return ' '
+	}
+	if h.Threshold > 0 && v >= h.Threshold {
+		// log2 of the ratio above threshold: *, #, %, @ at 1x, 2x, 4x, 8x+.
+		idx := int(math.Log2(v / h.Threshold))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(hotRamp) {
+			idx = len(hotRamp) - 1
+		}
+		return hotRamp[idx]
+	}
+	ref := h.Threshold
+	if ref <= 0 {
+		ref = 1
+	}
+	idx := int(v / ref * float64(len(coldRamp)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(coldRamp) {
+		idx = len(coldRamp) - 1
+	}
+	return coldRamp[idx]
+}
+
+func (h *Heatmap) axes() (rows, cols []int) {
+	colSet := map[int]bool{}
+	for r, m := range h.rows {
+		rows = append(rows, r)
+		for c := range m {
+			colSet[c] = true
+		}
+	}
+	for c := range colSet {
+		cols = append(cols, c)
+	}
+	sort.Ints(rows)
+	sort.Ints(cols)
+	return rows, cols
+}
+
+// Render writes the text heatmap: one line per row, one glyph per
+// column, with a legend explaining the ramp.
+func (h *Heatmap) Render(w io.Writer) {
+	rows, cols := h.axes()
+	if h.Title != "" {
+		fmt.Fprintln(w, h.Title)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(empty heatmap)")
+		return
+	}
+	// Column header: tens digit line only when any column index >= 10.
+	label := fmt.Sprintf("%s\\%s", h.RowLabel, h.ColLabel)
+	pad := len(label)
+	for _, r := range rows {
+		if n := len(fmt.Sprintf("%d", r)); n > pad {
+			pad = n
+		}
+	}
+	wide := cols[len(cols)-1] >= 10
+	if wide {
+		fmt.Fprintf(w, "%*s ", pad, "")
+		for _, c := range cols {
+			fmt.Fprintf(w, "%d", (c/10)%10)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%*s ", pad, label)
+	for _, c := range cols {
+		fmt.Fprintf(w, "%d", c%10)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%*d ", pad, r)
+		var line strings.Builder
+		for _, c := range cols {
+			v, ok := h.rows[r][c]
+			line.WriteByte(h.glyph(v, ok))
+		}
+		fmt.Fprintln(w, line.String())
+	}
+	fmt.Fprintf(w, "legend: %q below threshold %.1f, %q at 1x/2x/4x/8x threshold\n",
+		coldRamp, h.Threshold, hotRamp)
+}
+
+// RenderMarkdown writes the heatmap as a markdown table with numeric
+// values, bolding cells at or above the threshold.
+func (h *Heatmap) RenderMarkdown(w io.Writer) {
+	rows, cols := h.axes()
+	if h.Title != "" {
+		fmt.Fprintf(w, "### %s\n\n", h.Title)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(empty heatmap)")
+		return
+	}
+	fmt.Fprintf(w, "| %s\\%s |", h.RowLabel, h.ColLabel)
+	for _, c := range cols {
+		fmt.Fprintf(w, " %d |", c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|---|")
+	for range cols {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %d |", r)
+		for _, c := range cols {
+			v, ok := h.rows[r][c]
+			switch {
+			case !ok:
+				fmt.Fprint(w, " |")
+			case h.Threshold > 0 && v >= h.Threshold:
+				fmt.Fprintf(w, " **%.1f** |", v)
+			default:
+				fmt.Fprintf(w, " %.1f |", v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

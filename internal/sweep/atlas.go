@@ -1,0 +1,240 @@
+package sweep
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+
+	"repro/internal/bitvec"
+	"repro/internal/ciphers"
+	"repro/internal/report"
+)
+
+// Schema tags the atlas JSON format. Readers reject other schemas.
+const Schema = "explorefault-atlas/v1"
+
+// Cell is one classified point of the fault space: a (round, positions,
+// model) triple with its measured leakage.
+type Cell struct {
+	// Round is the 1-based injection round.
+	Round int `json:"round"`
+	// Pos lists the faulted position indices at the atlas granularity
+	// (one entry for single-fault cells, two in order-2 mode), ascending.
+	Pos []int `json:"pos"`
+	// Model is the typed fault model name ("xor", "stuck-at-0", ...).
+	Model string `json:"model"`
+	// Order is the fault order: len(Pos).
+	Order int `json:"order"`
+	// T is the maximum |t| over observation points and t-test orders.
+	T float64 `json:"t"`
+	// StatOrder is the t-test order that produced T.
+	StatOrder int `json:"stat_order"`
+	// Point describes the observation point of T.
+	Point string `json:"point"`
+	// Exploitable reports T > the atlas threshold.
+	Exploitable bool `json:"exploitable"`
+}
+
+// Summary aggregates an atlas.
+type Summary struct {
+	Cells       int     `json:"cells"`
+	Exploitable int     `json:"exploitable"`
+	MaxT        float64 `json:"max_t"`
+	// ByModel / ByRound count exploitable cells per fault model and per
+	// injection round (rounds keyed as decimal strings for JSON).
+	ByModel map[string]int `json:"by_model"`
+	ByRound map[string]int `json:"by_round"`
+}
+
+// Atlas is the machine-readable exploitability map of one keyed cipher:
+// the sweep configuration followed by every enumerated cell in canonical
+// order. An atlas is a pure function of its configuration (including the
+// seed), so regenerating one is a byte-identical operation — the golden
+// regression tests depend on that.
+type Atlas struct {
+	Schema    string   `json:"schema"`
+	Cipher    string   `json:"cipher"`
+	KeyHex    string   `json:"key"`
+	Rounds    []int    `json:"rounds"`
+	GranBits  int      `json:"gran_bits"`
+	Positions int      `json:"positions"`
+	Models    []string `json:"models"`
+	Oracle    string   `json:"oracle"`
+	Mode      string   `json:"mode"`
+	Samples   int      `json:"samples"`
+	MaxOrder  int      `json:"max_order"`
+	GroupBits int      `json:"group_bits"`
+	Threshold float64  `json:"threshold"`
+	Order2    bool     `json:"order2"`
+	Order2Cap int      `json:"order2_cap,omitempty"`
+	Seed      uint64   `json:"seed"`
+	Cells     []Cell   `json:"cells"`
+	Summary   Summary  `json:"summary"`
+}
+
+// buildAtlas assembles the atlas document from assessed cells.
+func buildAtlas(cfg *Config, info ciphers.Info, key []byte, positions int, cells []Cell) *Atlas {
+	models := make([]string, len(cfg.Models))
+	for i, m := range cfg.Models {
+		models[i] = m.String()
+	}
+	a := &Atlas{
+		Schema:    Schema,
+		Cipher:    cfg.Cipher,
+		KeyHex:    hex.EncodeToString(key),
+		Rounds:    cfg.Rounds,
+		GranBits:  cfg.GranBits,
+		Positions: positions,
+		Models:    models,
+		Oracle:    cfg.Oracle.String(),
+		Mode:      cfg.Mode.String(),
+		Samples:   cfg.Samples,
+		MaxOrder:  cfg.MaxOrder,
+		GroupBits: cfg.GroupBits,
+		Threshold: cfg.Threshold,
+		Order2:    cfg.Order2,
+		Seed:      cfg.Seed,
+		Cells:     cells,
+		Summary: Summary{
+			Cells:   len(cells),
+			ByModel: map[string]int{},
+			ByRound: map[string]int{},
+		},
+	}
+	if cfg.Order2 {
+		a.Order2Cap = cfg.Order2Cap
+	}
+	for _, c := range cells {
+		if c.T > a.Summary.MaxT {
+			a.Summary.MaxT = c.T
+		}
+		if c.Exploitable {
+			a.Summary.Exploitable++
+			a.Summary.ByModel[c.Model]++
+			a.Summary.ByRound[strconv.Itoa(c.Round)]++
+		}
+	}
+	return a
+}
+
+// MarshalCanonical renders the atlas as its canonical byte form:
+// two-space-indented JSON with a trailing newline. Equal atlases always
+// produce equal bytes (struct field order is fixed, map keys are sorted
+// by encoding/json), which is what makes "bit-identical across workers /
+// paths / resumes" a plain bytes.Equal.
+func (a *Atlas) MarshalCanonical() ([]byte, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the canonical form to path.
+func (a *Atlas) WriteFile(path string) error {
+	data, err := a.MarshalCanonical()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads and validates an atlas.
+func ReadFile(path string) (*Atlas, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Atlas
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("atlas %s: %w", path, err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("atlas %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// Validate checks the structural invariants of an atlas document: the
+// schema tag, cell/summary consistency, the exploitable ⇔ T > threshold
+// contract, and position ranges. It does not re-run campaigns.
+func (a *Atlas) Validate() error {
+	if a.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", a.Schema, Schema)
+	}
+	if a.Positions <= 0 || a.GranBits <= 0 {
+		return fmt.Errorf("bad geometry: %d positions × %d bits", a.Positions, a.GranBits)
+	}
+	if len(a.Cells) != a.Summary.Cells {
+		return fmt.Errorf("summary says %d cells, document has %d", a.Summary.Cells, len(a.Cells))
+	}
+	exploitable, maxT := 0, 0.0
+	for i, c := range a.Cells {
+		if len(c.Pos) == 0 || len(c.Pos) != c.Order {
+			return fmt.Errorf("cell %d: order %d with %d positions", i, c.Order, len(c.Pos))
+		}
+		for _, p := range c.Pos {
+			if p < 0 || p >= a.Positions {
+				return fmt.Errorf("cell %d: position %d out of range 0..%d", i, p, a.Positions-1)
+			}
+		}
+		if c.Exploitable != (c.T > a.Threshold) {
+			return fmt.Errorf("cell %d: exploitable=%v but t=%.3f vs threshold %.3f",
+				i, c.Exploitable, c.T, a.Threshold)
+		}
+		if c.Exploitable {
+			exploitable++
+		}
+		if c.T > maxT {
+			maxT = c.T
+		}
+	}
+	if exploitable != a.Summary.Exploitable {
+		return fmt.Errorf("summary says %d exploitable, cells hold %d", a.Summary.Exploitable, exploitable)
+	}
+	if maxT != a.Summary.MaxT {
+		return fmt.Errorf("summary max_t %.6f, cells hold %.6f", a.Summary.MaxT, maxT)
+	}
+	return nil
+}
+
+// Heatmap renders the atlas's single-fault cells as a round × position
+// grid of max t over models (order-2 pair cells are omitted: a pair has
+// no single column). Threshold and labels come from the atlas.
+func (a *Atlas) Heatmap() *report.Heatmap {
+	col := "pos"
+	switch a.GranBits {
+	case 4:
+		col = "nibble"
+	case 8:
+		col = "byte"
+	}
+	h := report.NewHeatmap(
+		fmt.Sprintf("%s exploitability atlas (max t over %d model(s), threshold %.1f)",
+			a.Cipher, len(a.Models), a.Threshold),
+		"round", col, a.Threshold)
+	for _, c := range a.Cells {
+		if c.Order != 1 {
+			continue
+		}
+		h.Set(c.Round, c.Pos[0], c.T)
+	}
+	return h
+}
+
+// patternFor builds the fault pattern covering the given positions at
+// the given granularity.
+func patternFor(stateBits, granBits int, pos []int) bitvec.Vector {
+	v := bitvec.New(stateBits)
+	for _, p := range pos {
+		for j := 0; j < granBits; j++ {
+			v.Set(p*granBits + j)
+		}
+	}
+	return v
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }

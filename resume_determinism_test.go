@@ -202,3 +202,83 @@ func TestResumeRejectsForeignCheckpoint(t *testing.T) {
 		t.Errorf("resume with missing checkpoint should start fresh, got %v", err)
 	}
 }
+
+// TestSweepResumeDeterminism extends the bit-identity guarantee to the
+// exhaustive sweep engine: a checkpointed sweep interrupted after k cells
+// and rerun with the same configuration must produce an atlas
+// byte-identical to an uninterrupted run, for k at the very start, at a
+// shard boundary, and at the final cell, across worker counts.
+func TestSweepResumeDeterminism(t *testing.T) {
+	base := explorefault.SweepConfig{
+		Cipher:  "gift64",
+		Rounds:  []int{25},
+		Samples: 64,
+		Models: []explorefault.FaultModel{
+			explorefault.XorFlip, explorefault.StuckAtZero,
+		},
+		Seed: 7,
+	}
+	total := 32 // 2 models x 16 nibbles; 2 shards of sweep.ShardCells=16
+
+	refAtlas, err := explorefault.Sweep(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refAtlas.Summary.Cells != total {
+		t.Fatalf("reference sweep has %d cells, want %d", refAtlas.Summary.Cells, total)
+	}
+	ref, err := refAtlas.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	for _, workers := range []int{1, 4} {
+		// k = 0 interrupts before any cell, k = 16 exactly at the shard
+		// boundary (shard 0 persisted, shard 1 untouched), k = 32 after
+		// the final cell (the interrupted "run" already finished).
+		for _, k := range []int{0, 16, total} {
+			name := fmt.Sprintf("workers=%d/k=%d", workers, k)
+			t.Run(name, func(t *testing.T) {
+				path := filepath.Join(dir, fmt.Sprintf("sweep-w%d-k%d.bin", workers, k))
+
+				// Phase 1: run until cell k, then cancel.
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				cfg := base
+				cfg.Workers = workers
+				cfg.Checkpoint = path
+				kk := k
+				if k == 0 {
+					cancel()
+				} else {
+					cfg.Progress = func(done, _ int) {
+						if done >= kk {
+							cancel()
+						}
+					}
+				}
+				if _, err := explorefault.Sweep(ctx, cfg); err != nil &&
+					!errors.Is(err, context.Canceled) {
+					t.Fatalf("interrupted sweep: %v", err)
+				}
+
+				// Phase 2: resume with a fresh context and no interruption.
+				cfg = base
+				cfg.Workers = workers
+				cfg.Checkpoint = path
+				atlas, err := explorefault.Sweep(context.Background(), cfg)
+				if err != nil {
+					t.Fatalf("resume: %v", err)
+				}
+				data, err := atlas.MarshalCanonical()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(data) != string(ref) {
+					t.Fatal("resumed atlas differs from uninterrupted reference")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,79 @@
+#!/bin/sh
+# Exhaustive-sweep smoke test: run a reduced-round atlas sweep twice —
+# once uninterrupted as the reference, once with checkpointing, SIGINT'd
+# mid-sweep and resumed — and require the two atlas documents to match
+# byte for byte. Along the way the interrupted run's span trace and event
+# log are validated (tracecheck + obsreport) and the atlas passes its own
+# structural validation. Finally a tiny discovery run's event log is
+# replayed against the atlas to exercise the coverage comparator.
+#
+# Robust by construction: if the background sweep finishes before the
+# signal lands, the "resume" is a no-op rerun over finished shards and
+# still must reproduce the reference bytes.
+#
+# Usage: sh scripts/smoke_atlas.sh [outdir]
+set -eu
+
+GO=${GO:-go}
+if [ $# -ge 1 ]; then
+    DIR=$1
+    mkdir -p "$DIR"
+else
+    DIR=$(mktemp -d)
+    trap 'rm -rf "$DIR"' EXIT
+fi
+
+BIN="$DIR/atlas"
+$GO build -o "$BIN" ./cmd/atlas
+
+# 28 rounds x 16 nibbles x 2 models = 896 cells (56 shards) of GIFT-64:
+# a few seconds of work, so the SIGINT below usually lands mid-sweep.
+ARGS="-cipher gift64 -rounds 1-28 -fault-type xor,stuck-at-0 -samples 1024 -seed 7 -heatmap none"
+
+echo "== reference sweep (uninterrupted)"
+$BIN $ARGS -o "$DIR/ref.atlas.json" > "$DIR/ref.out"
+
+echo "== interrupted sweep"
+$BIN $ARGS -checkpoint "$DIR/sweep.ckpt" -o "$DIR/int.atlas.json" \
+    -events "$DIR/run.jsonl" -trace "$DIR/trace.json" \
+    > "$DIR/int.out" 2> "$DIR/int.err" &
+PID=$!
+sleep 1
+kill -INT "$PID" 2>/dev/null || true
+wait "$PID" && INTERRUPTED=0 || INTERRUPTED=1
+echo "   (interrupted=$INTERRUPTED)"
+
+if [ "$INTERRUPTED" = 1 ]; then
+    test -s "$DIR/sweep.ckpt" || { echo "FAIL: interrupted sweep left no checkpoint"; exit 1; }
+    grep -q "rerun with the same arguments to resume" "$DIR/int.err" || {
+        echo "FAIL: no resume hint on interrupt"; cat "$DIR/int.err"; exit 1; }
+    echo "== resumed sweep"
+    $BIN $ARGS -checkpoint "$DIR/sweep.ckpt" -o "$DIR/int.atlas.json" \
+        -events "$DIR/run2.jsonl" -trace "$DIR/trace2.json" > "$DIR/res.out"
+fi
+
+cmp "$DIR/ref.atlas.json" "$DIR/int.atlas.json" || {
+    echo "FAIL: resumed atlas differs from the uninterrupted reference"; exit 1; }
+echo "   resumed atlas is byte-identical to the reference"
+
+echo "== atlas validation"
+$BIN -validate "$DIR/ref.atlas.json"
+
+echo "== trace and event-log validation"
+test -s "$DIR/trace.json" || { echo "FAIL: no trace written"; exit 1; }
+$GO run ./cmd/tracecheck "$DIR/trace.json" run sweep sweep_shard
+awk 'NF && !/^\{"ts".*\}$/ { print "FAIL: truncated event line " NR ": " $0; bad = 1 }
+     END { exit bad }' "$DIR/run.jsonl"
+$GO run ./cmd/obsreport "$DIR/run.jsonl" > "$DIR/report.md"
+grep -q "^sweep: " "$DIR/report.md" || {
+    echo "FAIL: obsreport has no sweep section"; cat "$DIR/report.md"; exit 1; }
+
+echo "== coverage replay of a real discovery event log"
+$GO run ./cmd/explorefault -cipher gift64 -round 25 -episodes 16 -samples 128 -seed 7 \
+    -events "$DIR/discover.jsonl" > "$DIR/discover.out"
+$BIN -replay "$DIR/discover.jsonl" -atlas "$DIR/ref.atlas.json" > "$DIR/replay.out"
+grep -q "^coverage: " "$DIR/replay.out" || {
+    echo "FAIL: replay produced no coverage line"; cat "$DIR/replay.out"; exit 1; }
+sed 's/^/   /' "$DIR/replay.out"
+
+echo "PASS: sweep survives SIGINT+resume bit-identically and the atlas validates"

@@ -1,0 +1,133 @@
+package explorefault_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	explorefault "repro"
+)
+
+// TestSweepGroundTruthConsistency is the property test tying the two
+// halves of the system together: every (round, position, model) cell the
+// RL agent reports exploitable during a discovery run must also be
+// exploitable in the exhaustive sweep atlas of the same keyed cipher at
+// the same threshold. The sweep and the discovery share the seed, so
+// both attack the same key; the sweep's Order2 mode covers the 1- and
+// 2-position patterns an agent episode can map onto, and wider patterns
+// are off-atlas by construction (reported, not failed).
+func TestSweepGroundTruthConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("discovery session + order-2 sweep")
+	}
+
+	// The discovery half of the TestDiscoverGIFTSmallBudget fixture,
+	// with the episode log captured in memory.
+	var log bytes.Buffer
+	events := explorefault.NewEventEmitter(&log)
+	res, err := explorefault.Discover(explorefault.DiscoverConfig{
+		Cipher:     "gift64",
+		Round:      25,
+		Episodes:   160,
+		NumEnvs:    4,
+		Samples:    256,
+		MaxHarvest: 6,
+		Seed:       1,
+		Events:     events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := events.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.ConvergedLeaky {
+		t.Fatal("fixture no longer converges; property test has nothing to check")
+	}
+
+	// The exhaustive half: same cipher, same seed (hence same derived
+	// key), same trace budget and threshold, order-2 pairs on.
+	atlas, err := explorefault.Sweep(context.Background(), explorefault.SweepConfig{
+		Cipher:  "gift64",
+		Rounds:  []int{25},
+		Samples: 256,
+		Order2:  true,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kh := atlas.KeyHex; kh != hexKey(res.Key) {
+		t.Fatalf("sweep key %s != discovery key %s: seed-matched runs diverged", kh, hexKey(res.Key))
+	}
+
+	rep, err := explorefault.CompareAtlas(atlas, 25, bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Episodes < 160 {
+		t.Fatalf("comparator read %d episodes, want >= 160 (event log truncated?)", rep.Episodes)
+	}
+	// The property, comparator form: no leaky episode and no verified
+	// harvested model may land on a cell the exhaustive sweep classified
+	// not exploitable.
+	if rep.Mismatches != 0 {
+		t.Errorf("%d leaky episodes map onto atlas cells the sweep says are NOT exploitable", rep.Mismatches)
+	}
+	if rep.ModelMismatches != 0 {
+		t.Errorf("%d verified models map onto atlas cells the sweep says are NOT exploitable", rep.ModelMismatches)
+	}
+	if rep.VerifiedModels == 0 {
+		t.Error("event log carried no model_verified events")
+	}
+	if rep.FoundCells > 0 && rep.EpisodesToFirstHit == 0 {
+		t.Error("found cells but no episodes-to-first-hit recorded")
+	}
+	if rep.ExploitableCells == 0 {
+		t.Error("atlas has no exploitable cells at GIFT-64 round 25")
+	}
+
+	// The property, typed form: walk the harvested models directly. A
+	// model whose pattern exactly tiles <= 2 whole nibbles must be an
+	// exploitable cell of the atlas under the same fault model.
+	cellOf := map[string]*explorefault.AtlasCell{}
+	for i := range atlas.Cells {
+		c := &atlas.Cells[i]
+		cellOf[fmt.Sprintf("%v|%s", c.Pos, c.Model)] = c
+	}
+	checked := 0
+	for _, m := range res.Models {
+		groups := m.Pattern.Groups(atlas.GranBits)
+		if m.Pattern.Count() != atlas.GranBits*len(groups) {
+			continue // partial-position pattern: not an atlas cell
+		}
+		if len(groups) == 0 || len(groups) > 2 {
+			continue // wider than the order-2 atlas
+		}
+		cell, ok := cellOf[fmt.Sprintf("%v|%s", groups, m.Fault.String())]
+		if !ok {
+			t.Errorf("model %v maps to no atlas cell (pos %v)", m, groups)
+			continue
+		}
+		checked++
+		if !cell.Exploitable {
+			t.Errorf("RL reports model %v exploitable (t=%.1f) but atlas cell %v has t=%.1f <= %.1f",
+				m, m.T, groups, cell.T, atlas.Threshold)
+		}
+	}
+	if checked == 0 {
+		t.Error("no harvested model mapped onto the atlas; the typed property checked nothing")
+	}
+	t.Logf("coverage: %d/%d exploitable cells found in %d episodes (first hit at %d, off-atlas %d); %d/%d harvested models checked against the atlas",
+		rep.FoundCells, rep.ExploitableCells, rep.Episodes, rep.EpisodesToFirstHit, rep.OffAtlas, checked, len(res.Models))
+}
+
+func hexKey(key []byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 0, 2*len(key))
+	for _, b := range key {
+		out = append(out, digits[b>>4], digits[b&0xf])
+	}
+	return string(out)
+}
