@@ -1,10 +1,10 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr8.json
-BENCH_BASE ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr9.json
+BENCH_BASE ?= BENCH_pr8.json
 BENCH_LABEL ?= after
 FUZZTIME ?= 10s
 
-.PHONY: all build test check vet race bench bench-all bench-compare fuzz smoke-resume smoke-trace smoke-atlas fmt
+.PHONY: all build test check vet race bench bench-all bench-compare fuzz smoke-resume smoke-trace smoke-atlas smoke-server fmt
 
 all: build
 
@@ -71,6 +71,13 @@ smoke-trace:
 # coverage replay of a real discovery event log.
 smoke-atlas:
 	sh scripts/smoke_atlas.sh
+
+# Daemon restart smoke: SIGTERM explorefaultd mid-job, restart it on the
+# same data directory, and require the resumed job's result and
+# normalized event stream to match an uninterrupted daemon's byte for
+# byte.
+smoke-server:
+	sh scripts/smoke_server.sh
 
 fmt:
 	gofmt -l -w .

@@ -13,40 +13,50 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	explorefault "repro"
 	"repro/internal/ciphers"
-	_ "repro/internal/ciphers/aes"
-	_ "repro/internal/ciphers/gift"
-	_ "repro/internal/ciphers/present"
-	_ "repro/internal/ciphers/simon"
+	_ "repro/internal/ciphers/all" // register every cipher
 	"repro/internal/coverage"
 	"repro/internal/prng"
 	"repro/internal/report"
 )
 
 func main() {
-	cipherName := flag.String("cipher", "gift64", "target cipher: "+fmt.Sprint(explorefault.Ciphers()))
-	roundsFlag := flag.String("rounds", "", "comma-separated injection rounds (default: last 5)")
-	samples := flag.Int("samples", 512, "t-test samples per classification")
-	perSize := flag.Int("per-size", 16, "random patterns per size class")
-	seed := flag.Uint64("seed", 1, "experiment seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "coverage:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI body: it parses args, runs the scan, and
+// writes the coverage table to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("coverage", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cipherName := fs.String("cipher", "gift64", "target cipher: "+fmt.Sprint(explorefault.Ciphers()))
+	roundsFlag := fs.String("rounds", "", "comma-separated injection rounds (default: last 5)")
+	samples := fs.Int("samples", 512, "t-test samples per classification")
+	perSize := fs.Int("per-size", 16, "random patterns per size class")
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	rng := prng.New(*seed)
 	info, err := ciphers.Lookup(*cipherName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	key := make([]byte, info.KeyBytes)
 	rng.Fill(key)
 	c, err := info.New(key)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	cfg := coverage.Config{Samples: *samples, RandomPerSize: *perSize}
@@ -54,7 +64,7 @@ func main() {
 		for _, part := range strings.Split(*roundsFlag, ",") {
 			r, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
-				log.Fatalf("bad -rounds: %v", err)
+				return fmt.Errorf("bad -rounds: %v", err)
 			}
 			cfg.Rounds = append(cfg.Rounds, r)
 		}
@@ -64,7 +74,7 @@ func main() {
 
 	rep, err := coverage.Scan(c, cfg, rng.Split())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	groupName := "byte"
@@ -84,10 +94,16 @@ func main() {
 			fmt.Sprintf("%d/%d", r.Groups.Exploitable, r.Groups.Tested),
 			strings.Join(rnd, "  "))
 	}
-	tb.Render(os.Stdout)
+	tb.Render(stdout)
 
 	tested, exploitable := rep.Coverage()
-	fmt.Printf("\nclassified %d fault patterns, %d exploitable (%.1f%%)\n",
+	if tested == 0 {
+		// An empty scan used to print "NaN%" and exit 0; make it a hard
+		// error instead so scripts notice.
+		return fmt.Errorf("scan classified no fault patterns")
+	}
+	fmt.Fprintf(stdout, "\nclassified %d fault patterns, %d exploitable (%.1f%%)\n",
 		tested, exploitable, 100*float64(exploitable)/float64(tested))
-	fmt.Printf("most vulnerable scanned round: %d\n", rep.MostVulnerableRound())
+	fmt.Fprintf(stdout, "most vulnerable scanned round: %d\n", rep.MostVulnerableRound())
+	return nil
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,12 +23,25 @@ import (
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "use reduced experiment budgets")
-	seed := flag.Uint64("seed", 2023, "experiment seed")
-	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
 
-	opt := harness.Options{Seed: *seed, Quick: *quick, Out: os.Stdout}
+// run is the testable CLI body: it parses args and regenerates the
+// selected experiments to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "use reduced experiment budgets")
+	seed := fs.Uint64("seed", 2023, "experiment seed")
+	only := fs.String("only", "", "comma-separated experiment subset (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := harness.Options{Seed: *seed, Quick: *quick, Out: stdout}
 
 	type experiment struct {
 		name string
@@ -48,10 +62,20 @@ func main() {
 		{"observation", func(o harness.Options) error { _, err := harness.AblationObservation(o); return err }},
 	}
 
+	// An unknown -only name used to silently run nothing; reject it so a
+	// typo ("fig6") fails loudly instead of printing an empty report.
 	selected := map[string]bool{}
 	if *only != "" {
+		known := map[string]bool{}
+		for _, e := range experiments {
+			known[e.name] = true
+		}
 		for _, name := range strings.Split(*only, ",") {
-			selected[strings.TrimSpace(name)] = true
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				return fmt.Errorf("unknown experiment %q in -only (have: I, II, III, IV, V, fig3, fig4, fig5, keyrecovery, grouping, agent, observation)", name)
+			}
+			selected[name] = true
 		}
 	}
 
@@ -59,12 +83,12 @@ func main() {
 		if len(selected) > 0 && !selected[e.name] {
 			continue
 		}
-		fmt.Printf("== experiment %s (seed %d, quick=%v) ==\n", e.name, *seed, *quick)
+		fmt.Fprintf(stdout, "== experiment %s (seed %d, quick=%v) ==\n", e.name, *seed, *quick)
 		start := time.Now()
 		if err := e.run(opt); err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.name, err)
-			os.Exit(1)
+			return fmt.Errorf("experiment %s: %w", e.name, err)
 		}
-		fmt.Printf("(%s in %s)\n\n", e.name, time.Since(start).Round(time.Second))
+		fmt.Fprintf(stdout, "(%s in %s)\n\n", e.name, time.Since(start).Round(time.Second))
 	}
+	return nil
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{"-only", "fig6"},
+		{"-only", "I,banana"},
+		{"-seed", "not-a-number"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if err := run(args, &out, &errOut); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunTableISubset(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-quick", "-only", "I", "-seed", "2023"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "== experiment I ") {
+		t.Errorf("output missing experiment banner:\n%s", got)
+	}
+	if strings.Contains(got, "== experiment II ") {
+		t.Errorf("-only I also ran experiment II:\n%s", got)
+	}
+}

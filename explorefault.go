@@ -31,11 +31,7 @@ import (
 	"repro/internal/abstraction"
 	"repro/internal/bitvec"
 	"repro/internal/ciphers"
-	_ "repro/internal/ciphers/aes"     // register aes128
-	_ "repro/internal/ciphers/gift"    // register gift64, gift128
-	_ "repro/internal/ciphers/present" // register present80
-	_ "repro/internal/ciphers/simon"   // register simon64, simon32
-	_ "repro/internal/ciphers/speck"   // register speck64, speck32
+	_ "repro/internal/ciphers/all" // register every cipher implementation
 	"repro/internal/countermeasure"
 	"repro/internal/explore"
 	"repro/internal/fault"

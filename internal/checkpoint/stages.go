@@ -100,6 +100,23 @@ func (s *Stages) Put(stage string, val any) error {
 	return Save(s.path, s.kind, &s.data)
 }
 
+// Delete removes stage's stored result and, for a file-backed store,
+// persists the removal atomically. Deleting an absent stage is a no-op.
+// Job-style stores (one stage per record) use it to purge entries whose
+// lifetime ended.
+func (s *Stages) Delete(stage string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.data.Stages[stage]; !ok {
+		return nil
+	}
+	delete(s.data.Stages, stage)
+	if s.path == "" {
+		return nil
+	}
+	return Save(s.path, s.kind, &s.data)
+}
+
 // Len reports the number of stored stages.
 func (s *Stages) Len() int {
 	s.mu.Lock()

@@ -137,3 +137,47 @@ func TestStagesConcurrentPut(t *testing.T) {
 		t.Fatalf("reopened Len = %d, want 16", s2.Len())
 	}
 }
+
+func TestStagesDelete(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stages.ck")
+	s, err := OpenStages(path, "test-stages", "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("missing"); err != nil {
+		t.Fatalf("deleting an absent stage: %v", err)
+	}
+	if err := s.Put("a", stageVal{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", stageVal{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Done("a", nil) {
+		t.Fatal("deleted stage still reported done")
+	}
+
+	// The removal is durable: a reopened store sees only "b".
+	s2, err := OpenStages(path, "test-stages", "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 || s2.Done("a", nil) || !s2.Done("b", nil) {
+		t.Fatalf("reopened store after delete: len=%d names=%v", s2.Len(), s2.Names())
+	}
+
+	// In-memory stores delete too.
+	mem, err := OpenStages("", "test-stages", "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Put("x", stageVal{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Delete("x"); err != nil || mem.Len() != 0 {
+		t.Fatalf("in-memory delete: err=%v len=%d", err, mem.Len())
+	}
+}

@@ -1,0 +1,104 @@
+// JSON codecs for the enum knobs, so configuration structs that embed
+// them (sweep.Config, the job specs of internal/server) round-trip
+// through JSON using the same names the -fault-type / -oracle CLI flags
+// speak instead of opaque enum integers. Decoding also accepts the
+// integer form for compatibility with logs that predate these codecs.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// MarshalJSON renders the model as its CLI name ("xor", "stuck-at-0", ...).
+func (m Model) MarshalJSON() ([]byte, error) {
+	if int(m) < 0 || int(m) >= numModels {
+		return nil, fmt.Errorf("fault: marshal of invalid model %d", int(m))
+	}
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON accepts a CLI name or a bare enum integer.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := ParseModel(s)
+		if err != nil {
+			return err
+		}
+		*m = parsed
+		return nil
+	}
+	n, err := strconv.Atoi(string(data))
+	if err != nil || n < 0 || n >= numModels {
+		return fmt.Errorf("fault: bad fault model %s", data)
+	}
+	*m = Model(n)
+	return nil
+}
+
+// MarshalJSON renders the oracle as its CLI name ("welch", "sifa").
+func (o OracleKind) MarshalJSON() ([]byte, error) {
+	if o != OracleWelch && o != OracleSIFA {
+		return nil, fmt.Errorf("fault: marshal of invalid oracle %d", int(o))
+	}
+	return json.Marshal(o.String())
+}
+
+// UnmarshalJSON accepts a CLI name or a bare enum integer.
+func (o *OracleKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := ParseOracle(s)
+		if err != nil {
+			return err
+		}
+		*o = parsed
+		return nil
+	}
+	n, err := strconv.Atoi(string(data))
+	if err != nil || n < int(OracleWelch) || n > int(OracleSIFA) {
+		return fmt.Errorf("fault: bad oracle %s", data)
+	}
+	*o = OracleKind(n)
+	return nil
+}
+
+// ParseMode parses a mode name ("random-mask", "flip-all").
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "random-mask":
+		return RandomMask, nil
+	case "flip-all":
+		return FlipAll, nil
+	}
+	return 0, fmt.Errorf("fault: unknown mode %q (have random-mask, flip-all)", s)
+}
+
+// MarshalJSON renders the mode as its name ("random-mask", "flip-all").
+func (m Mode) MarshalJSON() ([]byte, error) {
+	if m != RandomMask && m != FlipAll {
+		return nil, fmt.Errorf("fault: marshal of invalid mode %d", int(m))
+	}
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON accepts a mode name or a bare enum integer.
+func (m *Mode) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := ParseMode(s)
+		if err != nil {
+			return err
+		}
+		*m = parsed
+		return nil
+	}
+	n, err := strconv.Atoi(string(data))
+	if err != nil || n < int(RandomMask) || n > int(FlipAll) {
+		return fmt.Errorf("fault: bad mode %s", data)
+	}
+	*m = Mode(n)
+	return nil
+}

@@ -46,6 +46,14 @@ const (
 	EventSweepStarted  = "sweep_started"
 	EventSweepCell     = "sweep_cell"
 	EventSweepFinished = "sweep_finished"
+	// Job lifecycle events of the campaign server (internal/server):
+	// submitted on POST /jobs, started when a worker picks the job up
+	// (fields include "resumes" when a daemon restart re-ran it),
+	// finished with the terminal state, cancelled on DELETE /jobs/{id}.
+	EventJobSubmitted = "job_submitted"
+	EventJobStarted   = "job_started"
+	EventJobFinished  = "job_finished"
+	EventJobCancelled = "job_cancelled"
 	// EventEmitterStats is the final line the emitter writes about itself
 	// at Close: how many events were emitted and how many were silently
 	// dropped to marshal or write errors. Analysis tools (obsreport) use
@@ -89,6 +97,21 @@ func NewEmitter(w io.Writer) *Emitter {
 // owning it; Close releases the file.
 func OpenEmitter(path string) (*Emitter, error) {
 	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening events file: %w", err)
+	}
+	e := NewEmitter(f)
+	e.closer = f
+	return e, nil
+}
+
+// AppendEmitter opens (or creates) a JSONL file for appending and
+// returns an emitter owning it. A resumed run uses it to continue the
+// event log of its interrupted predecessor instead of erasing it; the
+// sequence counter restarts at 0 for each process, so consumers ordering
+// across restarts must use (ts, seq), not seq alone.
+func AppendEmitter(path string) (*Emitter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("obs: opening events file: %w", err)
 	}

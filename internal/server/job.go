@@ -1,0 +1,139 @@
+// Package server turns the discovery engines into a long-running
+// campaign service: an HTTP/JSON API that accepts discovery, assessment
+// and sweep jobs, schedules them FIFO across a worker pool under
+// per-tenant concurrency quotas, persists every job's state through
+// checkpoint.Stages so a daemon restart resumes in-flight jobs
+// bit-identically, and streams each job's JSONL run events over SSE.
+//
+// The package is engine-agnostic: it schedules, persists and serves
+// jobs, while the Runner interface (implemented by the root explorefault
+// package over DiscoverContext / AssessContext / Sweep) does the actual
+// work. That split keeps the scheduler testable with fake runners and
+// avoids an import cycle with the facade.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Job types accepted by POST /jobs.
+const (
+	TypeDiscover = "discover"
+	TypeAssess   = "assess"
+	TypeSweep    = "sweep"
+)
+
+// State is a job's lifecycle state. The machine is
+//
+//	queued → running → done | failed | cancelled
+//
+// with one extra edge: a daemon restart moves interrupted running jobs
+// back to queued (incrementing Job.Resumes), and the re-run resumes from
+// the job's engine checkpoint, so the eventual outcome is bit-identical
+// to an uninterrupted run.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Spec is the client-submitted description of a job: the POST /jobs
+// request body.
+type Spec struct {
+	// Type selects the engine: "discover", "assess" or "sweep".
+	Type string `json:"type"`
+	// Tenant attributes the job for quota accounting; empty is the
+	// anonymous tenant. Scheduling is FIFO overall, but a tenant never
+	// holds more than the server's per-tenant quota of workers at once.
+	Tenant string `json:"tenant,omitempty"`
+	// Name is a free-form label echoed back in listings.
+	Name string `json:"name,omitempty"`
+	// ShardRange restricts a sweep job to checkpoint shards
+	// [ShardRange[0], ShardRange[1]) of the canonical cell enumeration
+	// ([0, 0] = all). Shards are bit-deterministic, so a job split
+	// across processes by shard range and merged in shard order equals
+	// the single-process run byte for byte — horizontal fan-out is a
+	// config change, not a rewrite.
+	ShardRange [2]int `json:"shard_range,omitempty"`
+	// Config is the engine configuration, decoded by the Runner:
+	// DiscoverConfig for discover jobs, AssessConfig (plus a pattern)
+	// for assess jobs, sweep.Config for sweep jobs.
+	Config json.RawMessage `json:"config"`
+}
+
+// validate checks the engine-independent parts of a spec.
+func (sp *Spec) validate() error {
+	switch sp.Type {
+	case TypeDiscover, TypeAssess, TypeSweep:
+	default:
+		return fmt.Errorf("unknown job type %q (have discover, assess, sweep)", sp.Type)
+	}
+	if sp.ShardRange[0] < 0 || sp.ShardRange[1] < 0 || sp.ShardRange[0] > sp.ShardRange[1] {
+		return fmt.Errorf("bad shard_range [%d, %d)", sp.ShardRange[0], sp.ShardRange[1])
+	}
+	if sp.ShardRange != [2]int{} && sp.Type != TypeSweep {
+		return fmt.Errorf("shard_range applies to sweep jobs only")
+	}
+	if len(sp.Config) == 0 {
+		return fmt.Errorf("missing config")
+	}
+	return nil
+}
+
+// Job is one submitted job: the spec plus its lifecycle record. Jobs are
+// persisted (gob, via checkpoint.Stages) on every state change and
+// returned (JSON) by the API.
+type Job struct {
+	ID   string `json:"id"`
+	Seq  uint64 `json:"seq"`
+	Spec Spec   `json:"spec"`
+
+	State State `json:"state"`
+	// Error is set when State is failed (and for cancelled jobs records
+	// the cancellation cause).
+	Error string `json:"error,omitempty"`
+	// Result is the runner's deterministic outcome document (set when
+	// State is done). It deliberately excludes wall-clock figures so an
+	// interrupted-and-resumed job's result is byte-identical to an
+	// uninterrupted one.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Resumes counts how many times a daemon restart re-queued the job
+	// while it was running.
+	Resumes int `json:"resumes,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// cancelRequested marks a DELETE on a running job so the worker can
+	// distinguish client cancellation from a daemon shutdown.
+	cancelRequested bool
+}
+
+// clone returns a copy safe to hand out after the lock is released.
+func (j *Job) clone() *Job {
+	c := *j
+	return &c
+}
+
+// Files are the stable per-job paths inside the server's data directory.
+// The Checkpoint path is handed to the engine (training checkpoint for
+// discover, shard store for sweep), Events receives the job's JSONL run
+// events (tailed by the SSE endpoint), and Output is where large result
+// artifacts (atlas documents) land.
+type Files struct {
+	Checkpoint string
+	Events     string
+	Output     string
+}

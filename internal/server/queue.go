@@ -1,0 +1,60 @@
+package server
+
+// queue is the FIFO-with-per-tenant-quota scheduler state: job IDs in
+// submission order, plus the per-tenant running counts the quota is
+// enforced against. It is not safe for concurrent use; the Server's
+// mutex guards it.
+type queue struct {
+	ids     []string
+	running map[string]int
+	quota   int
+}
+
+func newQueue(quota int) *queue {
+	return &queue{running: map[string]int{}, quota: quota}
+}
+
+// push appends a job ID in FIFO order.
+func (q *queue) push(id string) { q.ids = append(q.ids, id) }
+
+// pop removes and returns the first queued job whose tenant has a free
+// quota slot, charging the slot. Jobs of saturated tenants are skipped —
+// not reordered — so the queue stays FIFO within and across tenants as
+// slots free up. Returns "" when nothing is eligible.
+func (q *queue) pop(tenantOf func(id string) string) string {
+	for i, id := range q.ids {
+		t := tenantOf(id)
+		if q.running[t] >= q.quota {
+			continue
+		}
+		q.ids = append(q.ids[:i], q.ids[i+1:]...)
+		q.running[t]++
+		return id
+	}
+	return ""
+}
+
+// release returns a tenant's quota slot after its job leaves the
+// running state.
+func (q *queue) release(tenant string) {
+	if q.running[tenant] > 1 {
+		q.running[tenant]--
+		return
+	}
+	delete(q.running, tenant)
+}
+
+// remove deletes a queued job ID (DELETE on a queued job); it reports
+// whether the ID was present.
+func (q *queue) remove(id string) bool {
+	for i, got := range q.ids {
+		if got == id {
+			q.ids = append(q.ids[:i], q.ids[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// depth reports the number of queued jobs.
+func (q *queue) depth() int { return len(q.ids) }

@@ -1,0 +1,66 @@
+package server
+
+import "testing"
+
+func TestQueueFIFO(t *testing.T) {
+	q := newQueue(2)
+	tenant := func(id string) string { return "t" }
+	for _, id := range []string{"a", "b", "c"} {
+		q.push(id)
+	}
+	if got := q.pop(tenant); got != "a" {
+		t.Fatalf("pop = %q, want a", got)
+	}
+	if got := q.pop(tenant); got != "b" {
+		t.Fatalf("pop = %q, want b", got)
+	}
+	// Tenant t is now at quota (2 running): c must wait.
+	if got := q.pop(tenant); got != "" {
+		t.Fatalf("pop past quota = %q, want none", got)
+	}
+	q.release("t")
+	if got := q.pop(tenant); got != "c" {
+		t.Fatalf("pop after release = %q, want c", got)
+	}
+	if q.depth() != 0 {
+		t.Fatalf("depth = %d, want 0", q.depth())
+	}
+}
+
+func TestQueueQuotaSkipsSaturatedTenant(t *testing.T) {
+	q := newQueue(1)
+	tenants := map[string]string{"a1": "a", "a2": "a", "b1": "b"}
+	tenant := func(id string) string { return tenants[id] }
+	for _, id := range []string{"a1", "a2", "b1"} {
+		q.push(id)
+	}
+	if got := q.pop(tenant); got != "a1" {
+		t.Fatalf("pop = %q, want a1", got)
+	}
+	// a is saturated: a2 is skipped, not reordered; b1 runs.
+	if got := q.pop(tenant); got != "b1" {
+		t.Fatalf("pop = %q, want b1 (skip saturated tenant)", got)
+	}
+	if got := q.pop(tenant); got != "" {
+		t.Fatalf("pop = %q, want none", got)
+	}
+	q.release("a")
+	if got := q.pop(tenant); got != "a2" {
+		t.Fatalf("pop = %q, want a2", got)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newQueue(1)
+	q.push("a")
+	q.push("b")
+	if !q.remove("a") {
+		t.Fatal("remove(a) = false")
+	}
+	if q.remove("a") {
+		t.Fatal("second remove(a) = true")
+	}
+	if got := q.pop(func(string) string { return "" }); got != "b" {
+		t.Fatalf("pop = %q, want b", got)
+	}
+}

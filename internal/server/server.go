@@ -1,0 +1,468 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Runner executes one job. Implementations decode spec.Config into their
+// engine configuration, wire the given files (engine checkpoint, event
+// log, output artifact) and instrumentation in, and return the job's
+// deterministic result document. Run must honor ctx cancellation at an
+// engine boundary and leave a resumable checkpoint behind, and a re-Run
+// of the same spec with the same files must converge to the identical
+// result — the server's restart durability is built on that contract.
+type Runner interface {
+	// Validate vets spec.Config without running anything (POST /jobs
+	// rejects bad specs synchronously).
+	Validate(spec Spec) error
+	// Run executes the job.
+	Run(ctx context.Context, spec Spec, files Files, metrics *obs.Registry, events *obs.Emitter) (json.RawMessage, error)
+}
+
+// Sentinel errors; the HTTP layer maps them to status codes.
+var (
+	// ErrBadSpec: the submitted spec is malformed (HTTP 400).
+	ErrBadSpec = errors.New("server: bad job spec")
+	// ErrNotFound: no job with that ID (HTTP 404).
+	ErrNotFound = errors.New("server: no such job")
+	// ErrClosed: the server is shutting down (HTTP 503).
+	ErrClosed = errors.New("server: shutting down")
+)
+
+// Config tunes a Server. Zero values select defaults.
+type Config struct {
+	// DataDir is the server's state directory: the durable job table
+	// (jobs.ckpt) plus each job's engine checkpoint, JSONL event log
+	// and output artifact. Restarting a daemon on the same directory
+	// resumes everything; the directory is the whole daemon state.
+	DataDir string
+	// Workers is the job worker-pool size (default 2). Each worker runs
+	// one job at a time; the job's own campaign parallelism is governed
+	// by its config's Workers knob, not this one.
+	Workers int
+	// TenantQuota bounds how many jobs one tenant may have running at
+	// once (default: Workers, i.e. no effective limit for a lone
+	// tenant). Queued jobs beyond the quota wait without blocking other
+	// tenants' jobs behind them.
+	TenantQuota int
+	// Runner executes jobs. Required.
+	Runner Runner
+	// Metrics, if non-nil, receives scheduler instrumentation and is
+	// served on /metrics (plus expvar and pprof under /debug/) by
+	// Handler.
+	Metrics *obs.Registry
+	// Events, if non-nil, receives daemon-level job lifecycle events
+	// (job_submitted, job_started, job_finished, job_cancelled). Each
+	// job additionally gets its own per-job event log under DataDir.
+	Events *obs.Emitter
+}
+
+// Server is the campaign job server: scheduler state, worker pool and
+// durable store. Construct with New, serve Handler over HTTP, stop with
+// Close.
+type Server struct {
+	cfg   Config
+	store *store
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*Job
+	q       *queue
+	cancels map[string]context.CancelFunc
+	nextSeq uint64
+	closed  bool
+}
+
+// New opens (or creates) the data directory, loads the durable job
+// table, re-queues jobs that were queued or running when the previous
+// daemon stopped, and starts the worker pool. Interrupted running jobs
+// resume from their engine checkpoints bit-identically.
+func New(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, errors.New("server: Config.DataDir is required")
+	}
+	if cfg.Runner == nil {
+		return nil, errors.New("server: Config.Runner is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.TenantQuota <= 0 {
+		cfg.TenantQuota = cfg.Workers
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	st, err := openStore(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		store:      st,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+		q:          newQueue(cfg.TenantQuota),
+		cancels:    map[string]context.CancelFunc{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	jobs, seq := st.load()
+	s.nextSeq = seq
+	for _, j := range jobs {
+		if j.Seq >= s.nextSeq {
+			s.nextSeq = j.Seq + 1
+		}
+		j.cancelRequested = false
+		switch j.State {
+		case StateQueued:
+			s.q.push(j.ID)
+		case StateRunning:
+			// Interrupted mid-run (graceful shutdown or crash): back to
+			// the queue; the re-run resumes from the engine checkpoint.
+			j.State = StateQueued
+			j.Resumes++
+			if err := st.putJob(j); err != nil {
+				cancel()
+				return nil, err
+			}
+			s.q.push(j.ID)
+		}
+		s.jobs[j.ID] = j
+	}
+	s.updateGauges()
+
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Files returns the stable per-job paths for a job ID.
+func (s *Server) Files(id string) Files {
+	return Files{
+		Checkpoint: filepath.Join(s.cfg.DataDir, id+".ckpt"),
+		Events:     filepath.Join(s.cfg.DataDir, id+".events.jsonl"),
+		Output:     filepath.Join(s.cfg.DataDir, id+".out.json"),
+	}
+}
+
+// Submit validates and enqueues a job, returning its durable record.
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if err := s.cfg.Runner.Validate(spec); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	j := &Job{
+		ID:          fmt.Sprintf("j-%06d", seq),
+		Seq:         seq,
+		Spec:        spec,
+		State:       StateQueued,
+		SubmittedAt: time.Now().UTC(),
+	}
+	if err := s.store.putSeq(s.nextSeq); err != nil {
+		return nil, err
+	}
+	if err := s.store.putJob(j); err != nil {
+		return nil, err
+	}
+	s.jobs[j.ID] = j
+	s.q.push(j.ID)
+	s.cfg.Metrics.Counter("server.jobs_submitted_total").Inc()
+	s.updateGauges()
+	s.cfg.Events.Emit(obs.EventJobSubmitted, map[string]any{
+		"id": j.ID, "type": spec.Type, "tenant": spec.Tenant, "name": spec.Name,
+	})
+	s.cond.Broadcast()
+	return j.clone(), nil
+}
+
+// Job returns a copy of one job's record.
+func (s *Server) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.clone(), nil
+}
+
+// Jobs returns copies of every job record in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.clone())
+	}
+	sortJobs(out)
+	return out
+}
+
+// Delete is the DELETE /jobs/{id} semantic: a queued job is cancelled in
+// place, a running job's context is cancelled (the engine stops at its
+// next shard/episode boundary and the job settles to cancelled), and a
+// terminal job's record and files are purged. The returned purged flag
+// reports the last case.
+func (s *Server) Delete(id string) (job *Job, purged bool, err error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false, ErrNotFound
+	}
+	switch {
+	case j.State == StateQueued:
+		s.q.remove(id)
+		now := time.Now().UTC()
+		j.State = StateCancelled
+		j.Error = "cancelled before start"
+		j.FinishedAt = &now
+		err = s.store.putJob(j)
+		s.cfg.Metrics.Counter("server.jobs_cancelled_total").Inc()
+		s.updateGauges()
+		s.cfg.Events.Emit(obs.EventJobCancelled, map[string]any{"id": id, "state": "queued"})
+		job = j.clone()
+		s.mu.Unlock()
+		return job, false, err
+	case j.State == StateRunning:
+		j.cancelRequested = true
+		cancel := s.cancels[id]
+		job = j.clone()
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		s.cfg.Events.Emit(obs.EventJobCancelled, map[string]any{"id": id, "state": "running"})
+		return job, false, nil
+	default: // terminal: purge record and files
+		delete(s.jobs, id)
+		err = s.store.deleteJob(id)
+		files := s.Files(id)
+		s.mu.Unlock()
+		for _, p := range []string{files.Checkpoint, files.Events, files.Output} {
+			os.Remove(p)
+		}
+		return nil, true, err
+	}
+}
+
+// Close stops the scheduler: no new jobs are accepted or started,
+// running jobs are cancelled at their next engine boundary (leaving
+// resumable checkpoints and on-disk records in the running state so the
+// next daemon requeues them), and Close blocks until the workers drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.baseCancel()
+	s.cond.Broadcast()
+	s.wg.Wait()
+	return nil
+}
+
+// worker pulls eligible jobs until the server closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ctx := s.next()
+		if j == nil {
+			return
+		}
+		s.runJob(ctx, j)
+	}
+}
+
+// next blocks until a job is eligible (FIFO, tenant under quota) or the
+// server closes. It transitions the job to running and persists that, so
+// a crash between here and the run's end still resumes the job.
+func (s *Server) next() (*Job, context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil, nil
+		}
+		id := s.q.pop(func(id string) string { return s.jobs[id].Spec.Tenant })
+		if id == "" {
+			s.cond.Wait()
+			continue
+		}
+		j := s.jobs[id]
+		now := time.Now().UTC()
+		j.State = StateRunning
+		j.StartedAt = &now
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		s.cancels[id] = cancel
+		if err := s.store.putJob(j); err != nil {
+			// A job we cannot persist must not run: its restart story
+			// would be undefined. Fail it in memory and move on.
+			j.State = StateFailed
+			j.Error = fmt.Sprintf("persisting running state: %v", err)
+			delete(s.cancels, id)
+			cancel()
+			s.q.release(j.Spec.Tenant)
+			continue
+		}
+		s.updateGauges()
+		return j, ctx
+	}
+}
+
+// runJob executes one job and settles its terminal (or interrupted)
+// state.
+func (s *Server) runJob(ctx context.Context, j *Job) {
+	files := s.Files(j.ID)
+	s.cfg.Events.Emit(obs.EventJobStarted, map[string]any{
+		"id": j.ID, "type": j.Spec.Type, "tenant": j.Spec.Tenant, "resumes": j.Resumes,
+	})
+
+	var (
+		result json.RawMessage
+		runErr error
+	)
+	// The per-job event log appends across daemon restarts so the SSE
+	// stream and the log survive a resume; job_started marks each
+	// attempt.
+	em, err := obs.AppendEmitter(files.Events)
+	if err != nil {
+		runErr = err
+	} else {
+		em.Emit(obs.EventJobStarted, map[string]any{
+			"id": j.ID, "type": j.Spec.Type, "resumes": j.Resumes,
+		})
+		start := time.Now()
+		result, runErr = s.cfg.Runner.Run(ctx, j.Spec, files, s.cfg.Metrics, em)
+		s.cfg.Metrics.Histogram("server.job_seconds", obs.LatencyBuckets).
+			Observe(time.Since(start).Seconds())
+	}
+
+	// Decide the outcome, then finish the event log BEFORE the state
+	// transition is published: once a reader observes a terminal state,
+	// the job's log is complete, which is what lets the SSE endpoint
+	// terminate cleanly without racing the final lines.
+	s.mu.Lock()
+	cancelRequested := j.cancelRequested
+	closing := s.closed
+	s.mu.Unlock()
+
+	var (
+		state       State
+		errText     string
+		interrupted bool
+	)
+	switch {
+	case runErr == nil:
+		state = StateDone
+	case cancelRequested && ctx.Err() != nil:
+		state = StateCancelled
+		errText = runErr.Error()
+	case closing && ctx.Err() != nil:
+		// Daemon shutdown: leave the record in the running state so the
+		// next daemon requeues and resumes it. The engine checkpoint
+		// written on cancellation carries the actual progress.
+		interrupted = true
+	default:
+		state = StateFailed
+		errText = runErr.Error()
+	}
+	if em != nil {
+		if !interrupted {
+			em.Emit(obs.EventJobFinished, map[string]any{"id": j.ID, "state": string(state)})
+		}
+		em.Close()
+	}
+
+	s.mu.Lock()
+	if cancel := s.cancels[j.ID]; cancel != nil {
+		delete(s.cancels, j.ID)
+		defer cancel()
+	}
+	s.q.release(j.Spec.Tenant)
+	if !interrupted {
+		now := time.Now().UTC()
+		j.State = state
+		j.Error = errText
+		j.FinishedAt = &now
+		if state == StateDone {
+			j.Result = result
+		}
+		switch state {
+		case StateDone:
+			s.cfg.Metrics.Counter("server.jobs_done_total").Inc()
+		case StateCancelled:
+			s.cfg.Metrics.Counter("server.jobs_cancelled_total").Inc()
+		case StateFailed:
+			s.cfg.Metrics.Counter("server.jobs_failed_total").Inc()
+		}
+	}
+	if err := s.store.putJob(j); err != nil && j.State == StateDone {
+		j.Error = fmt.Sprintf("result not persisted: %v", err)
+	}
+	s.updateGauges()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	if !interrupted {
+		s.cfg.Events.Emit(obs.EventJobFinished, map[string]any{
+			"id": j.ID, "state": string(state), "error": errText,
+		})
+	}
+}
+
+// updateGauges refreshes the queue-depth and running-count gauges; the
+// caller holds s.mu.
+func (s *Server) updateGauges() {
+	m := s.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Gauge("server.jobs_queued").Set(float64(s.q.depth()))
+	running := 0
+	for _, j := range s.jobs {
+		if j.State == StateRunning {
+			running++
+		}
+	}
+	m.Gauge("server.jobs_running").Set(float64(running))
+}
+
+// sortJobs orders job clones by submission sequence.
+func sortJobs(jobs []*Job) {
+	for i := 1; i < len(jobs); i++ {
+		for k := i; k > 0 && jobs[k-1].Seq > jobs[k].Seq; k-- {
+			jobs[k-1], jobs[k] = jobs[k], jobs[k-1]
+		}
+	}
+}

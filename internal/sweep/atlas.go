@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 
 	"repro/internal/bitvec"
@@ -71,8 +72,13 @@ type Atlas struct {
 	Order2    bool     `json:"order2"`
 	Order2Cap int      `json:"order2_cap,omitempty"`
 	Seed      uint64   `json:"seed"`
-	Cells     []Cell   `json:"cells"`
-	Summary   Summary  `json:"summary"`
+	// ShardLo/ShardHi are set on partial atlases only: the document
+	// holds checkpoint shards [ShardLo, ShardHi) of the canonical cell
+	// enumeration (see Config.ShardLo). A full atlas omits both.
+	ShardLo int     `json:"shard_lo,omitempty"`
+	ShardHi int     `json:"shard_hi,omitempty"`
+	Cells   []Cell  `json:"cells"`
+	Summary Summary `json:"summary"`
 }
 
 // buildAtlas assembles the atlas document from assessed cells.
@@ -98,26 +104,109 @@ func buildAtlas(cfg *Config, info ciphers.Info, key []byte, positions int, cells
 		Order2:    cfg.Order2,
 		Seed:      cfg.Seed,
 		Cells:     cells,
-		Summary: Summary{
-			Cells:   len(cells),
-			ByModel: map[string]int{},
-			ByRound: map[string]int{},
-		},
+		Summary:   summarize(cells),
 	}
 	if cfg.Order2 {
 		a.Order2Cap = cfg.Order2Cap
 	}
+	return a
+}
+
+// summarize aggregates a cell list into the atlas summary. Shared by
+// buildAtlas and Merge so a merged document's summary is byte-identical
+// to a single-run one.
+func summarize(cells []Cell) Summary {
+	s := Summary{
+		Cells:   len(cells),
+		ByModel: map[string]int{},
+		ByRound: map[string]int{},
+	}
 	for _, c := range cells {
-		if c.T > a.Summary.MaxT {
-			a.Summary.MaxT = c.T
+		if c.T > s.MaxT {
+			s.MaxT = c.T
 		}
 		if c.Exploitable {
-			a.Summary.Exploitable++
-			a.Summary.ByModel[c.Model]++
-			a.Summary.ByRound[strconv.Itoa(c.Round)]++
+			s.Exploitable++
+			s.ByModel[c.Model]++
+			s.ByRound[strconv.Itoa(c.Round)]++
 		}
 	}
-	return a
+	return s
+}
+
+// TotalCells computes the size of the full canonical cell enumeration
+// from the atlas header alone, so a partial atlas knows how much of the
+// space it covers.
+func (a *Atlas) TotalCells() int {
+	singles := len(a.Rounds) * len(a.Models) * a.Positions
+	if !a.Order2 {
+		return singles
+	}
+	pairs := a.Positions * (a.Positions - 1) / 2
+	if a.Order2Cap > 0 && pairs > a.Order2Cap {
+		pairs = a.Order2Cap
+	}
+	return singles + len(a.Rounds)*len(a.Models)*pairs
+}
+
+// Merge reassembles partial atlases (see Config.ShardLo/ShardHi) into
+// the full document. The parts must share an identical configuration
+// header and cover contiguous shard ranges starting at 0 that together
+// span the whole cell enumeration; order of the arguments is free. The
+// merged atlas is byte-identical to the one a single full run produces —
+// shards are bit-deterministic, so multi-process fan-out is a pure
+// reassembly.
+func Merge(parts ...*Atlas) (*Atlas, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("sweep: merge of zero atlases")
+	}
+	sorted := make([]*Atlas, len(parts))
+	copy(sorted, parts)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].ShardLo < sorted[j].ShardLo })
+
+	header := func(a *Atlas) string {
+		h := *a
+		h.ShardLo, h.ShardHi = 0, 0
+		h.Cells, h.Summary = nil, Summary{}
+		data, _ := json.Marshal(&h)
+		return string(data)
+	}
+	want := header(sorted[0])
+	total := sorted[0].TotalCells()
+	shards := (total + ShardCells - 1) / ShardCells
+
+	var cells []Cell
+	for i, p := range sorted {
+		if header(p) != want {
+			return nil, fmt.Errorf("sweep: merge: part %d has a different configuration header", i)
+		}
+		lo, hi := p.ShardLo, p.ShardHi
+		if lo == 0 && hi == 0 {
+			hi = shards // a full atlas is the degenerate partial
+		}
+		if lo*ShardCells != len(cells) {
+			return nil, fmt.Errorf("sweep: merge: part %d starts at shard %d, want %d (ranges must be contiguous from 0)",
+				i, lo, len(cells)/ShardCells)
+		}
+		wantCells := hi*ShardCells - lo*ShardCells
+		if hi == shards {
+			wantCells = total - lo*ShardCells
+		}
+		if len(p.Cells) != wantCells {
+			return nil, fmt.Errorf("sweep: merge: part %d holds %d cells, range [%d, %d) needs %d",
+				i, len(p.Cells), lo, hi, wantCells)
+		}
+		cells = append(cells, p.Cells...)
+	}
+	if len(cells) != total {
+		return nil, fmt.Errorf("sweep: merge: parts cover %d of %d cells", len(cells), total)
+	}
+
+	merged := *sorted[0]
+	merged.ShardLo, merged.ShardHi = 0, 0
+	merged.Cells = cells
+	merged.Summary = summarize(cells)
+	return &merged, nil
 }
 
 // MarshalCanonical renders the atlas as its canonical byte form:

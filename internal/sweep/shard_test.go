@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestShardRangeMerge pins the horizontal fan-out contract: a sweep
+// split into contiguous shard-range runs (as a multi-process job would
+// assign them) merges back into the full atlas byte for byte.
+func TestShardRangeMerge(t *testing.T) {
+	base := Config{
+		Cipher:  "gift64",
+		Rounds:  []int{24, 25},
+		Models:  []fault.Model{fault.XorFlip, fault.StuckAtZero},
+		Samples: 64,
+		Seed:    7,
+		Workers: 2,
+	}
+	full, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 rounds x 2 models x 16 nibbles = 64 cells = 4 shards.
+	if got := full.TotalCells(); got != len(full.Cells) {
+		t.Fatalf("TotalCells() = %d, atlas holds %d", got, len(full.Cells))
+	}
+	shards := (len(full.Cells) + ShardCells - 1) / ShardCells
+	if shards < 2 {
+		t.Fatalf("test geometry too small: %d shards", shards)
+	}
+
+	split := shards / 2
+	loCfg, hiCfg := base, base
+	loCfg.ShardLo, loCfg.ShardHi = 0, split
+	hiCfg.ShardLo, hiCfg.ShardHi = split, shards
+	lo, err := Run(context.Background(), loCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Run(context.Background(), hiCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.ShardLo != 0 || lo.ShardHi != split || hi.ShardLo != split || hi.ShardHi != shards {
+		t.Fatalf("partial atlases carry wrong ranges: [%d,%d) and [%d,%d)",
+			lo.ShardLo, lo.ShardHi, hi.ShardLo, hi.ShardHi)
+	}
+	if len(lo.Cells)+len(hi.Cells) != len(full.Cells) {
+		t.Fatalf("partial cells %d+%d != full %d", len(lo.Cells), len(hi.Cells), len(full.Cells))
+	}
+
+	// Merge must reproduce the single-run document bitwise, regardless
+	// of argument order.
+	merged, err := Merge(hi, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := full.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := merged.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatalf("merged atlas differs from the full run\nfull summary:   %+v\nmerged summary: %+v",
+			full.Summary, merged.Summary)
+	}
+
+	// Misuse is reported, not silently mis-merged.
+	if _, err := Merge(lo); err == nil {
+		t.Error("Merge of an incomplete cover should fail")
+	}
+	if _, err := Merge(lo, lo); err == nil {
+		t.Error("Merge of overlapping ranges should fail")
+	}
+	otherCfg := hiCfg
+	otherCfg.Seed = 8
+	other, err := Run(context.Background(), otherCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(lo, other); err == nil {
+		t.Error("Merge across different configurations should fail")
+	}
+
+	// Out-of-range shard windows are rejected up front.
+	badCfg := base
+	badCfg.ShardLo, badCfg.ShardHi = 3, 2
+	if _, err := Run(context.Background(), badCfg); err == nil {
+		t.Error("inverted shard range should fail")
+	}
+	badCfg.ShardLo, badCfg.ShardHi = 0, shards+1
+	if _, err := Run(context.Background(), badCfg); err == nil {
+		t.Error("shard range past the end should fail")
+	}
+}

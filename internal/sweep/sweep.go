@@ -99,6 +99,15 @@ type Config struct {
 	// Order2Cap caps the pairs per (round, model) (default
 	// DefaultOrder2Cap); ignored unless Order2.
 	Order2Cap int
+	// ShardLo and ShardHi restrict the run to checkpoint shards
+	// [ShardLo, ShardHi) of the canonical cell enumeration (ShardCells
+	// cells per shard). Both zero sweeps everything. A restricted run
+	// returns a partial atlas (its ShardLo/ShardHi fields record the
+	// range) whose cells are bit-identical to the same shards of a full
+	// run; Merge reassembles contiguous partial atlases into the full
+	// document byte for byte. Shard indices are global, so partial runs
+	// may share a Checkpoint file with each other and with a full run.
+	ShardLo, ShardHi int
 	// Workers is the cell-shard worker count; 0 uses GOMAXPROCS.
 	// Results are bit-identical for every value.
 	Workers int
@@ -252,6 +261,23 @@ func Run(ctx context.Context, cfg Config) (*Atlas, error) {
 	total := len(specs)
 	shards := (total + ShardCells - 1) / ShardCells
 
+	// Resolve the shard range. The default (0, 0) covers every shard;
+	// a partial run walks the same global shard indices, so its cells
+	// and checkpoint stages are bit-compatible with the full run's.
+	shardLo, shardHi := cfg.ShardLo, cfg.ShardHi
+	if shardHi == 0 {
+		shardHi = shards
+	}
+	if shardLo < 0 || shardHi > shards || shardLo >= shardHi {
+		return nil, fmt.Errorf("sweep: shard range [%d, %d) out of range 0..%d", cfg.ShardLo, cfg.ShardHi, shards)
+	}
+	cellLo := shardLo * ShardCells
+	cellHi := shardHi * ShardCells
+	if cellHi > total {
+		cellHi = total
+	}
+	rangeTotal := cellHi - cellLo
+
 	stages, err := checkpoint.OpenStages(cfg.Checkpoint, CheckpointKind, cfg.key(key))
 	if err != nil {
 		return nil, fmt.Errorf("sweep: loading checkpoint: %w", err)
@@ -286,7 +312,7 @@ func Run(ctx context.Context, cfg Config) (*Atlas, error) {
 
 	m, events := cfg.Metrics, cfg.Events
 	events.Emit(obs.EventSweepStarted, map[string]any{
-		"cipher": cfg.Cipher, "cells": total, "shards": shards,
+		"cipher": cfg.Cipher, "cells": rangeTotal, "shards": shards,
 		"rounds": len(cfg.Rounds), "positions": positions,
 		"models": len(cfg.Models), "samples": cfg.Samples,
 		"oracle": cfg.Oracle.String(), "order2": cfg.Order2,
@@ -302,8 +328,8 @@ func Run(ctx context.Context, cfg Config) (*Atlas, error) {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
-	if workers > shards {
-		workers = shards
+	if workers > shardHi-shardLo {
+		workers = shardHi - shardLo
 	}
 
 	cells := make([]Cell, total)
@@ -313,7 +339,7 @@ func Run(ctx context.Context, cfg Config) (*Atlas, error) {
 		d := int(done.Add(int64(n)))
 		if cfg.Progress != nil {
 			progressMu.Lock()
-			cfg.Progress(d, total)
+			cfg.Progress(d, rangeTotal)
 			progressMu.Unlock()
 		}
 	}
@@ -326,8 +352,8 @@ func Run(ctx context.Context, cfg Config) (*Atlas, error) {
 		go func(w int) {
 			defer wg.Done()
 			for {
-				shard := int(next.Add(1)) - 1
-				if shard >= shards {
+				shard := shardLo + int(next.Add(1)) - 1
+				if shard >= shardHi {
 					return
 				}
 				if err := ctx.Err(); err != nil {
@@ -391,14 +417,17 @@ func Run(ctx context.Context, cfg Config) (*Atlas, error) {
 		}
 	}
 
-	atlas := buildAtlas(&cfg, info, key, positions, cells)
+	atlas := buildAtlas(&cfg, info, key, positions, cells[cellLo:cellHi])
+	if shardLo != 0 || shardHi != shards {
+		atlas.ShardLo, atlas.ShardHi = shardLo, shardHi
+	}
 	if m != nil || events != nil {
 		wall := time.Since(start)
 		if secs := wall.Seconds(); secs > 0 {
-			m.Gauge("sweep.cells_per_sec").Set(float64(total-resumed*ShardCells) / secs)
+			m.Gauge("sweep.cells_per_sec").Set(float64(rangeTotal-resumed*ShardCells) / secs)
 		}
 		events.Emit(obs.EventSweepFinished, map[string]any{
-			"cipher": cfg.Cipher, "cells": total,
+			"cipher": cfg.Cipher, "cells": rangeTotal,
 			"exploitable": atlas.Summary.Exploitable,
 			"max_t":       atlas.Summary.MaxT,
 			"duration_ms": float64(wall) / float64(time.Millisecond),

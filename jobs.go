@@ -1,0 +1,423 @@
+package explorefault
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/sweep"
+)
+
+// JobServer is the campaign job server behind cmd/explorefaultd: an
+// HTTP/JSON API that schedules discovery, assessment and sweep jobs
+// across a worker pool, persists job state through the checkpoint store
+// so a daemon restart resumes in-flight jobs bit-identically, and
+// streams per-job run events over SSE. See internal/server for the
+// scheduler and README's "Serving campaigns" for the API.
+type JobServer = server.Server
+
+// JobSpec is the POST /jobs request body: job type, tenant, optional
+// sweep shard range, and the engine configuration document.
+type JobSpec = server.Spec
+
+// JobRecord is one submitted job's durable record.
+type JobRecord = server.Job
+
+// JobState is a job's lifecycle state (queued, running, done, failed,
+// cancelled).
+type JobState = server.State
+
+// JobServerConfig tunes NewJobServer. Zero values select defaults
+// (2 workers, per-tenant quota = worker count).
+type JobServerConfig struct {
+	// DataDir is the daemon state directory (job table, per-job engine
+	// checkpoints, event logs and output artifacts). Required.
+	DataDir string
+	// Workers is the job worker-pool size.
+	Workers int
+	// TenantQuota bounds concurrently running jobs per tenant.
+	TenantQuota int
+	// Metrics/Events receive scheduler instrumentation and job
+	// lifecycle events; nil disables.
+	Metrics *Metrics
+	Events  *EventEmitter
+}
+
+// NewJobServer builds a job server wired to the real engines: discover
+// jobs run DiscoverContext, assess jobs AssessContext (or
+// AssessProtectedContext), sweep jobs the exhaustive sweep engine.
+// Close the returned server to stop it; restarting one on the same
+// DataDir resumes interrupted jobs from their engine checkpoints.
+func NewJobServer(cfg JobServerConfig) (*JobServer, error) {
+	return server.New(server.Config{
+		DataDir:     cfg.DataDir,
+		Workers:     cfg.Workers,
+		TenantQuota: cfg.TenantQuota,
+		Runner:      jobRunner{},
+		Metrics:     cfg.Metrics,
+		Events:      cfg.Events,
+	})
+}
+
+// MergeAtlases reassembles the partial atlases of shard-ranged sweep
+// jobs (JobSpec.ShardRange) into the full document. The merge is exact:
+// the parts must tile the full shard range of one configuration, and
+// the result is byte-identical to a single-process sweep of the same
+// config.
+func MergeAtlases(parts ...*Atlas) (*Atlas, error) { return sweep.Merge(parts...) }
+
+// discoverJob is the config document of a "discover" job: the JSON
+// projection of DiscoverConfig (keys in hex, fault models and oracles by
+// CLI name). Checkpointing and resume are managed by the server.
+type discoverJob struct {
+	Cipher           string       `json:"cipher"`
+	Key              string       `json:"key,omitempty"`
+	Round            int          `json:"round"`
+	Protected        bool         `json:"protected,omitempty"`
+	FaultModels      []FaultModel `json:"fault_models,omitempty"`
+	Oracle           OracleKind   `json:"oracle,omitempty"`
+	Episodes         int          `json:"episodes,omitempty"`
+	NumEnvs          int          `json:"num_envs,omitempty"`
+	Samples          int          `json:"samples,omitempty"`
+	Seed             uint64       `json:"seed,omitempty"`
+	LinearReward     bool         `json:"linear_reward,omitempty"`
+	RewardAtEachStep bool         `json:"reward_at_each_step,omitempty"`
+	EpisodeLen       int          `json:"episode_len,omitempty"`
+	Workers          int          `json:"workers,omitempty"`
+	NoBatch          bool         `json:"no_batch,omitempty"`
+	NoOracleCache    bool         `json:"no_oracle_cache,omitempty"`
+	CacheCapacity    int          `json:"cache_capacity,omitempty"`
+	MaxHarvest       int          `json:"max_harvest,omitempty"`
+	CheckpointEvery  int          `json:"checkpoint_every,omitempty"`
+}
+
+// assessJob is the config document of an "assess" job. The pattern is
+// given as explicit bit indices or group indices (nibbles/bytes at the
+// cipher's native width), exactly like the -bits / -groups CLI flags.
+type assessJob struct {
+	Cipher     string     `json:"cipher"`
+	Key        string     `json:"key,omitempty"`
+	Round      int        `json:"round"`
+	Bits       []int      `json:"bits,omitempty"`
+	Groups     []int      `json:"groups,omitempty"`
+	Protected  bool       `json:"protected,omitempty"`
+	Samples    int        `json:"samples,omitempty"`
+	MaxOrder   int        `json:"max_order,omitempty"`
+	FixedOrder int        `json:"fixed_order,omitempty"`
+	Threshold  float64    `json:"threshold,omitempty"`
+	GroupBits  int        `json:"group_bits,omitempty"`
+	FaultModel FaultModel `json:"fault_model,omitempty"`
+	Oracle     OracleKind `json:"oracle,omitempty"`
+	Workers    int        `json:"workers,omitempty"`
+	NoBatch    bool       `json:"no_batch,omitempty"`
+	Seed       uint64     `json:"seed,omitempty"`
+}
+
+// sweepJob is the config document of a "sweep" job: the JSON projection
+// of SweepConfig. The shard range comes from JobSpec.ShardRange, not the
+// config, so fan-out across daemons is a spec-level change.
+type sweepJob struct {
+	Cipher    string       `json:"cipher"`
+	Key       string       `json:"key,omitempty"`
+	Rounds    []int        `json:"rounds,omitempty"`
+	GranBits  int          `json:"gran_bits,omitempty"`
+	Models    []FaultModel `json:"models,omitempty"`
+	Oracle    OracleKind   `json:"oracle,omitempty"`
+	Samples   int          `json:"samples,omitempty"`
+	MaxOrder  int          `json:"max_order,omitempty"`
+	GroupBits int          `json:"group_bits,omitempty"`
+	Threshold float64      `json:"threshold,omitempty"`
+	Lag       int          `json:"lag,omitempty"`
+	Window    int          `json:"window,omitempty"`
+	Order2    bool         `json:"order2,omitempty"`
+	Order2Cap int          `json:"order2_cap,omitempty"`
+	Workers   int          `json:"workers,omitempty"`
+	NoBatch   bool         `json:"no_batch,omitempty"`
+	Seed      uint64       `json:"seed,omitempty"`
+}
+
+// jobRunner adapts the engines to the scheduler's Runner interface.
+type jobRunner struct{}
+
+// decodeStrict decodes a config document rejecting unknown fields, so a
+// typo in a job spec is a 400 at submission, not a silently-default run.
+func decodeStrict(raw json.RawMessage, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+func parseKeyHex(s string) ([]byte, error) {
+	if s == "" {
+		return nil, nil
+	}
+	key, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("bad key hex: %v", err)
+	}
+	return key, nil
+}
+
+// Validate decodes and sanity-checks a job spec without running anything.
+func (jobRunner) Validate(spec JobSpec) error {
+	switch spec.Type {
+	case server.TypeDiscover:
+		var d discoverJob
+		if err := decodeStrict(spec.Config, &d); err != nil {
+			return err
+		}
+		if _, err := parseKeyHex(d.Key); err != nil {
+			return err
+		}
+		info, err := LookupCipher(d.Cipher)
+		if err != nil {
+			return err
+		}
+		if d.Round < 1 || d.Round > info.Rounds {
+			return fmt.Errorf("round %d out of range 1..%d for %s", d.Round, info.Rounds, d.Cipher)
+		}
+		return nil
+	case server.TypeAssess:
+		var a assessJob
+		if err := decodeStrict(spec.Config, &a); err != nil {
+			return err
+		}
+		if _, err := parseKeyHex(a.Key); err != nil {
+			return err
+		}
+		info, err := LookupCipher(a.Cipher)
+		if err != nil {
+			return err
+		}
+		if a.Round < 1 || a.Round > info.Rounds {
+			return fmt.Errorf("round %d out of range 1..%d for %s", a.Round, info.Rounds, a.Cipher)
+		}
+		if len(a.Bits) == 0 && len(a.Groups) == 0 {
+			return fmt.Errorf("assess job needs bits or groups")
+		}
+		return nil
+	case server.TypeSweep:
+		var s sweepJob
+		if err := decodeStrict(spec.Config, &s); err != nil {
+			return err
+		}
+		if _, err := parseKeyHex(s.Key); err != nil {
+			return err
+		}
+		_, err := LookupCipher(s.Cipher)
+		return err
+	default:
+		return fmt.Errorf("unknown job type %q", spec.Type)
+	}
+}
+
+// Run executes a job. Every result document is deterministic — a pure
+// function of the spec — and deliberately excludes wall-clock figures,
+// so an interrupted-and-resumed job finishes with bytes identical to an
+// uninterrupted run.
+func (jobRunner) Run(ctx context.Context, spec JobSpec, files server.Files, metrics *obs.Registry, events *obs.Emitter) (json.RawMessage, error) {
+	switch spec.Type {
+	case server.TypeDiscover:
+		return runDiscoverJob(ctx, spec, files, metrics, events)
+	case server.TypeAssess:
+		return runAssessJob(ctx, spec, metrics, events)
+	case server.TypeSweep:
+		return runSweepJob(ctx, spec, files, metrics, events)
+	}
+	return nil, fmt.Errorf("unknown job type %q", spec.Type)
+}
+
+func runDiscoverJob(ctx context.Context, spec JobSpec, files server.Files, metrics *obs.Registry, events *obs.Emitter) (json.RawMessage, error) {
+	var d discoverJob
+	if err := decodeStrict(spec.Config, &d); err != nil {
+		return nil, err
+	}
+	key, err := parseKeyHex(d.Key)
+	if err != nil {
+		return nil, err
+	}
+	res, err := DiscoverContext(ctx, DiscoverConfig{
+		Cipher:           d.Cipher,
+		Key:              key,
+		Round:            d.Round,
+		Protected:        d.Protected,
+		FaultModels:      d.FaultModels,
+		Oracle:           d.Oracle,
+		Episodes:         d.Episodes,
+		NumEnvs:          d.NumEnvs,
+		Samples:          d.Samples,
+		Seed:             d.Seed,
+		LinearReward:     d.LinearReward,
+		RewardAtEachStep: d.RewardAtEachStep,
+		EpisodeLen:       d.EpisodeLen,
+		Workers:          d.Workers,
+		NoBatch:          d.NoBatch,
+		NoOracleCache:    d.NoOracleCache,
+		CacheCapacity:    d.CacheCapacity,
+		MaxHarvest:       d.MaxHarvest,
+		CheckpointEvery:  d.CheckpointEvery,
+		Checkpoint:       files.Checkpoint,
+		Resume:           true, // missing checkpoint starts fresh; present resumes
+		Metrics:          metrics,
+		Events:           events,
+	})
+	if err != nil {
+		return nil, err
+	}
+	type modelDoc struct {
+		Class     string     `json:"class"`
+		Groups    []int      `json:"groups,omitempty"`
+		GroupBits int        `json:"group_bits,omitempty"`
+		Fault     FaultModel `json:"fault"`
+		Bits      []int      `json:"bits"`
+		T         float64    `json:"t"`
+	}
+	models := make([]modelDoc, 0, len(res.Models))
+	for _, m := range res.Models {
+		models = append(models, modelDoc{
+			Class:     m.Class.String(),
+			Groups:    m.Groups,
+			GroupBits: m.GroupBits,
+			Fault:     m.Fault,
+			Bits:      m.Pattern.Bits(),
+			T:         m.T,
+		})
+	}
+	// Training-rate figures (duration, episodes/min) are intentionally
+	// absent: they are wall-clock, and the result must be bit-identical
+	// across daemon restarts.
+	return json.Marshal(map[string]any{
+		"cipher":   d.Cipher,
+		"round":    d.Round,
+		"bits":     res.Converged.Bits(),
+		"t":        res.ConvergedT,
+		"leaky":    res.ConvergedLeaky,
+		"fault":    res.ConvergedModel,
+		"episodes": res.Episodes,
+		"models":   models,
+	})
+}
+
+func runAssessJob(ctx context.Context, spec JobSpec, metrics *obs.Registry, events *obs.Emitter) (json.RawMessage, error) {
+	var a assessJob
+	if err := decodeStrict(spec.Config, &a); err != nil {
+		return nil, err
+	}
+	key, err := parseKeyHex(a.Key)
+	if err != nil {
+		return nil, err
+	}
+	info, err := LookupCipher(a.Cipher)
+	if err != nil {
+		return nil, err
+	}
+	stateBits := info.BlockBytes * 8
+	if a.Protected {
+		stateBits *= 2
+	}
+	var pattern Pattern
+	if len(a.Bits) > 0 {
+		pattern = PatternFromBits(stateBits, a.Bits...)
+	} else {
+		pattern = PatternFromGroups(stateBits, info.GroupBits, a.Groups...)
+	}
+	cfg := AssessConfig{
+		Cipher:     a.Cipher,
+		Key:        key,
+		Round:      a.Round,
+		Samples:    a.Samples,
+		MaxOrder:   a.MaxOrder,
+		FixedOrder: a.FixedOrder,
+		Threshold:  a.Threshold,
+		GroupBits:  a.GroupBits,
+		FaultModel: a.FaultModel,
+		Oracle:     a.Oracle,
+		Workers:    a.Workers,
+		NoBatch:    a.NoBatch,
+		Seed:       a.Seed,
+		Metrics:    metrics,
+		Events:     events,
+	}
+	var res Assessment
+	if a.Protected {
+		res, err = AssessProtectedContext(ctx, pattern, cfg)
+	} else {
+		res, err = AssessContext(ctx, pattern, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(map[string]any{
+		"cipher":    a.Cipher,
+		"round":     a.Round,
+		"t":         res.T,
+		"leaky":     res.Leaky,
+		"threshold": res.Threshold,
+		"order":     res.Order,
+		"point":     res.Point,
+	})
+}
+
+func runSweepJob(ctx context.Context, spec JobSpec, files server.Files, metrics *obs.Registry, events *obs.Emitter) (json.RawMessage, error) {
+	var s sweepJob
+	if err := decodeStrict(spec.Config, &s); err != nil {
+		return nil, err
+	}
+	key, err := parseKeyHex(s.Key)
+	if err != nil {
+		return nil, err
+	}
+	atlas, err := Sweep(ctx, SweepConfig{
+		Cipher:     s.Cipher,
+		Key:        key,
+		Rounds:     s.Rounds,
+		GranBits:   s.GranBits,
+		Models:     s.Models,
+		Oracle:     s.Oracle,
+		Samples:    s.Samples,
+		MaxOrder:   s.MaxOrder,
+		GroupBits:  s.GroupBits,
+		Threshold:  s.Threshold,
+		Lag:        s.Lag,
+		Window:     s.Window,
+		Order2:     s.Order2,
+		Order2Cap:  s.Order2Cap,
+		ShardLo:    spec.ShardRange[0],
+		ShardHi:    spec.ShardRange[1],
+		Workers:    s.Workers,
+		NoBatch:    s.NoBatch,
+		Seed:       s.Seed,
+		Checkpoint: files.Checkpoint,
+		Metrics:    metrics,
+		Events:     events,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := atlas.WriteFile(files.Output); err != nil {
+		return nil, err
+	}
+	canon, err := atlas.MarshalCanonical()
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(canon)
+	return json.Marshal(map[string]any{
+		"cipher":      s.Cipher,
+		"cells":       atlas.Summary.Cells,
+		"exploitable": atlas.Summary.Exploitable,
+		"max_t":       atlas.Summary.MaxT,
+		"shard_range": spec.ShardRange,
+		"sha256":      hex.EncodeToString(sum[:]),
+		"atlas":       filepath.Base(files.Output),
+	})
+}

@@ -1,0 +1,104 @@
+#!/bin/sh
+# Daemon kill-and-resume smoke test: boot explorefaultd, POST a small
+# gift64 discovery job, SIGTERM the daemon mid-run, restart it on the
+# same data directory, and require the resumed job's result document to
+# be byte-identical to the same job run on an uninterrupted daemon —
+# and the normalized event streams (episode events, timestamps and
+# sequence numbers stripped, overlap deduplicated) to match exactly.
+#
+# Robust by construction: if the job finishes before the signal lands,
+# the restart path degenerates to "load a done job", which still has to
+# produce the reference result.
+set -eu
+
+GO=${GO:-go}
+DIR=$(mktemp -d)
+trap 'kill $DPID 2>/dev/null || true; rm -rf "$DIR"' EXIT
+DPID=""
+
+BIN="$DIR/explorefaultd"
+$GO build -o "$BIN" ./cmd/explorefaultd
+
+JOB='{"type":"discover","name":"smoke","config":{"cipher":"gift64","round":25,"episodes":96,"samples":128,"seed":7,"checkpoint_every":8}}'
+
+# start_daemon <datadir> <logfile>: boots the daemon on an ephemeral
+# port, waits for the startup line, and sets DPID and BASE.
+start_daemon() {
+    "$BIN" -addr localhost:0 -data "$1" > "$2" 2>&1 &
+    DPID=$!
+    i=0
+    while ! grep -q 'listening on http://' "$2" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "FAIL: daemon never started"; cat "$2"; exit 1; }
+        kill -0 "$DPID" 2>/dev/null || { echo "FAIL: daemon died"; cat "$2"; exit 1; }
+        sleep 0.1
+    done
+    BASE=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$2" | head -n 1)
+}
+
+# wait_done <base> <id>: polls until the job is terminal, failing unless
+# it settles "done".
+wait_done() {
+    i=0
+    while :; do
+        state=$(curl -s "$1/jobs/$2" | jq -r .state)
+        case "$state" in
+            done) return 0 ;;
+            failed|cancelled) echo "FAIL: job settled $state"; curl -s "$1/jobs/$2"; exit 1 ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -gt 600 ] && { echo "FAIL: job stuck in '$state'"; exit 1; }
+        sleep 0.2
+    done
+}
+
+# normalize_events <events.jsonl> <out>: the deterministic view of a run
+# event stream — episode events only, ts/seq envelope stripped, the
+# checkpoint-overlap replay after a resume deduplicated in order.
+normalize_events() {
+    jq -c 'select(.event == "episode") | .fields' "$1" | awk '!seen[$0]++' > "$2"
+}
+
+echo "== reference daemon (uninterrupted job)"
+start_daemon "$DIR/a" "$DIR/a.log"
+ID=$(curl -s "$BASE/jobs" -d "$JOB" | jq -r .id)
+[ -n "$ID" ] && [ "$ID" != null ] || { echo "FAIL: submit"; exit 1; }
+wait_done "$BASE" "$ID"
+curl -s "$BASE/jobs/$ID" | jq -S .result > "$DIR/ref.result"
+curl -s "$BASE/metrics" | jq -e '.counters["server.jobs_done_total"] == 1' > /dev/null \
+    || { echo "FAIL: /metrics missing jobs_done_total"; exit 1; }
+curl -sN --max-time 5 "$BASE/jobs/$ID/events" | grep -q '^event: done' \
+    || { echo "FAIL: SSE stream missing done frame"; exit 1; }
+normalize_events "$DIR/a/$ID.events.jsonl" "$DIR/ref.events"
+kill -TERM "$DPID"; wait "$DPID" || true
+echo "   reference result captured ($(wc -l < "$DIR/ref.events") episodes)"
+
+echo "== interrupted daemon (SIGTERM mid-job)"
+start_daemon "$DIR/b" "$DIR/b1.log"
+ID2=$(curl -s "$BASE/jobs" -d "$JOB" | jq -r .id)
+i=0
+while [ "$(grep -c '"event":"episode"' "$DIR/b/$ID2.events.jsonl" 2>/dev/null || echo 0)" -lt 16 ]; do
+    i=$((i + 1))
+    [ "$i" -gt 300 ] && break # job may simply be fast; restart still must match
+    sleep 0.1
+done
+kill -TERM "$DPID"; wait "$DPID" || true
+echo "   daemon killed after $(grep -c '"event":"episode"' "$DIR/b/$ID2.events.jsonl" 2>/dev/null || echo 0) episodes"
+
+echo "== restarted daemon (job resumes from checkpoint)"
+start_daemon "$DIR/b" "$DIR/b2.log"
+wait_done "$BASE" "$ID2"
+resumes=$(curl -s "$BASE/jobs/$ID2" | jq -r .resumes)
+curl -s "$BASE/jobs/$ID2" | jq -S .result > "$DIR/int.result"
+normalize_events "$DIR/b/$ID2.events.jsonl" "$DIR/int.events"
+kill -TERM "$DPID"; wait "$DPID" || true
+
+if ! diff "$DIR/ref.result" "$DIR/int.result"; then
+    echo "FAIL: resumed job result differs from uninterrupted run"
+    exit 1
+fi
+if ! diff "$DIR/ref.events" "$DIR/int.events"; then
+    echo "FAIL: normalized event stream differs from uninterrupted run"
+    exit 1
+fi
+echo "PASS: resumed job (resumes=$resumes) matches the uninterrupted run byte for byte"
