@@ -12,6 +12,18 @@
 //	curl -s localhost:8750/jobs -d '{"type":"discover","config":{"cipher":"gift64","round":25,"episodes":500}}'
 //	curl -s localhost:8750/jobs/j-000000
 //	curl -N localhost:8750/jobs/j-000000/events
+//	curl -s localhost:8750/jobs/j-000000/report      # obsreport markdown for one job
+//	curl -s localhost:8750/stats                     # per-tenant cost aggregates
+//	curl -s localhost:8750/metrics?format=prom       # labeled Prometheus scrape
+//	curl -s localhost:8750/readyz                    # 200 accepting, 503 draining
+//
+// The daemon's /metrics endpoint serves the fleet view: scheduler
+// instruments plus every job's metrics folded under
+// tenant/kind/cipher/fault_model labels, with process runtime telemetry
+// (goroutines, heap, GC pauses) sampled at scrape time. Each finished
+// job carries a usage record (wall/CPU/queue seconds, work counters,
+// peak heap); obsreport -fleet folds the per-job event logs in the data
+// directory into one fleet cost report offline.
 //
 // See README's "Serving campaigns" for the full API.
 package main
@@ -66,6 +78,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	metrics := explorefault.NewMetrics()
+	// A daemon always serves /metrics, so process health telemetry is on;
+	// it samples at scrape time only, so an unscrapped daemon pays nothing.
+	metrics.EnableRuntimeMetrics()
 	var events *explorefault.EventEmitter
 	if *eventsPath != "" {
 		var err error

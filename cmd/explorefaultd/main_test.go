@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"strings"
 	"testing"
@@ -111,6 +112,64 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal("SSE stream never sent the done frame")
 	}
 
+	// Observability surface: readiness, fleet stats, the per-job report
+	// and the labeled Prometheus scrape all work on a live daemon.
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /readyz status = %d, want 200 while accepting", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Totals struct {
+			Jobs int `json:"jobs"`
+		} `json:"totals"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Totals.Jobs != 1 {
+		t.Fatalf("GET /stats totals.jobs = %d, want 1", stats.Totals.Jobs)
+	}
+
+	resp, err = http.Get(base + "/jobs/" + job.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, _ := readAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/{id}/report status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(report, "# Run report:") || !strings.Contains(report, "job cost:") {
+		t.Fatalf("report missing expected sections:\n%s", report)
+	}
+
+	resp, err = http.Get(base + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := readAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`server_jobs_done_total{kind="assess",tenant=""} 1`,
+		`cipher="gift64",fault_model="default",kind="assess",tenant=""`,
+		"runtime_goroutines",
+		"# TYPE server_job_seconds histogram",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus scrape missing %q", want)
+		}
+	}
+
 	req, _ := http.NewRequest(http.MethodDelete, base+"/jobs/"+job.ID, nil)
 	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
@@ -130,6 +189,11 @@ func TestRunEndToEnd(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon never shut down")
 	}
+}
+
+func readAll(r io.Reader) (string, error) {
+	b, err := io.ReadAll(r)
+	return string(b), err
 }
 
 // newLinePipe returns a channel of written lines backed by an io.Writer.

@@ -376,6 +376,21 @@ type Metrics = obs.Registry
 // the event catalogue). A nil emitter disables event output.
 type EventEmitter = obs.Emitter
 
+// MetricCounterVec / MetricGaugeVec / MetricHistogramVec re-export the
+// labeled metric families of internal/obs: instruments sharing one name
+// with per-label-set child series ({tenant="t1",kind="sweep"}), under
+// the same nil-is-disabled contract as the plain instruments. Resolve a
+// child once with With and hot paths pay one atomic op.
+type (
+	MetricCounterVec   = obs.CounterVec
+	MetricGaugeVec     = obs.GaugeVec
+	MetricHistogramVec = obs.HistogramVec
+)
+
+// MetricsSnapshot is the point-in-time export of a Metrics registry,
+// including labeled families and (when enabled) runtime telemetry.
+type MetricsSnapshot = obs.Snapshot
+
 // NewMetrics returns an enabled metrics registry for
 // AssessConfig/DiscoverConfig.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
@@ -388,8 +403,12 @@ func NewEventEmitter(w io.Writer) *EventEmitter { return obs.NewEmitter(w) }
 func OpenEventLog(path string) (*EventEmitter, error) { return obs.OpenEmitter(path) }
 
 // ServeMetrics binds addr (e.g. "localhost:6060") and serves the debug
-// endpoint: /metrics (JSON snapshot), /debug/vars (expvar) and
-// /debug/pprof. Close the returned server to stop it.
+// endpoint: /metrics (JSON snapshot, or Prometheus text exposition with
+// ?format=prom / an Accept: text/plain scrape), /debug/vars (expvar)
+// and /debug/pprof. Labeled families render as
+// metric{tenant="t1",kind="sweep"} series next to the plain samples,
+// and process runtime telemetry (goroutines, heap, GC pauses) is
+// sampled at scrape time. Close the returned server to stop it.
 func ServeMetrics(addr string, m *Metrics) (*obs.Server, error) { return obs.Serve(addr, m) }
 
 // assessorOracleFactory builds the unprotected oracle factory shared by

@@ -54,6 +54,12 @@ const (
 	EventJobStarted   = "job_started"
 	EventJobFinished  = "job_finished"
 	EventJobCancelled = "job_cancelled"
+	// EventJobUsage records one job's resource accounting (wall/CPU/queue
+	// seconds, work counters, peak heap delta) plus its attribution labels
+	// (tenant, kind, cipher, fault_model), written into the per-job event
+	// log at every attempt end so fleet reports can be built from the log
+	// directory alone, with no access to the daemon's job store.
+	EventJobUsage = "job_usage"
 	// EventEmitterStats is the final line the emitter writes about itself
 	// at Close: how many events were emitted and how many were silently
 	// dropped to marshal or write errors. Analysis tools (obsreport) use

@@ -27,19 +27,27 @@ import (
 // The mux is standalone (not http.DefaultServeMux), so importing this
 // package never adds handlers to binaries that do not opt in.
 func Handler(r *Registry) http.Handler {
+	return SnapshotHandler(r.Snapshot)
+}
+
+// SnapshotHandler is Handler for a computed snapshot: snap is called per
+// request, so servers that compose a view from several registries (the
+// job server folds per-job registries into its own at scrape time) serve
+// it through the same mux, content negotiation included.
+func SnapshotHandler(snap func() Snapshot) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if wantsPrometheus(req) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			// Write errors past the header can only be client
 			// disconnects; there is nothing useful to do with them.
-			_ = WritePrometheus(w, r.Snapshot())
+			_ = WritePrometheus(w, snap())
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(r.Snapshot())
+		_ = enc.Encode(snap())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -33,20 +33,27 @@ import (
 // updates are lock-free atomics. A nil *Registry is the disabled state:
 // lookups return nil handles whose methods no-op.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
-	start      time.Time
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
+	runtime       *runtimeCollector
+	start         time.Time
 }
 
 // NewRegistry returns an empty enabled registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
-		start:      time.Now(),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		histograms:    make(map[string]*Histogram),
+		counterVecs:   make(map[string]*CounterVec),
+		gaugeVecs:     make(map[string]*GaugeVec),
+		histogramVecs: make(map[string]*HistogramVec),
+		start:         time.Now(),
 	}
 }
 
@@ -282,11 +289,19 @@ func (s HistogramSnapshot) Quantile(p float64) float64 {
 }
 
 // Snapshot is a point-in-time export of every instrument in a registry.
+// Labeled families appear alongside the plain instruments, keyed by
+// family name with their child series under canonical label keys; a
+// family may share its name with a plain instrument (the unlabeled
+// total next to its per-label breakdown).
 type Snapshot struct {
 	UptimeSeconds float64                      `json:"uptime_seconds"`
 	Counters      map[string]uint64            `json:"counters"`
 	Gauges        map[string]float64           `json:"gauges"`
 	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+
+	CounterVecs   map[string]CounterVecSnapshot   `json:"counter_vecs,omitempty"`
+	GaugeVecs     map[string]GaugeVecSnapshot     `json:"gauge_vecs,omitempty"`
+	HistogramVecs map[string]HistogramVecSnapshot `json:"histogram_vecs,omitempty"`
 }
 
 // Snapshot exports the current value of every instrument. Individual
@@ -316,6 +331,19 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.histograms {
 		histograms[k] = v
 	}
+	counterVecs := make(map[string]*CounterVec, len(r.counterVecs))
+	for k, v := range r.counterVecs {
+		counterVecs[k] = v
+	}
+	gaugeVecs := make(map[string]*GaugeVec, len(r.gaugeVecs))
+	for k, v := range r.gaugeVecs {
+		gaugeVecs[k] = v
+	}
+	histogramVecs := make(map[string]*HistogramVec, len(r.histogramVecs))
+	for k, v := range r.histogramVecs {
+		histogramVecs[k] = v
+	}
+	rt := r.runtime
 	start := r.start
 	r.mu.Unlock()
 
@@ -327,22 +355,48 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[k] = g.Value()
 	}
 	for k, h := range histograms {
-		hs := HistogramSnapshot{
-			Sum:    bitsFloat(h.sum.Load()),
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: make([]uint64, len(h.counts)),
-		}
-		// Read the total before the buckets: Observe increments the
-		// bucket first and the total second, so every observation
-		// included in this total has already landed in its bucket and
-		// sum(bucket counts) >= count holds under concurrent writers.
-		hs.Count = h.count.Load()
-		for i := range h.counts {
-			hs.Counts[i] = h.counts[i].Load()
-		}
-		s.Histograms[k] = hs
+		s.Histograms[k] = snapshotHistogram(h)
 	}
+	if len(counterVecs) > 0 {
+		s.CounterVecs = make(map[string]CounterVecSnapshot, len(counterVecs))
+		for k, v := range counterVecs {
+			s.CounterVecs[k] = v.snapshot()
+		}
+	}
+	if len(gaugeVecs) > 0 {
+		s.GaugeVecs = make(map[string]GaugeVecSnapshot, len(gaugeVecs))
+		for k, v := range gaugeVecs {
+			s.GaugeVecs[k] = v.snapshot()
+		}
+	}
+	if len(histogramVecs) > 0 {
+		s.HistogramVecs = make(map[string]HistogramVecSnapshot, len(histogramVecs))
+		for k, v := range histogramVecs {
+			s.HistogramVecs[k] = v.snapshot()
+		}
+	}
+	// Runtime telemetry is sampled here, at snapshot time, so an idle
+	// registry (no scrapes) pays nothing for it.
+	rt.collect(&s)
 	return s
+}
+
+// snapshotHistogram exports one histogram's state.
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Sum:    bitsFloat(h.sum.Load()),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+	}
+	// Read the total before the buckets: Observe increments the
+	// bucket first and the total second, so every observation
+	// included in this total has already landed in its bucket and
+	// sum(bucket counts) >= count holds under concurrent writers.
+	hs.Count = h.count.Load()
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
 }
 
 // LatencyBuckets is the default bucket layout for latency histograms:

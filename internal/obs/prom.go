@@ -13,56 +13,53 @@ import (
 // format v0.0.4 (the format every Prometheus-compatible scraper
 // accepts): one TYPE comment plus samples per instrument, counters and
 // gauges as single samples, histograms as cumulative le-labelled bucket
-// series with _sum and _count. Instrument names are sanitized to the
-// Prometheus grammar (dots become underscores) and emitted in sorted
-// order, so the output is deterministic for a fixed snapshot.
+// series with _sum and _count. Labeled families render one sample per
+// child series (metric{tenant="t1",kind="sweep"} 3); a family sharing
+// its name with a plain instrument is emitted under a single TYPE
+// comment, the unlabeled total first and the labeled series after it.
+// Instrument names are sanitized to the Prometheus grammar (dots become
+// underscores), label values are escaped, and everything is emitted in
+// sorted order, so the output is deterministic for a fixed snapshot.
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	var b strings.Builder
 
-	names := make([]string, 0, len(s.Counters))
-	for name := range s.Counters {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range unionNames(s.Counters, s.CounterVecs) {
 		n := PromName(name)
-		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+		fmt.Fprintf(&b, "# TYPE %s counter\n", n)
+		if v, ok := s.Counters[name]; ok {
+			fmt.Fprintf(&b, "%s %d\n", n, v)
+		}
+		if fam, ok := s.CounterVecs[name]; ok {
+			for _, key := range sortedKeys(fam.Series) {
+				fmt.Fprintf(&b, "%s%s %d\n", n, key, fam.Series[key])
+			}
+		}
 	}
 
-	names = names[:0]
-	for name := range s.Gauges {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range unionNames(s.Gauges, s.GaugeVecs) {
 		n := PromName(name)
-		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[name]))
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", n)
+		if v, ok := s.Gauges[name]; ok {
+			fmt.Fprintf(&b, "%s %s\n", n, promFloat(v))
+		}
+		if fam, ok := s.GaugeVecs[name]; ok {
+			for _, key := range sortedKeys(fam.Series) {
+				fmt.Fprintf(&b, "%s%s %s\n", n, key, promFloat(fam.Series[key]))
+			}
+		}
 	}
 
-	names = names[:0]
-	for name := range s.Histograms {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		h := s.Histograms[name]
+	for _, name := range unionNames(s.Histograms, s.HistogramVecs) {
 		n := PromName(name)
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
-		// Cumulative buckets; the +Inf bucket equals the series count.
-		// The running total is accumulated from the per-bucket counts
-		// (not the snapshot's Count field) so bucket monotonicity holds
-		// even for a snapshot cut under concurrent writers.
-		var cum uint64
-		for i, bound := range h.Bounds {
-			cum += h.Counts[i]
-			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, promFloat(bound), cum)
+		if h, ok := s.Histograms[name]; ok {
+			writePromHistogram(&b, n, "", h)
 		}
-		if len(h.Counts) > 0 {
-			cum += h.Counts[len(h.Counts)-1]
+		if fam, ok := s.HistogramVecs[name]; ok {
+			for _, key := range sortedKeys(fam.Series) {
+				writePromHistogram(&b, n, key, fam.Series[key])
+			}
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
-		fmt.Fprintf(&b, "%s_sum %s\n", n, promFloat(h.Sum))
-		fmt.Fprintf(&b, "%s_count %d\n", n, cum)
 	}
 
 	n := "obs_uptime_seconds"
@@ -70,6 +67,64 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writePromHistogram renders one histogram series. key is the canonical
+// label key of the series ("" for the unlabeled one); the le label is
+// appended inside it for the bucket samples.
+func writePromHistogram(b *strings.Builder, n, key string, h HistogramSnapshot) {
+	// Every series label set gains le for its buckets: {a="b"} becomes
+	// {a="b",le="0.1"}, the empty key becomes {le="0.1"}.
+	lePrefix := "{"
+	if key != "" {
+		lePrefix = strings.TrimSuffix(key, "}") + ","
+	}
+	// Cumulative buckets; the +Inf bucket equals the series count.
+	// The running total is accumulated from the per-bucket counts
+	// (not the snapshot's Count field) so bucket monotonicity holds
+	// even for a snapshot cut under concurrent writers.
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%sle=%q} %d\n", n, lePrefix, promFloat(bound), cum)
+	}
+	if len(h.Counts) > 0 {
+		cum += h.Counts[len(h.Counts)-1]
+	}
+	fmt.Fprintf(b, "%s_bucket%sle=\"+Inf\"} %d\n", n, lePrefix, cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", n, key, promFloat(h.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", n, key, cum)
+}
+
+// unionNames returns the sorted union of the key sets of a plain
+// instrument map and its same-kind family map.
+func unionNames[P any, F any](plain map[string]P, fams map[string]F) []string {
+	seen := make(map[string]bool, len(plain)+len(fams))
+	names := make([]string, 0, len(plain)+len(fams))
+	for name := range plain {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	for name := range fams {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // PromName maps an instrument name onto the Prometheus metric-name

@@ -62,6 +62,63 @@ obs_uptime_seconds 12.5
 	}
 }
 
+// TestWritePrometheusLabeledGolden pins the exposition of labeled
+// families: one TYPE comment covering the plain sample and the labeled
+// series, canonical sorted label keys rendered verbatim, escaped label
+// values, and the le label spliced into each histogram series' key.
+func TestWritePrometheusLabeledGolden(t *testing.T) {
+	weird := CanonicalLabelKey([]string{"tenant", "kind"}, []string{"he\"llo\\\nx", "sweep"})
+	s := Snapshot{
+		UptimeSeconds: 2,
+		Counters:      map[string]uint64{"server.jobs_done_total": 4},
+		CounterVecs: map[string]CounterVecSnapshot{
+			"server.jobs_done_total": {
+				Labels: []string{"tenant", "kind"},
+				Series: map[string]uint64{
+					`{kind="assess",tenant="t1"}`: 3,
+					weird:                         1,
+				},
+			},
+		},
+		GaugeVecs: map[string]GaugeVecSnapshot{
+			"server.jobs_running": {
+				Labels: []string{"tenant"},
+				Series: map[string]float64{`{tenant="t1"}`: 2},
+			},
+		},
+		HistogramVecs: map[string]HistogramVecSnapshot{
+			"server.job_seconds": {
+				Labels: []string{"tenant"},
+				Series: map[string]HistogramSnapshot{
+					`{tenant="t1"}`: {Count: 3, Sum: 1.5, Bounds: []float64{1}, Counts: []uint64{2, 1}},
+				},
+			},
+		},
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE server_jobs_done_total counter
+server_jobs_done_total 4
+server_jobs_done_total{kind="assess",tenant="t1"} 3
+server_jobs_done_total{kind="sweep",tenant="he\"llo\\\nx"} 1
+# TYPE server_jobs_running gauge
+server_jobs_running{tenant="t1"} 2
+# TYPE server_job_seconds histogram
+server_job_seconds_bucket{tenant="t1",le="1"} 2
+server_job_seconds_bucket{tenant="t1",le="+Inf"} 3
+server_job_seconds_sum{tenant="t1"} 1.5
+server_job_seconds_count{tenant="t1"} 3
+# TYPE obs_uptime_seconds gauge
+obs_uptime_seconds 2
+`
+	if got := b.String(); got != want {
+		t.Errorf("labeled exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	lintPrometheus(t, b.String())
+}
+
 var (
 	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
@@ -71,7 +128,9 @@ var (
 // line parses, metric names obey the grammar, every sample's base name
 // was declared by a preceding # TYPE comment, histogram buckets have
 // ascending le labels ending in +Inf, bucket counts are cumulative
-// (monotone non-decreasing), and the +Inf bucket equals _count.
+// (monotone non-decreasing), and the +Inf bucket equals _count. Labeled
+// families are checked per series: each distinct non-le label set gets
+// its own bucket ladder, tracked independently under one TYPE comment.
 func lintPrometheus(t *testing.T, text string) {
 	t.Helper()
 	typed := map[string]string{} // base name -> type
@@ -81,8 +140,17 @@ func lintPrometheus(t *testing.T, text string) {
 		infCount  uint64
 		sawInf    bool
 	}
-	hists := map[string]*histState{}
+	hists := map[string]*histState{} // base name + "|" + series key
 	counts := map[string]uint64{}
+	histSeries := func(base, seriesKey string) *histState {
+		k := base + "|" + seriesKey
+		hs := hists[k]
+		if hs == nil {
+			hs = &histState{lastLe: math.Inf(-1)}
+			hists[k] = hs
+		}
+		return hs
+	}
 
 	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		if line == "" {
@@ -107,9 +175,6 @@ func lintPrometheus(t *testing.T, text string) {
 				t.Errorf("line %d: duplicate TYPE for %q", ln+1, name)
 			}
 			typed[name] = typ
-			if typ == "histogram" {
-				hists[name] = &histState{lastLe: math.Inf(-1)}
-			}
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
@@ -143,14 +208,21 @@ func lintPrometheus(t *testing.T, text string) {
 		if typ != "histogram" {
 			continue
 		}
-		hs := hists[base]
 		switch {
 		case strings.HasSuffix(name, "_bucket"):
-			const lePrefix = `{le="`
-			if !strings.HasPrefix(labels, lePrefix) || !strings.HasSuffix(labels, `"}`) {
-				t.Fatalf("line %d: bucket without le label: %q", ln+1, line)
+			// le is always the last label pair (the writer splices it in
+			// before the closing brace); everything before it is the
+			// series key identifying one bucket ladder.
+			m := leRe.FindStringSubmatch(labels)
+			if m == nil {
+				t.Fatalf("line %d: bucket without trailing le label: %q", ln+1, line)
 			}
-			leStr := strings.TrimSuffix(strings.TrimPrefix(labels, lePrefix), `"}`)
+			leStr := m[1]
+			seriesKey := strings.TrimSuffix(labels, m[0])
+			if seriesKey != "" {
+				seriesKey += "}"
+			}
+			hs := histSeries(base, seriesKey)
 			var le float64
 			if leStr == "+Inf" {
 				le = math.Inf(1)
@@ -182,21 +254,25 @@ func lintPrometheus(t *testing.T, text string) {
 			if err != nil {
 				t.Fatalf("line %d: _count %q: %v", ln+1, value, err)
 			}
-			counts[base] = n
+			counts[base+"|"+labels] = n
 		}
 	}
 
-	for name, hs := range hists {
+	for key, hs := range hists {
 		if !hs.sawInf {
-			t.Errorf("histogram %s: no +Inf bucket", name)
+			t.Errorf("histogram series %s: no +Inf bucket", key)
 		}
-		if c, ok := counts[name]; !ok {
-			t.Errorf("histogram %s: no _count sample", name)
+		if c, ok := counts[key]; !ok {
+			t.Errorf("histogram series %s: no _count sample", key)
 		} else if c != hs.infCount {
-			t.Errorf("histogram %s: +Inf bucket %d != _count %d", name, hs.infCount, c)
+			t.Errorf("histogram series %s: +Inf bucket %d != _count %d", key, hs.infCount, c)
 		}
 	}
 }
+
+// leRe matches the trailing le pair of a bucket label set:
+// {le="0.1"} or {a="b",le="0.1"}.
+var leRe = regexp.MustCompile(`(?:\{|,)le="([^"]+)"\}$`)
 
 // TestWritePrometheusLint runs the promtool-style lint over both the
 // golden snapshot and a live registry exercising every instrument.
@@ -215,6 +291,14 @@ func TestWritePrometheusLint(t *testing.T) {
 	for _, v := range []float64{1e-6, 0.5, 1e9} {
 		h.Observe(v)
 	}
+	// Labeled families, including one sharing its name with the plain
+	// histogram above, so the lint sees mixed plain+labeled ladders.
+	r.CounterVec("jobs.done_total", "tenant", "kind").With("t1", "assess").Add(3)
+	r.CounterVec("jobs.done_total", "tenant", "kind").With("t2", "sweep").Inc()
+	r.GaugeVec("depth", "tenant").With("t1").Set(2)
+	hv := r.HistogramVec("lat", LatencyBuckets, "tenant")
+	hv.With("t1").Observe(0.5)
+	hv.With("t2").Observe(2)
 	b.Reset()
 	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// GCPauseBuckets is the bucket layout of the runtime.gc_pause_seconds
+// histogram: exponential from 10µs to ~2.6s in ×4 steps, matching the
+// range of stop-the-world pauses worth alerting on.
+var GCPauseBuckets = ExpBuckets(10e-6, 4, 10)
+
+// runtimeCollector samples Go runtime telemetry (goroutines, heap and GC
+// statistics) into a snapshot. It is deliberately pull-based: nothing
+// runs between scrapes, so enabling it on an idle registry costs zero —
+// the one runtime.ReadMemStats happens when someone actually asks for a
+// snapshot. The GC pause histogram is persistent across samples: each
+// collect folds the pauses of GC cycles that finished since the previous
+// collect out of MemStats' circular pause buffer, so scraping at any
+// cadence ≥ once per 256 GCs loses nothing.
+type runtimeCollector struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+	pauses    *Histogram
+}
+
+// EnableRuntimeMetrics turns on runtime telemetry for this registry:
+// every Snapshot (and therefore every /metrics scrape) also reports
+//
+//	runtime.goroutines            current goroutine count
+//	runtime.heap_alloc_bytes      live heap
+//	runtime.heap_sys_bytes        heap address space from the OS
+//	runtime.heap_objects          live object count
+//	runtime.stack_inuse_bytes     stack memory in use
+//	runtime.next_gc_bytes         heap target of the next GC cycle
+//	runtime.gc_cpu_fraction       CPU share spent in GC since start
+//	runtime.gc_total              completed GC cycles (counter)
+//	runtime.gc_pause_seconds      stop-the-world pause histogram
+//
+// Sampling happens at snapshot time only; an unscrapped registry pays
+// nothing. Idempotent; no-op on a nil registry.
+func (r *Registry) EnableRuntimeMetrics() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.runtime == nil {
+		r.runtime = &runtimeCollector{pauses: newHistogram(GCPauseBuckets)}
+	}
+}
+
+// collect samples the runtime into s. No-op on a nil collector.
+func (c *runtimeCollector) collect(s *Snapshot) {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	c.mu.Lock()
+	// Fold the pauses of cycles completed since the last sample. The
+	// buffer keeps the most recent 256 pauses at index (cycle-1) % 256;
+	// if more than 256 cycles passed between scrapes the overwritten
+	// ones are gone, so start at the oldest still-buffered cycle.
+	from := c.lastNumGC
+	if ms.NumGC > 256 && from < ms.NumGC-256 {
+		from = ms.NumGC - 256
+	}
+	for gc := from; gc < ms.NumGC; gc++ {
+		c.pauses.Observe(float64(ms.PauseNs[gc%256]) / 1e9)
+	}
+	c.lastNumGC = ms.NumGC
+	pauses := snapshotHistogram(c.pauses)
+	c.mu.Unlock()
+
+	s.Gauges["runtime.goroutines"] = float64(runtime.NumGoroutine())
+	s.Gauges["runtime.heap_alloc_bytes"] = float64(ms.HeapAlloc)
+	s.Gauges["runtime.heap_sys_bytes"] = float64(ms.HeapSys)
+	s.Gauges["runtime.heap_objects"] = float64(ms.HeapObjects)
+	s.Gauges["runtime.stack_inuse_bytes"] = float64(ms.StackInuse)
+	s.Gauges["runtime.next_gc_bytes"] = float64(ms.NextGC)
+	s.Gauges["runtime.gc_cpu_fraction"] = ms.GCCPUFraction
+	s.Counters["runtime.gc_total"] = uint64(ms.NumGC)
+	s.Histograms["runtime.gc_pause_seconds"] = pauses
+}

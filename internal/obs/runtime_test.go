@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestEnableRuntimeMetrics: an enabled registry's snapshots carry the
+// process gauges, the GC cycle counter and the pause histogram; a plain
+// registry carries none of them; nil registries tolerate the call.
+func TestEnableRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Snapshot().Gauges["runtime.goroutines"]; ok {
+		t.Fatal("runtime gauges present before EnableRuntimeMetrics")
+	}
+
+	r.EnableRuntimeMetrics()
+	r.EnableRuntimeMetrics() // idempotent
+	var nilReg *Registry
+	nilReg.EnableRuntimeMetrics() // no-op
+
+	runtime.GC() // guarantee at least one completed cycle
+	s := r.Snapshot()
+	for _, g := range []string{
+		"runtime.goroutines",
+		"runtime.heap_alloc_bytes",
+		"runtime.heap_sys_bytes",
+		"runtime.heap_objects",
+		"runtime.stack_inuse_bytes",
+		"runtime.next_gc_bytes",
+		"runtime.gc_cpu_fraction",
+	} {
+		if _, ok := s.Gauges[g]; !ok {
+			t.Errorf("snapshot missing gauge %s", g)
+		}
+	}
+	if s.Gauges["runtime.goroutines"] < 1 {
+		t.Errorf("goroutines = %v", s.Gauges["runtime.goroutines"])
+	}
+	if s.Gauges["runtime.heap_alloc_bytes"] <= 0 {
+		t.Errorf("heap_alloc_bytes = %v", s.Gauges["runtime.heap_alloc_bytes"])
+	}
+	if s.Counters["runtime.gc_total"] < 1 {
+		t.Errorf("gc_total = %d, want >= 1 after runtime.GC()", s.Counters["runtime.gc_total"])
+	}
+	h, ok := s.Histograms["runtime.gc_pause_seconds"]
+	if !ok {
+		t.Fatal("snapshot missing runtime.gc_pause_seconds")
+	}
+	if h.Count < 1 {
+		t.Errorf("pause histogram count = %d, want >= 1", h.Count)
+	}
+}
+
+// TestRuntimePauseFoldingIsCumulative: the pause histogram is persistent
+// — a second snapshot must not lose the pauses folded by the first, and
+// the histogram count tracks the GC cycle counter.
+func TestRuntimePauseFoldingIsCumulative(t *testing.T) {
+	r := NewRegistry()
+	r.EnableRuntimeMetrics()
+	runtime.GC()
+	first := r.Snapshot()
+	runtime.GC()
+	runtime.GC()
+	second := r.Snapshot()
+
+	fh := first.Histograms["runtime.gc_pause_seconds"]
+	sh := second.Histograms["runtime.gc_pause_seconds"]
+	if sh.Count < fh.Count+2 {
+		t.Errorf("pause count went %d -> %d, want at least +2 after two GCs", fh.Count, sh.Count)
+	}
+	if second.Counters["runtime.gc_total"] != sh.Count {
+		// Both derive from NumGC (pauses folded per completed cycle), so
+		// within one process they stay equal until the 256-cycle buffer
+		// wraps between scrapes — which two back-to-back GCs cannot do.
+		t.Errorf("gc_total %d != pause histogram count %d",
+			second.Counters["runtime.gc_total"], sh.Count)
+	}
+}
+
+// TestRuntimeMetricsInExposition: the sampled telemetry flows through
+// the Prometheus renderer and passes the lint like any other instrument.
+func TestRuntimeMetricsInExposition(t *testing.T) {
+	r := NewRegistry()
+	r.EnableRuntimeMetrics()
+	runtime.GC()
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE runtime_goroutines gauge",
+		"# TYPE runtime_gc_total counter",
+		"# TYPE runtime_gc_pause_seconds histogram",
+		`runtime_gc_pause_seconds_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	lintPrometheus(t, text)
+}

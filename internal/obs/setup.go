@@ -32,6 +32,9 @@ func Setup(metricsAddr, eventsPath string, diag io.Writer) (*Registry, *Emitter,
 		if metrics == nil {
 			metrics = NewRegistry()
 		}
+		// A served endpoint implies an operator who wants process health;
+		// sampling is scrape-time only, so an unscrapped endpoint stays free.
+		metrics.EnableRuntimeMetrics()
 		var err error
 		server, err = Serve(metricsAddr, metrics)
 		if err != nil {

@@ -1,0 +1,427 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labeled metric families. A *Vec is a family of instruments sharing one
+// name and one fixed set of label names; each distinct label-value
+// combination is a child instrument (a plain *Counter, *Gauge or
+// *Histogram) resolved with With. The family follows the same contract
+// as the unlabeled instruments:
+//
+//   - nil is the disabled state: every method on a nil *Vec no-ops, and
+//     With on a nil *Vec returns a nil child whose methods no-op too;
+//   - resolution is the slow path (a mutex-guarded map lookup), updates
+//     are the fast path (one atomic add on the child handle) — callers
+//     resolve the child once per job or campaign, never per trace;
+//   - children never touch a PRNG stream, preserving bit-identical
+//     determinism with labels on or off.
+//
+// Children are keyed by the canonical label key: the label pairs sorted
+// by label name and rendered in Prometheus label-set syntax
+// ({k1="v1",k2="v2"} with \, " and newline escaped). Two resolutions
+// that mean the same label set therefore always reach the same child,
+// the snapshot's JSON keys are stable, and the Prometheus exposition can
+// print the key verbatim.
+
+// CanonicalLabelKey renders (names, values) as the canonical label key:
+// pairs sorted by label name (stable for duplicates), values escaped per
+// the Prometheus text exposition (backslash, double quote, newline), the
+// whole set wrapped in braces. Empty names yield the empty key, which is
+// the unlabeled series.
+func CanonicalLabelKey(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	type pair struct{ name, value string }
+	pairs := make([]pair, len(names))
+	for i, n := range names {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		pairs[i] = pair{n, v}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].name < pairs[j].name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(PromName(p.name))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value for the Prometheus text
+// exposition: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// CounterVec is a family of counters with a fixed label-name set.
+type CounterVec struct {
+	mu       sync.Mutex
+	labels   []string
+	children map[string]*Counter
+}
+
+// GaugeVec is a family of gauges with a fixed label-name set.
+type GaugeVec struct {
+	mu       sync.Mutex
+	labels   []string
+	children map[string]*Gauge
+}
+
+// HistogramVec is a family of histograms sharing bucket bounds and a
+// fixed label-name set.
+type HistogramVec struct {
+	mu       sync.Mutex
+	labels   []string
+	bounds   []float64
+	children map[string]*Histogram
+}
+
+// CounterVec returns the named counter family, creating it with the
+// given label names on first use (later lookups ignore the names, like
+// Histogram bounds). Returns nil (a valid no-op handle) when r is nil.
+func (r *Registry) CounterVec(name string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = &CounterVec{labels: append([]string(nil), labelNames...), children: map[string]*Counter{}}
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge family, creating it with the given
+// label names on first use. Returns nil (a valid no-op handle) when r is
+// nil.
+func (r *Registry) GaugeVec(name string, labelNames ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		v = &GaugeVec{labels: append([]string(nil), labelNames...), children: map[string]*Gauge{}}
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram family, creating it with the
+// given bucket bounds and label names on first use. Returns nil (a valid
+// no-op handle) when r is nil.
+func (r *Registry) HistogramVec(name string, bounds []float64, labelNames ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histogramVecs[name]
+	if !ok {
+		v = &HistogramVec{
+			labels:   append([]string(nil), labelNames...),
+			bounds:   append([]float64(nil), bounds...),
+			children: map[string]*Histogram{},
+		}
+		r.histogramVecs[name] = v
+	}
+	return v
+}
+
+// With resolves the child counter for the given label values (in the
+// family's declared label-name order; missing values read as ""). The
+// child handle is stable — resolve it once per job or campaign and hot
+// paths pay only its atomic add. Returns nil on a nil family.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	key := CanonicalLabelKey(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[key]
+	if !ok {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+// With resolves the child gauge for the given label values. Returns nil
+// on a nil family.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	key := CanonicalLabelKey(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[key]
+	if !ok {
+		g = &Gauge{}
+		v.children[key] = g
+	}
+	return g
+}
+
+// With resolves the child histogram for the given label values. Returns
+// nil on a nil family.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	key := CanonicalLabelKey(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[key]
+	if !ok {
+		h = newHistogram(v.bounds)
+		v.children[key] = h
+	}
+	return h
+}
+
+// CounterVecSnapshot is the exported state of one counter family: its
+// label names and every child series keyed by canonical label key.
+type CounterVecSnapshot struct {
+	Labels []string          `json:"labels"`
+	Series map[string]uint64 `json:"series"`
+}
+
+// GaugeVecSnapshot is the exported state of one gauge family.
+type GaugeVecSnapshot struct {
+	Labels []string           `json:"labels"`
+	Series map[string]float64 `json:"series"`
+}
+
+// HistogramVecSnapshot is the exported state of one histogram family.
+type HistogramVecSnapshot struct {
+	Labels []string                     `json:"labels"`
+	Series map[string]HistogramSnapshot `json:"series"`
+}
+
+// snapshot exports the family's children; safe for concurrent use.
+func (v *CounterVec) snapshot() CounterVecSnapshot {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := CounterVecSnapshot{
+		Labels: append([]string(nil), v.labels...),
+		Series: make(map[string]uint64, len(v.children)),
+	}
+	for k, c := range v.children {
+		s.Series[k] = c.Value()
+	}
+	return s
+}
+
+func (v *GaugeVec) snapshot() GaugeVecSnapshot {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := GaugeVecSnapshot{
+		Labels: append([]string(nil), v.labels...),
+		Series: make(map[string]float64, len(v.children)),
+	}
+	for k, g := range v.children {
+		s.Series[k] = g.Value()
+	}
+	return s
+}
+
+func (v *HistogramVec) snapshot() HistogramVecSnapshot {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := HistogramVecSnapshot{
+		Labels: append([]string(nil), v.labels...),
+		Series: make(map[string]HistogramSnapshot, len(v.children)),
+	}
+	for k, h := range v.children {
+		s.Series[k] = snapshotHistogram(h)
+	}
+	return s
+}
+
+// Fold adds src's instruments into dst, optionally attributing them to a
+// label set: with non-empty labelNames every src counter, gauge and
+// histogram also lands as one labeled series of the same-named family in
+// dst (counters and histograms summed into the series, gauges set — each
+// source is its own series, so per-source gauge levels stay meaningful).
+//
+// Unlabeled merge semantics: counters sum; histograms with identical
+// bounds sum bucket-wise (differing bounds keep dst's series untouched —
+// the repo's shared bucket layouts make this the rare case); gauges are
+// copied only when dst has no series of that name, because summing or
+// overwriting instantaneous levels across sources is wrong either way.
+// Labeled families already present in dst are extended series-wise.
+//
+// Fold powers the job server's fleet view: each job runs against its own
+// registry, and scrape-time folding produces one snapshot whose
+// unlabeled totals are the sums of its labeled per-job series by
+// construction.
+func Fold(dst *Snapshot, src Snapshot, labelNames, labelValues []string) {
+	key := CanonicalLabelKey(labelNames, labelValues)
+
+	for name, v := range src.Counters {
+		dst.Counters[name] += v
+		if key != "" {
+			fam, ok := dst.CounterVecs[name]
+			if !ok {
+				fam = CounterVecSnapshot{Labels: append([]string(nil), labelNames...), Series: map[string]uint64{}}
+			}
+			fam.Series[key] += v
+			if dst.CounterVecs == nil {
+				dst.CounterVecs = map[string]CounterVecSnapshot{}
+			}
+			dst.CounterVecs[name] = fam
+		}
+	}
+	for name, v := range src.Gauges {
+		if _, ok := dst.Gauges[name]; !ok {
+			dst.Gauges[name] = v
+		}
+		if key != "" {
+			fam, ok := dst.GaugeVecs[name]
+			if !ok {
+				fam = GaugeVecSnapshot{Labels: append([]string(nil), labelNames...), Series: map[string]float64{}}
+			}
+			fam.Series[key] = v
+			if dst.GaugeVecs == nil {
+				dst.GaugeVecs = map[string]GaugeVecSnapshot{}
+			}
+			dst.GaugeVecs[name] = fam
+		}
+	}
+	for name, hs := range src.Histograms {
+		if cur, ok := dst.Histograms[name]; !ok {
+			dst.Histograms[name] = cloneHistogramSnapshot(hs)
+		} else if merged, ok := addHistogramSnapshots(cur, hs); ok {
+			dst.Histograms[name] = merged
+		}
+		if key != "" {
+			fam, ok := dst.HistogramVecs[name]
+			if !ok {
+				fam = HistogramVecSnapshot{Labels: append([]string(nil), labelNames...), Series: map[string]HistogramSnapshot{}}
+			}
+			if cur, have := fam.Series[key]; !have {
+				fam.Series[key] = cloneHistogramSnapshot(hs)
+			} else if merged, ok := addHistogramSnapshots(cur, hs); ok {
+				fam.Series[key] = merged
+			}
+			if dst.HistogramVecs == nil {
+				dst.HistogramVecs = map[string]HistogramVecSnapshot{}
+			}
+			dst.HistogramVecs[name] = fam
+		}
+	}
+
+	// src's own labeled families carry over series-wise, so folding an
+	// already-folded snapshot (the job server's accumulated history) into
+	// another is lossless. Their series are NOT re-attributed under key —
+	// they already carry their labels.
+	for name, sf := range src.CounterVecs {
+		fam, ok := dst.CounterVecs[name]
+		if !ok {
+			fam = CounterVecSnapshot{Labels: append([]string(nil), sf.Labels...), Series: map[string]uint64{}}
+		}
+		for k, v := range sf.Series {
+			fam.Series[k] += v
+		}
+		if dst.CounterVecs == nil {
+			dst.CounterVecs = map[string]CounterVecSnapshot{}
+		}
+		dst.CounterVecs[name] = fam
+	}
+	for name, sf := range src.GaugeVecs {
+		fam, ok := dst.GaugeVecs[name]
+		if !ok {
+			fam = GaugeVecSnapshot{Labels: append([]string(nil), sf.Labels...), Series: map[string]float64{}}
+		}
+		for k, v := range sf.Series {
+			if _, have := fam.Series[k]; !have {
+				fam.Series[k] = v
+			}
+		}
+		if dst.GaugeVecs == nil {
+			dst.GaugeVecs = map[string]GaugeVecSnapshot{}
+		}
+		dst.GaugeVecs[name] = fam
+	}
+	for name, sf := range src.HistogramVecs {
+		fam, ok := dst.HistogramVecs[name]
+		if !ok {
+			fam = HistogramVecSnapshot{Labels: append([]string(nil), sf.Labels...), Series: map[string]HistogramSnapshot{}}
+		}
+		for k, hs := range sf.Series {
+			if cur, have := fam.Series[k]; !have {
+				fam.Series[k] = cloneHistogramSnapshot(hs)
+			} else if merged, ok := addHistogramSnapshots(cur, hs); ok {
+				fam.Series[k] = merged
+			}
+		}
+		if dst.HistogramVecs == nil {
+			dst.HistogramVecs = map[string]HistogramVecSnapshot{}
+		}
+		dst.HistogramVecs[name] = fam
+	}
+}
+
+// cloneHistogramSnapshot deep-copies a histogram snapshot so folds never
+// alias the source's slices.
+func cloneHistogramSnapshot(h HistogramSnapshot) HistogramSnapshot {
+	h.Bounds = append([]float64(nil), h.Bounds...)
+	h.Counts = append([]uint64(nil), h.Counts...)
+	return h
+}
+
+// addHistogramSnapshots sums two snapshots bucket-wise; ok is false when
+// the bucket layouts differ (the snapshots are not addable).
+func addHistogramSnapshots(a, b HistogramSnapshot) (HistogramSnapshot, bool) {
+	if len(a.Bounds) != len(b.Bounds) || len(a.Counts) != len(b.Counts) {
+		return a, false
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return a, false
+		}
+	}
+	out := cloneHistogramSnapshot(a)
+	out.Count += b.Count
+	out.Sum += b.Sum
+	for i := range out.Counts {
+		out.Counts[i] += b.Counts[i]
+	}
+	return out, true
+}

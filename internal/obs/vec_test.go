@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCanonicalLabelKey(t *testing.T) {
+	cases := []struct {
+		names, values []string
+		want          string
+	}{
+		{nil, nil, ""},
+		{[]string{}, []string{"ignored"}, ""},
+		{[]string{"tenant"}, []string{"t1"}, `{tenant="t1"}`},
+		// Pairs sort by label name regardless of declaration order.
+		{[]string{"tenant", "kind"}, []string{"t1", "sweep"}, `{kind="sweep",tenant="t1"}`},
+		{[]string{"kind", "tenant"}, []string{"sweep", "t1"}, `{kind="sweep",tenant="t1"}`},
+		// Missing values read as empty strings.
+		{[]string{"a", "b"}, []string{"x"}, `{a="x",b=""}`},
+		// Label names pass through PromName; values are escaped.
+		{[]string{"bad-name"}, []string{`q"\` + "\n"}, `{bad_name="q\"\\\n"}`},
+	}
+	for _, tc := range cases {
+		if got := CanonicalLabelKey(tc.names, tc.values); got != tc.want {
+			t.Errorf("CanonicalLabelKey(%v, %v) = %q, want %q", tc.names, tc.values, got, tc.want)
+		}
+	}
+}
+
+// TestNilVecNoOps: a nil registry hands out nil families, With on a nil
+// family hands out nil children, and every method on those no-ops. This
+// is the disabled state every instrumented call site relies on.
+func TestNilVecNoOps(t *testing.T) {
+	var r *Registry
+	r.CounterVec("c", "l").With("v").Add(3)
+	r.CounterVec("c", "l").With("v").Inc()
+	r.GaugeVec("g", "l").With("v").Set(1)
+	r.HistogramVec("h", LatencyBuckets, "l").With("v").Observe(0.5)
+
+	var cv *CounterVec
+	var gv *GaugeVec
+	var hv *HistogramVec
+	cv.With("x").Inc()
+	gv.With("x").Add(1)
+	hv.With("x").Observe(1)
+}
+
+// TestVecChildStability: With returns the same child for equivalent
+// label sets (even given in a different declaration), and distinct
+// children for distinct sets.
+func TestVecChildStability(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("jobs", "tenant", "kind")
+	a := v.With("t1", "sweep")
+	b := v.With("t1", "sweep")
+	if a != b {
+		t.Fatal("With returned distinct children for the same label values")
+	}
+	if v.With("t2", "sweep") == a {
+		t.Fatal("distinct label values shared a child")
+	}
+	// Re-looking up the family ignores later label names, like Histogram
+	// bounds on re-lookup.
+	if r.CounterVec("jobs", "other") != v {
+		t.Fatal("re-lookup created a second family")
+	}
+
+	a.Add(2)
+	b.Inc()
+	s := r.Snapshot()
+	fam := s.CounterVecs["jobs"]
+	if got := fam.Series[`{kind="sweep",tenant="t1"}`]; got != 3 {
+		t.Fatalf("series value = %d, want 3 (both handles reach one child)", got)
+	}
+	if len(fam.Labels) != 2 || fam.Labels[0] != "tenant" || fam.Labels[1] != "kind" {
+		t.Fatalf("snapshot labels = %v", fam.Labels)
+	}
+}
+
+// TestVecSnapshotKinds covers gauge and histogram families end to end
+// through Snapshot.
+func TestVecSnapshotKinds(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("depth", "tenant").With("t1").Set(4)
+	r.GaugeVec("depth", "tenant").With("t2").Set(0)
+	h := r.HistogramVec("lat", []float64{1, 10}, "tenant")
+	h.With("t1").Observe(0.5)
+	h.With("t1").Observe(5)
+
+	s := r.Snapshot()
+	if got := s.GaugeVecs["depth"].Series[`{tenant="t1"}`]; got != 4 {
+		t.Errorf("gauge series = %v, want 4", got)
+	}
+	if _, ok := s.GaugeVecs["depth"].Series[`{tenant="t2"}`]; !ok {
+		t.Error("explicit zero gauge series missing from snapshot")
+	}
+	hs := s.HistogramVecs["lat"].Series[`{tenant="t1"}`]
+	if hs.Count != 2 || hs.Counts[0] != 1 || hs.Counts[1] != 1 {
+		t.Errorf("histogram series = %+v", hs)
+	}
+}
+
+// TestFoldAttribution: folding per-source snapshots under labels makes
+// the unlabeled totals the exact sum of the labeled series — the
+// invariant the job server's fleet /metrics view is built on.
+func TestFoldAttribution(t *testing.T) {
+	mk := func(traces uint64, depth float64, obsv ...float64) Snapshot {
+		r := NewRegistry()
+		r.Counter("traces_total").Add(traces)
+		r.Gauge("depth").Set(depth)
+		h := r.Histogram("lat", []float64{1})
+		for _, v := range obsv {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+
+	var dst Snapshot
+	dst = (*Registry)(nil).Snapshot() // allocated empty maps
+	names := []string{"tenant", "kind"}
+	Fold(&dst, mk(3, 7, 0.5), names, []string{"t1", "sweep"})
+	Fold(&dst, mk(5, 2, 0.5, 3), names, []string{"t2", "assess"})
+	Fold(&dst, mk(4, 1), names, []string{"t1", "sweep"}) // same series again
+
+	if dst.Counters["traces_total"] != 12 {
+		t.Fatalf("unlabeled total = %d, want 12", dst.Counters["traces_total"])
+	}
+	fam := dst.CounterVecs["traces_total"]
+	var sum uint64
+	for _, v := range fam.Series {
+		sum += v
+	}
+	if sum != dst.Counters["traces_total"] {
+		t.Fatalf("labeled series sum %d != unlabeled total %d", sum, dst.Counters["traces_total"])
+	}
+	if fam.Series[`{kind="sweep",tenant="t1"}`] != 7 {
+		t.Errorf("t1 series = %d, want 7", fam.Series[`{kind="sweep",tenant="t1"}`])
+	}
+
+	// Gauges: unlabeled keeps the first source's level (copy-if-absent);
+	// each label set keeps its own level.
+	if dst.Gauges["depth"] != 7 {
+		t.Errorf("unlabeled gauge = %v, want first-folded 7", dst.Gauges["depth"])
+	}
+	if dst.GaugeVecs["depth"].Series[`{kind="assess",tenant="t2"}`] != 2 {
+		t.Errorf("labeled gauge = %v, want 2", dst.GaugeVecs["depth"].Series[`{kind="assess",tenant="t2"}`])
+	}
+
+	// Histograms: bucket-wise sums, labeled and unlabeled. Three
+	// observations total: 0.5 from t1, {0.5, 3} from t2, none from the
+	// third fold.
+	uh := dst.Histograms["lat"]
+	if uh.Count != 3 || uh.Counts[0] != 2 || uh.Counts[1] != 1 {
+		t.Errorf("unlabeled histogram = %+v", uh)
+	}
+	lh := dst.HistogramVecs["lat"].Series[`{kind="sweep",tenant="t1"}`]
+	if lh.Count != 1 || lh.Counts[0] != 1 {
+		t.Errorf("t1 histogram series = %+v", lh)
+	}
+}
+
+// TestFoldCarriesVecFamilies: folding an already-folded snapshot (the
+// server's accumulated history) into a fresh destination keeps its
+// labeled series as-is instead of re-attributing or dropping them.
+func TestFoldCarriesVecFamilies(t *testing.T) {
+	var hist Snapshot
+	hist = (*Registry)(nil).Snapshot()
+	src := NewRegistry()
+	src.Counter("c").Add(2)
+	src.Histogram("h", []float64{1}).Observe(0.5)
+	src.Gauge("g").Set(9)
+	Fold(&hist, src.Snapshot(), []string{"tenant"}, []string{"t1"})
+
+	var dst Snapshot
+	dst = (*Registry)(nil).Snapshot()
+	Fold(&dst, hist, nil, nil) // unlabeled fold of a labeled snapshot
+
+	if dst.Counters["c"] != 2 {
+		t.Errorf("plain counter = %d", dst.Counters["c"])
+	}
+	if dst.CounterVecs["c"].Series[`{tenant="t1"}`] != 2 {
+		t.Errorf("carried counter series = %d, want 2", dst.CounterVecs["c"].Series[`{tenant="t1"}`])
+	}
+	if dst.GaugeVecs["g"].Series[`{tenant="t1"}`] != 9 {
+		t.Errorf("carried gauge series = %v, want 9", dst.GaugeVecs["g"].Series[`{tenant="t1"}`])
+	}
+	if hs := dst.HistogramVecs["h"].Series[`{tenant="t1"}`]; hs.Count != 1 {
+		t.Errorf("carried histogram series = %+v", hs)
+	}
+
+	// Folding the same history twice doubles counter series (they sum).
+	Fold(&dst, hist, nil, nil)
+	if dst.CounterVecs["c"].Series[`{tenant="t1"}`] != 4 {
+		t.Errorf("re-folded counter series = %d, want 4", dst.CounterVecs["c"].Series[`{tenant="t1"}`])
+	}
+}
+
+// TestFoldMismatchedBounds: histograms with differing bucket layouts are
+// not addable; the destination series must stay untouched rather than
+// being corrupted bucket-by-bucket.
+func TestFoldMismatchedBounds(t *testing.T) {
+	var dst Snapshot
+	dst = (*Registry)(nil).Snapshot()
+	a := NewRegistry()
+	a.Histogram("h", []float64{1, 2}).Observe(0.5)
+	Fold(&dst, a.Snapshot(), nil, nil)
+
+	b := NewRegistry()
+	b.Histogram("h", []float64{5}).Observe(0.5)
+	Fold(&dst, b.Snapshot(), nil, nil)
+
+	h := dst.Histograms["h"]
+	if len(h.Bounds) != 2 || h.Count != 1 {
+		t.Fatalf("mismatched-bounds fold corrupted dst: %+v", h)
+	}
+}
+
+// TestVecConcurrentResolve hammers child creation and updates from many
+// goroutines; run under -race this pins the locking of the family maps.
+func TestVecConcurrentResolve(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers = 16
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", i%4)
+			for j := 0; j < 200; j++ {
+				r.CounterVec("ops", "tenant").With(tenant).Inc()
+				r.GaugeVec("level", "tenant").With(tenant).Set(float64(j))
+				r.HistogramVec("lat", []float64{1}, "tenant").With(tenant).Observe(0.5)
+				if j%50 == 0 {
+					_ = r.Snapshot() // concurrent readers are safe too
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	var total uint64
+	for _, v := range s.CounterVecs["ops"].Series {
+		total += v
+	}
+	if want := uint64(workers * 200); total != want {
+		t.Fatalf("lost updates: counted %d, want %d", total, want)
+	}
+	if got := len(s.CounterVecs["ops"].Series); got != 4 {
+		t.Fatalf("series count = %d, want 4", got)
+	}
+}

@@ -1,0 +1,201 @@
+package runreport
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// FleetReport folds a directory of per-job JSONL event logs (the job
+// server's DataDir, or a copy of its *.events.jsonl files) into one
+// fleet-level cost view: who spent what (per-tenant cost table), how
+// fast each cipher ran (per-cipher throughput), and how much of the
+// fleet's time was queueing versus running. Logs without a job_usage
+// line (still running, or not a job log at all) are counted in Skipped
+// rather than silently ignored.
+type FleetReport struct {
+	Dir     string       `json:"dir"`
+	Jobs    []JobUsage   `json:"jobs"`
+	Tenants []TenantCost `json:"tenants"`
+	Ciphers []CipherCost `json:"ciphers"`
+
+	TotalWallSeconds  float64 `json:"total_wall_seconds"`
+	TotalCPUSeconds   float64 `json:"total_cpu_seconds"`
+	TotalQueueSeconds float64 `json:"total_queue_seconds"`
+	Skipped           int     `json:"skipped,omitempty"`
+}
+
+// TenantCost is one tenant's aggregated job cost.
+type TenantCost struct {
+	Tenant       string  `json:"tenant"`
+	Jobs         int     `json:"jobs"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	CPUSeconds   float64 `json:"cpu_seconds"`
+	QueueSeconds float64 `json:"queue_seconds"`
+	Episodes     uint64  `json:"episodes,omitempty"`
+	Cells        uint64  `json:"cells,omitempty"`
+	Traces       uint64  `json:"traces,omitempty"`
+}
+
+// CipherCost is one cipher's aggregated work and throughput across the
+// fleet's jobs.
+type CipherCost struct {
+	Cipher      string  `json:"cipher"`
+	Jobs        int     `json:"jobs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Episodes    uint64  `json:"episodes,omitempty"`
+	Cells       uint64  `json:"cells,omitempty"`
+	Traces      uint64  `json:"traces,omitempty"`
+	// TracesPerSec / CellsPerSec are work over in-worker wall time.
+	TracesPerSec float64 `json:"traces_per_sec,omitempty"`
+	CellsPerSec  float64 `json:"cells_per_sec,omitempty"`
+}
+
+// AnalyzeFleet scans every *.jsonl file under dir (non-recursively) and
+// builds the fleet report from each log's final job_usage line.
+func AnalyzeFleet(dir string) (*FleetReport, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	fr := &FleetReport{Dir: dir}
+	for _, p := range paths {
+		u, err := lastUsage(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if u == nil {
+			fr.Skipped++
+			continue
+		}
+		fr.Jobs = append(fr.Jobs, *u)
+	}
+	if len(fr.Jobs) == 0 {
+		return nil, fmt.Errorf("%s: no job_usage events in any of %d log(s)", dir, len(paths))
+	}
+
+	tenants := map[string]*TenantCost{}
+	ciphers := map[string]*CipherCost{}
+	for _, u := range fr.Jobs {
+		fr.TotalWallSeconds += u.WallSeconds
+		fr.TotalCPUSeconds += u.CPUSeconds
+		fr.TotalQueueSeconds += u.QueueSeconds
+
+		t := tenants[u.Tenant]
+		if t == nil {
+			t = &TenantCost{Tenant: u.Tenant}
+			tenants[u.Tenant] = t
+		}
+		t.Jobs++
+		t.WallSeconds += u.WallSeconds
+		t.CPUSeconds += u.CPUSeconds
+		t.QueueSeconds += u.QueueSeconds
+		t.Episodes += u.Episodes
+		t.Cells += u.Cells
+		t.Traces += u.Traces
+
+		c := ciphers[u.Cipher]
+		if c == nil {
+			c = &CipherCost{Cipher: u.Cipher}
+			ciphers[u.Cipher] = c
+		}
+		c.Jobs++
+		c.WallSeconds += u.WallSeconds
+		c.Episodes += u.Episodes
+		c.Cells += u.Cells
+		c.Traces += u.Traces
+	}
+	for _, t := range tenants {
+		fr.Tenants = append(fr.Tenants, *t)
+	}
+	// Most expensive tenant first: the report answers "who is burning
+	// the fleet", so order by wall cost.
+	sort.Slice(fr.Tenants, func(i, j int) bool {
+		if fr.Tenants[i].WallSeconds != fr.Tenants[j].WallSeconds {
+			return fr.Tenants[i].WallSeconds > fr.Tenants[j].WallSeconds
+		}
+		return fr.Tenants[i].Tenant < fr.Tenants[j].Tenant
+	})
+	for _, c := range ciphers {
+		if c.WallSeconds > 0 {
+			c.TracesPerSec = float64(c.Traces) / c.WallSeconds
+			c.CellsPerSec = float64(c.Cells) / c.WallSeconds
+		}
+		fr.Ciphers = append(fr.Ciphers, *c)
+	}
+	sort.Slice(fr.Ciphers, func(i, j int) bool { return fr.Ciphers[i].Cipher < fr.Ciphers[j].Cipher })
+	return fr, nil
+}
+
+// lastUsage extracts the final job_usage record of one log, nil when the
+// log has none.
+func lastUsage(path string) (*JobUsage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := Analyze(f)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Usage == nil {
+		return nil, nil
+	}
+	if rep.Usage.Cipher == "" {
+		rep.Usage.Cipher = rep.Cipher
+	}
+	return rep.Usage, nil
+}
+
+// WriteFleetMarkdown renders the fleet report as markdown.
+func WriteFleetMarkdown(w io.Writer, fr *FleetReport) {
+	fmt.Fprintf(w, "# Fleet report: %s\n\n", fr.Dir)
+	fmt.Fprintf(w, "%d job(s)", len(fr.Jobs))
+	if fr.Skipped > 0 {
+		fmt.Fprintf(w, " (%d log(s) without usage records skipped)", fr.Skipped)
+	}
+	fmt.Fprintf(w, ": %.2fs wall, %.2fs cpu, %.2fs queued\n\n",
+		fr.TotalWallSeconds, fr.TotalCPUSeconds, fr.TotalQueueSeconds)
+
+	tb := report.NewTable("per-tenant cost", "tenant", "jobs", "wall s", "cpu s", "queue s", "episodes", "cells", "traces")
+	for _, t := range fr.Tenants {
+		name := t.Tenant
+		if name == "" {
+			name = "(anonymous)"
+		}
+		tb.AddRow(name, t.Jobs,
+			fmt.Sprintf("%.2f", t.WallSeconds),
+			fmt.Sprintf("%.2f", t.CPUSeconds),
+			fmt.Sprintf("%.2f", t.QueueSeconds),
+			t.Episodes, t.Cells, t.Traces)
+	}
+	renderFenced(w, tb)
+
+	tb = report.NewTable("per-cipher throughput", "cipher", "jobs", "wall s", "traces/sec", "cells/sec", "episodes")
+	for _, c := range fr.Ciphers {
+		name := c.Cipher
+		if name == "" {
+			name = "(unknown)"
+		}
+		tb.AddRow(name, c.Jobs,
+			fmt.Sprintf("%.2f", c.WallSeconds),
+			fmt.Sprintf("%.0f", c.TracesPerSec),
+			fmt.Sprintf("%.1f", c.CellsPerSec),
+			c.Episodes)
+	}
+	renderFenced(w, tb)
+
+	// Queue-wait vs run-time: how much of the fleet's elapsed effort was
+	// spent waiting for a worker rather than computing.
+	busy := fr.TotalWallSeconds + fr.TotalQueueSeconds
+	if busy > 0 {
+		fmt.Fprintf(w, "queue wait vs run time: %.2fs queued vs %.2fs running (%.1f%% of job time spent waiting)\n",
+			fr.TotalQueueSeconds, fr.TotalWallSeconds, 100*fr.TotalQueueSeconds/busy)
+	}
+}

@@ -1,0 +1,115 @@
+package runreport
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func usageLine(id, tenant, cipher string, attempts int, wall, cpu, queue float64, traces uint64) string {
+	return fmt.Sprintf(`{"event":"job_usage","fields":{"id":%q,"tenant":%q,"kind":"discover","cipher":%q,`+
+		`"fault_model":"default","state":"done","attempts":%d,"wall_seconds":%g,`+
+		`"cpu_seconds":%g,"queue_seconds":%g,"traces":%d}}`,
+		id, tenant, cipher, attempts, wall, cpu, queue, traces)
+}
+
+// TestAnalyzeUsageLastWins: the job_usage event is cumulative per
+// attempt, so Analyze keeps the final line of a log as the job's cost.
+func TestAnalyzeUsageLastWins(t *testing.T) {
+	log := `{"event":"job_started","fields":{"id":"j-1","cipher":"gift64"}}
+` + usageLine("j-1", "t1", "gift64", 1, 3, 2, 1, 100) + `
+` + usageLine("j-1", "t1", "gift64", 2, 8, 6, 1.5, 250) + `
+`
+	rep, err := Analyze(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := rep.Usage
+	if u == nil {
+		t.Fatal("no usage parsed")
+	}
+	if u.Attempts != 2 || u.WallSeconds != 8 || u.Traces != 250 {
+		t.Fatalf("usage = %+v, want the second (cumulative) line", u)
+	}
+	if rep.Cipher != "gift64" {
+		t.Errorf("cipher = %q, want lifted from job_started", rep.Cipher)
+	}
+}
+
+// TestAnalyzeFleet folds a directory of per-job logs: aggregation per
+// tenant and cipher, wall-cost ordering, throughput rates, and skipped
+// logs without usage records.
+func TestAnalyzeFleet(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Job a: two cumulative usage lines — only the last one counts.
+	write("a.jsonl",
+		usageLine("j-a", "t1", "gift64", 1, 4, 3, 1, 100)+"\n"+
+			usageLine("j-a", "t1", "gift64", 2, 10, 8, 2, 500)+"\n")
+	write("b.jsonl", usageLine("j-b", "t1", "gift64", 1, 6, 5, 1, 300)+"\n")
+	write("c.jsonl", usageLine("j-c", "t2", "speck64", 1, 5, 4, 0.5, 200)+"\n")
+	// A log without any usage record (job still queued/running elsewhere).
+	write("d.jsonl", `{"event":"job_started","fields":{"id":"j-d"}}`+"\n")
+	// Not a .jsonl file: ignored entirely.
+	write("notes.txt", "irrelevant")
+
+	fr, err := AnalyzeFleet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Jobs) != 3 || fr.Skipped != 1 {
+		t.Fatalf("jobs = %d skipped = %d, want 3/1", len(fr.Jobs), fr.Skipped)
+	}
+	if fr.TotalWallSeconds != 21 || fr.TotalQueueSeconds != 3.5 {
+		t.Errorf("totals wall %v queue %v, want 21 / 3.5", fr.TotalWallSeconds, fr.TotalQueueSeconds)
+	}
+
+	// t1 burned more wall time, so it leads the cost table.
+	if len(fr.Tenants) != 2 || fr.Tenants[0].Tenant != "t1" {
+		t.Fatalf("tenants = %+v, want t1 first", fr.Tenants)
+	}
+	if fr.Tenants[0].Jobs != 2 || fr.Tenants[0].WallSeconds != 16 || fr.Tenants[0].Traces != 800 {
+		t.Errorf("t1 = %+v", fr.Tenants[0])
+	}
+
+	// Ciphers sort by name; throughput is work over in-worker wall time.
+	if len(fr.Ciphers) != 2 || fr.Ciphers[0].Cipher != "gift64" || fr.Ciphers[1].Cipher != "speck64" {
+		t.Fatalf("ciphers = %+v", fr.Ciphers)
+	}
+	if got, want := fr.Ciphers[0].TracesPerSec, 800.0/16; got != want {
+		t.Errorf("gift64 traces/sec = %v, want %v", got, want)
+	}
+
+	var md strings.Builder
+	WriteFleetMarkdown(&md, fr)
+	for _, want := range []string{
+		"# Fleet report:",
+		"per-tenant cost",
+		"per-cipher throughput",
+		"queue wait vs run time",
+		"1 log(s) without usage records skipped",
+	} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("fleet markdown missing %q", want)
+		}
+	}
+}
+
+// TestAnalyzeFleetNoUsage: a directory with logs but no usage records is
+// an error, not an empty report.
+func TestAnalyzeFleetNoUsage(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.jsonl"),
+		[]byte(`{"event":"job_started","fields":{"id":"j-a"}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeFleet(dir); err == nil {
+		t.Fatal("AnalyzeFleet succeeded on a usage-free directory")
+	}
+}

@@ -11,17 +11,25 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/runreport"
 )
 
 // Handler returns the daemon's HTTP API:
 //
 //	POST   /jobs              submit a job (body: Spec), 202 + Job
 //	GET    /jobs              list jobs in submission order
-//	GET    /jobs/{id}         job record plus an event-log summary
+//	GET    /jobs/{id}         job record (incl. usage) plus an event-log summary
 //	DELETE /jobs/{id}         cancel a queued/running job; purge a terminal one
 //	GET    /jobs/{id}/events  live SSE stream of the job's JSONL events
+//	GET    /jobs/{id}/report  obsreport markdown summary of the job's event log
+//	GET    /stats             per-tenant fleet aggregates from the job records
 //	GET    /healthz           liveness probe
-//	GET    /metrics           obs debug handler (also /debug/vars, /debug/pprof)
+//	GET    /readyz            readiness: 200 accepting, 503 draining/closed
+//	GET    /metrics           fleet metric view (also /debug/vars, /debug/pprof)
+//
+// /metrics serves the composed fleet snapshot (scheduler + per-job
+// registries folded under tenant/kind/cipher/fault_model labels), not
+// the bare scheduler registry — see Server.MetricsSnapshot.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -29,11 +37,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleDelete)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness (healthz) stays 200 through a drain so the process
+		// is not killed mid-shutdown; readiness flips to 503 the moment
+		// Close begins, telling load balancers to stop routing here.
+		if s.Ready() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	})
 	if s.cfg.Metrics != nil {
-		debug := obs.Handler(s.cfg.Metrics)
+		debug := obs.SnapshotHandler(s.MetricsSnapshot)
 		mux.Handle("/metrics", debug)
 		mux.Handle("/debug/", debug)
 	}
@@ -75,6 +97,11 @@ type eventSummary struct {
 	Lines int `json:"lines"`
 	// Events counts log lines by event kind.
 	Events map[string]int `json:"events,omitempty"`
+	// Truncated is set when the scan stopped early (a log line exceeded
+	// the scanner's 4 MB cap, or a read failed): the counts above cover
+	// only the lines before the failure. Without this field a truncated
+	// summary is indistinguishable from a complete one.
+	Truncated string `json:"truncated,omitempty"`
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -106,7 +133,38 @@ func summarizeEvents(path string) *eventSummary {
 		json.Unmarshal(sc.Bytes(), &ev)
 		sum.Events[ev.Event]++
 	}
+	// A scanner that stopped on error (oversized line, read failure)
+	// counted only a prefix of the log; surface that instead of passing
+	// the partial tally off as the whole story.
+	if err := sc.Err(); err != nil {
+		sum.Truncated = err.Error()
+	}
 	return sum
+}
+
+// handleReport renders the obsreport markdown summary of a job's event
+// log. A queued job has no log yet, which is a conflict (409: retry
+// after it starts), not a missing job.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if j.State == StateQueued {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": "job is queued; no event log to report on yet",
+		})
+		return
+	}
+	rep, err := runreport.AnalyzeFile(s.Files(j.ID).Events, "")
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	runreport.WriteMarkdown(w, rep)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

@@ -15,6 +15,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -72,6 +73,69 @@ type Spec struct {
 	Config json.RawMessage `json:"config"`
 }
 
+// JobLabelNames is the attribution label set every job's metrics are
+// folded under on /metrics: who (tenant), what engine (kind = the job
+// type), and which target (cipher, fault_model).
+var JobLabelNames = []string{"tenant", "kind", "cipher", "fault_model"}
+
+// labelValues derives the job's attribution label values, in
+// JobLabelNames order. Cipher and fault model come from a best-effort
+// sniff of the engine config document: the scheduler stays
+// engine-agnostic, but every engine config in this repo spells its
+// target as "cipher" and its fault model(s) as "fault_model" /
+// "fault_models" / "models", so the sniff covers them all. A config
+// without those keys yields empty values, which render as empty label
+// values — attribution degrades, scheduling does not.
+func (sp *Spec) labelValues() []string {
+	cipher, faultModel := sniffConfig(sp.Config)
+	return []string{sp.Tenant, sp.Type, cipher, faultModel}
+}
+
+// sniffConfig extracts the cipher and fault-model attribution values
+// from an engine config document without knowing its full schema.
+func sniffConfig(raw json.RawMessage) (cipher, faultModel string) {
+	var doc struct {
+		Cipher      string `json:"cipher"`
+		FaultModel  any    `json:"fault_model"`
+		FaultModels []any  `json:"fault_models"`
+		Models      []any  `json:"models"`
+	}
+	if json.Unmarshal(raw, &doc) != nil {
+		return "", ""
+	}
+	models := doc.FaultModels
+	if len(models) == 0 {
+		models = doc.Models
+	}
+	switch {
+	case doc.FaultModel != nil:
+		faultModel = modelLabel(doc.FaultModel)
+	case len(models) == 1:
+		faultModel = modelLabel(models[0])
+	case len(models) > 1:
+		// A multi-model campaign is one cost bucket; per-model split
+		// lives in the engine's own metrics, not the attribution labels.
+		faultModel = "multi"
+	default:
+		// Absent means the engine default (xor flip); label it as such
+		// rather than guessing engine defaults here.
+		faultModel = "default"
+	}
+	return doc.Cipher, faultModel
+}
+
+// modelLabel renders one fault-model config value (CLI name string or
+// bare enum integer — both JSON forms the engines accept) as a label.
+func modelLabel(v any) string {
+	switch t := v.(type) {
+	case string:
+		return t
+	case float64:
+		return "model-" + strconv.Itoa(int(t))
+	}
+	return "unknown"
+}
+
 // validate checks the engine-independent parts of a spec.
 func (sp *Spec) validate() error {
 	switch sp.Type {
@@ -111,6 +175,12 @@ type Job struct {
 	// Resumes counts how many times a daemon restart re-queued the job
 	// while it was running.
 	Resumes int `json:"resumes,omitempty"`
+	// Usage is the job's measured resource footprint, accumulated across
+	// attempts (a resumed job keeps the usage of its interrupted runs).
+	// Unlike Result it is deliberately wall-clock: it answers "what did
+	// this job cost", not "what did it compute", so it is persisted on
+	// the record rather than folded into the deterministic result.
+	Usage *Usage `json:"usage,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -119,11 +189,65 @@ type Job struct {
 	// cancelRequested marks a DELETE on a running job so the worker can
 	// distinguish client cancellation from a daemon shutdown.
 	cancelRequested bool
+	// enqueuedAt is when the job last entered the queue (submission or
+	// restart requeue); the next start charges the interval to
+	// Usage.QueueSeconds. In-memory only: after a restart the requeue
+	// time is the honest enqueue point anyway.
+	enqueuedAt time.Time
+	// queueWait is the wait the current attempt paid before starting,
+	// set by the scheduler when it dequeues the job.
+	queueWait time.Duration
+}
+
+// Usage is a job's measured resource footprint. All figures are
+// cumulative over the job's attempts.
+type Usage struct {
+	// Attempts counts runs (1 + restarts-while-running).
+	Attempts int `json:"attempts"`
+	// WallSeconds is total in-worker run time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// CPUSeconds is the process CPU-time delta (user+system, via
+	// getrusage) across the job's runs. Jobs running concurrently on
+	// other workers overlap into it — it is an attribution estimate,
+	// exact only for a lone running job.
+	CPUSeconds float64 `json:"cpu_seconds"`
+	// QueueSeconds is total time spent queued before starting.
+	QueueSeconds float64 `json:"queue_seconds"`
+	// Episodes / Cells / Traces are the work counters of the job's own
+	// metric registry (explore.episodes_total, sweep.cells_total,
+	// campaign.traces_total).
+	Episodes uint64 `json:"episodes,omitempty"`
+	Cells    uint64 `json:"cells,omitempty"`
+	Traces   uint64 `json:"traces,omitempty"`
+	// PeakHeapBytes is the largest live-heap growth observed over the
+	// job's runs: max(HeapAlloc) − HeapAlloc at run start, sampled a few
+	// times a second. Process-wide, so concurrent jobs share the blame.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
+}
+
+// add accumulates another usage sample (an attempt, or another job when
+// aggregating a tenant): durations and work counters sum, the heap peak
+// takes the maximum, because peaks do not add.
+func (u *Usage) add(d Usage) {
+	u.Attempts += d.Attempts
+	u.WallSeconds += d.WallSeconds
+	u.CPUSeconds += d.CPUSeconds
+	u.QueueSeconds += d.QueueSeconds
+	u.Episodes += d.Episodes
+	u.Cells += d.Cells
+	u.Traces += d.Traces
+	if d.PeakHeapBytes > u.PeakHeapBytes {
+		u.PeakHeapBytes = d.PeakHeapBytes
+	}
 }
 
 // clone returns a copy safe to hand out after the lock is released.
 func (j *Job) clone() *Job {
 	c := *j
+	if j.Usage != nil {
+		u := *j.Usage
+		c.Usage = &u
+	}
 	return &c
 }
 

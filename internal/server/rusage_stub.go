@@ -1,0 +1,7 @@
+//go:build !unix
+
+package server
+
+// processCPUSeconds is unavailable off unix; usage records report a CPU
+// time of zero there rather than failing the job.
+func processCPUSeconds() float64 { return 0 }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package server
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUSeconds returns the process's cumulative CPU time
+// (user+system) from getrusage. The worker takes a delta around each
+// job run; see Usage.CPUSeconds for the concurrency caveat.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	user := time.Duration(ru.Utime.Nano())
+	sys := time.Duration(ru.Stime.Nano())
+	return (user + sys).Seconds()
+}

@@ -84,6 +84,23 @@ type Server struct {
 	cancels map[string]context.CancelFunc
 	nextSeq uint64
 	closed  bool
+
+	// Per-job metric attribution (nil-free even with Metrics disabled).
+	// Each running job writes into its own registry; scrape-time folding
+	// (MetricsSnapshot) composes the fleet view from the scheduler
+	// registry + the accumulated history of finished attempts + the live
+	// registries, labeled by JobLabelNames. Because the unlabeled totals
+	// are produced by the same fold that produces the labeled series,
+	// the sums match by construction.
+	history  obs.Snapshot
+	liveJobs map[string]*liveJob
+}
+
+// liveJob is a running job's metric registry plus its attribution
+// label values.
+type liveJob struct {
+	reg    *obs.Registry
+	labels []string
 }
 
 // New opens (or creates) the data directory, loads the durable job
@@ -120,11 +137,14 @@ func New(cfg Config) (*Server, error) {
 		jobs:       map[string]*Job{},
 		q:          newQueue(cfg.TenantQuota),
 		cancels:    map[string]context.CancelFunc{},
+		history:    (*obs.Registry)(nil).Snapshot(),
+		liveJobs:   map[string]*liveJob{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 
 	jobs, seq := st.load()
 	s.nextSeq = seq
+	now := time.Now().UTC()
 	for _, j := range jobs {
 		if j.Seq >= s.nextSeq {
 			s.nextSeq = j.Seq + 1
@@ -132,12 +152,14 @@ func New(cfg Config) (*Server, error) {
 		j.cancelRequested = false
 		switch j.State {
 		case StateQueued:
+			j.enqueuedAt = now
 			s.q.push(j.ID)
 		case StateRunning:
 			// Interrupted mid-run (graceful shutdown or crash): back to
 			// the queue; the re-run resumes from the engine checkpoint.
 			j.State = StateQueued
 			j.Resumes++
+			j.enqueuedAt = now
 			if err := st.putJob(j); err != nil {
 				cancel()
 				return nil, err
@@ -179,12 +201,14 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	}
 	seq := s.nextSeq
 	s.nextSeq++
+	now := time.Now().UTC()
 	j := &Job{
 		ID:          fmt.Sprintf("j-%06d", seq),
 		Seq:         seq,
 		Spec:        spec,
 		State:       StateQueued,
-		SubmittedAt: time.Now().UTC(),
+		SubmittedAt: now,
+		enqueuedAt:  now,
 	}
 	if err := s.store.putSeq(s.nextSeq); err != nil {
 		return nil, err
@@ -195,6 +219,8 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	s.jobs[j.ID] = j
 	s.q.push(j.ID)
 	s.cfg.Metrics.Counter("server.jobs_submitted_total").Inc()
+	s.cfg.Metrics.CounterVec("server.jobs_submitted_total", "tenant", "kind").
+		With(spec.Tenant, spec.Type).Inc()
 	s.updateGauges()
 	s.cfg.Events.Emit(obs.EventJobSubmitted, map[string]any{
 		"id": j.ID, "type": spec.Type, "tenant": spec.Tenant, "name": spec.Name,
@@ -247,6 +273,8 @@ func (s *Server) Delete(id string) (job *Job, purged bool, err error) {
 		j.FinishedAt = &now
 		err = s.store.putJob(j)
 		s.cfg.Metrics.Counter("server.jobs_cancelled_total").Inc()
+		s.cfg.Metrics.CounterVec("server.jobs_cancelled_total", "tenant", "kind").
+			With(j.Spec.Tenant, j.Spec.Type).Inc()
 		s.updateGauges()
 		s.cfg.Events.Emit(obs.EventJobCancelled, map[string]any{"id": id, "state": "queued"})
 		job = j.clone()
@@ -323,6 +351,9 @@ func (s *Server) next() (*Job, context.Context) {
 		now := time.Now().UTC()
 		j.State = StateRunning
 		j.StartedAt = &now
+		if !j.enqueuedAt.IsZero() {
+			j.queueWait = now.Sub(j.enqueuedAt)
+		}
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		s.cancels[id] = cancel
 		if err := s.store.putJob(j); err != nil {
@@ -341,31 +372,68 @@ func (s *Server) next() (*Job, context.Context) {
 }
 
 // runJob executes one job and settles its terminal (or interrupted)
-// state.
+// state. The attempt runs against its own metric registry (folded into
+// the fleet view by MetricsSnapshot) and its measured cost lands on the
+// durable record as Job.Usage.
 func (s *Server) runJob(ctx context.Context, j *Job) {
 	files := s.Files(j.ID)
+	labels := j.Spec.labelValues()
 	s.cfg.Events.Emit(obs.EventJobStarted, map[string]any{
 		"id": j.ID, "type": j.Spec.Type, "tenant": j.Spec.Tenant, "resumes": j.Resumes,
 	})
 
+	// Each attempt writes into a fresh registry so its counters are this
+	// job's alone; the fleet /metrics view is composed by folding. With
+	// metrics disabled the registry stays nil and the whole path keeps
+	// the zero-cost disabled contract.
+	var jobReg *obs.Registry
+	if s.cfg.Metrics != nil {
+		jobReg = obs.NewRegistry()
+		s.mu.Lock()
+		s.liveJobs[j.ID] = &liveJob{reg: jobReg, labels: labels}
+		s.mu.Unlock()
+	}
+
 	var (
 		result json.RawMessage
 		runErr error
+		usage  Usage
 	)
 	// The per-job event log appends across daemon restarts so the SSE
 	// stream and the log survive a resume; job_started marks each
-	// attempt.
+	// attempt. The attempt's attribution labels ride on it so offline
+	// fleet reports can group logs with no access to the job store.
 	em, err := obs.AppendEmitter(files.Events)
 	if err != nil {
 		runErr = err
 	} else {
 		em.Emit(obs.EventJobStarted, map[string]any{
 			"id": j.ID, "type": j.Spec.Type, "resumes": j.Resumes,
+			"tenant": labels[0], "kind": labels[1], "cipher": labels[2], "fault_model": labels[3],
 		})
 		start := time.Now()
-		result, runErr = s.cfg.Runner.Run(ctx, j.Spec, files, s.cfg.Metrics, em)
+		cpu0 := processCPUSeconds()
+		heap := startHeapSampler()
+		result, runErr = s.cfg.Runner.Run(ctx, j.Spec, files, jobReg, em)
+		usage = Usage{
+			Attempts:      1,
+			WallSeconds:   time.Since(start).Seconds(),
+			CPUSeconds:    processCPUSeconds() - cpu0,
+			QueueSeconds:  j.queueWait.Seconds(),
+			PeakHeapBytes: heap.Stop(),
+		}
 		s.cfg.Metrics.Histogram("server.job_seconds", obs.LatencyBuckets).
-			Observe(time.Since(start).Seconds())
+			Observe(usage.WallSeconds)
+		s.cfg.Metrics.HistogramVec("server.job_seconds", obs.LatencyBuckets, "tenant", "kind").
+			With(j.Spec.Tenant, j.Spec.Type).Observe(usage.WallSeconds)
+	}
+
+	// The attempt is over; its registry is final. Lift the work counters
+	// into the usage record before the snapshot is folded away.
+	var jobSnap obs.Snapshot
+	if jobReg != nil {
+		jobSnap = jobReg.Snapshot()
+		usage.Episodes, usage.Cells, usage.Traces = usageFromSnapshot(jobSnap)
 	}
 
 	// Decide the outcome, then finish the event log BEFORE the state
@@ -375,6 +443,11 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	s.mu.Lock()
 	cancelRequested := j.cancelRequested
 	closing := s.closed
+	if j.Usage == nil {
+		j.Usage = &Usage{}
+	}
+	j.Usage.add(usage)
+	usageTotal := *j.Usage
 	s.mu.Unlock()
 
 	var (
@@ -398,6 +471,22 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		errText = runErr.Error()
 	}
 	if em != nil {
+		// Every attempt ends with its cumulative cost (interrupted ones
+		// included — their next attempt starts from this figure), so the
+		// last job_usage line of a log is the job's usage to date.
+		attemptState := string(state)
+		if interrupted {
+			attemptState = "interrupted"
+		}
+		em.Emit(obs.EventJobUsage, map[string]any{
+			"id": j.ID, "state": attemptState,
+			"tenant": labels[0], "kind": labels[1], "cipher": labels[2], "fault_model": labels[3],
+			"attempts":     usageTotal.Attempts,
+			"wall_seconds": usageTotal.WallSeconds, "cpu_seconds": usageTotal.CPUSeconds,
+			"queue_seconds": usageTotal.QueueSeconds,
+			"episodes":      usageTotal.Episodes, "cells": usageTotal.Cells, "traces": usageTotal.Traces,
+			"peak_heap_bytes": usageTotal.PeakHeapBytes,
+		})
 		if !interrupted {
 			em.Emit(obs.EventJobFinished, map[string]any{"id": j.ID, "state": string(state)})
 		}
@@ -410,6 +499,13 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		defer cancel()
 	}
 	s.q.release(j.Spec.Tenant)
+	// Retire the attempt's registry: fold it into the accumulated
+	// history in the same critical section that removes it from the live
+	// set, so a concurrent scrape sees the attempt exactly once.
+	if jobReg != nil {
+		obs.Fold(&s.history, jobSnap, JobLabelNames, labels)
+		delete(s.liveJobs, j.ID)
+	}
 	if !interrupted {
 		now := time.Now().UTC()
 		j.State = state
@@ -421,10 +517,16 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		switch state {
 		case StateDone:
 			s.cfg.Metrics.Counter("server.jobs_done_total").Inc()
+			s.cfg.Metrics.CounterVec("server.jobs_done_total", "tenant", "kind").
+				With(j.Spec.Tenant, j.Spec.Type).Inc()
 		case StateCancelled:
 			s.cfg.Metrics.Counter("server.jobs_cancelled_total").Inc()
+			s.cfg.Metrics.CounterVec("server.jobs_cancelled_total", "tenant", "kind").
+				With(j.Spec.Tenant, j.Spec.Type).Inc()
 		case StateFailed:
 			s.cfg.Metrics.Counter("server.jobs_failed_total").Inc()
+			s.cfg.Metrics.CounterVec("server.jobs_failed_total", "tenant", "kind").
+				With(j.Spec.Tenant, j.Spec.Type).Inc()
 		}
 	}
 	if err := s.store.putJob(j); err != nil && j.State == StateDone {
@@ -441,21 +543,67 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	}
 }
 
-// updateGauges refreshes the queue-depth and running-count gauges; the
-// caller holds s.mu.
+// updateGauges refreshes the queue-depth and running-count gauges,
+// unlabeled and per tenant; the caller holds s.mu. Every tenant with a
+// job on record gets its series written (zero included), so a tenant
+// whose last job just finished reads 0, not a stale level.
 func (s *Server) updateGauges() {
 	m := s.cfg.Metrics
 	if m == nil {
 		return
 	}
-	m.Gauge("server.jobs_queued").Set(float64(s.q.depth()))
-	running := 0
+	type counts struct{ queued, running int }
+	perTenant := map[string]*counts{}
+	queued, running := 0, 0
 	for _, j := range s.jobs {
-		if j.State == StateRunning {
+		c, ok := perTenant[j.Spec.Tenant]
+		if !ok {
+			c = &counts{}
+			perTenant[j.Spec.Tenant] = c
+		}
+		switch j.State {
+		case StateQueued:
+			queued++
+			c.queued++
+		case StateRunning:
 			running++
+			c.running++
 		}
 	}
+	m.Gauge("server.jobs_queued").Set(float64(queued))
 	m.Gauge("server.jobs_running").Set(float64(running))
+	queuedVec := m.GaugeVec("server.jobs_queued", "tenant")
+	runningVec := m.GaugeVec("server.jobs_running", "tenant")
+	for tenant, c := range perTenant {
+		queuedVec.With(tenant).Set(float64(c.queued))
+		runningVec.With(tenant).Set(float64(c.running))
+	}
+}
+
+// Ready reports whether the server accepts new jobs; false once Close
+// has begun (draining) or finished.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
+
+// MetricsSnapshot composes the fleet metric view served on /metrics:
+// the scheduler registry's own snapshot, plus the folded history of
+// finished job attempts, plus every live job's registry folded under
+// its attribution labels. The unlabeled totals and the labeled series
+// come out of the same fold, so the per-label sums always match the
+// totals. Safe with metrics disabled (returns the scheduler snapshot,
+// which is empty for a nil registry).
+func (s *Server) MetricsSnapshot() obs.Snapshot {
+	snap := s.cfg.Metrics.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obs.Fold(&snap, s.history, nil, nil)
+	for _, lj := range s.liveJobs {
+		obs.Fold(&snap, lj.reg.Snapshot(), JobLabelNames, lj.labels)
+	}
+	return snap
 }
 
 // sortJobs orders job clones by submission sequence.

@@ -1,0 +1,44 @@
+package server
+
+// TenantStats aggregates one tenant's jobs: counts by lifecycle state
+// and the summed usage of every job on record. Usage aggregation
+// follows Usage.add (durations and work counters sum, heap peaks max).
+type TenantStats struct {
+	Jobs   int            `json:"jobs"`
+	States map[string]int `json:"states"`
+	Usage  Usage          `json:"usage"`
+}
+
+// Stats is the GET /stats fleet document: per-tenant aggregates plus
+// the fleet totals. It is computed from the durable job records, so the
+// figures survive daemon restarts (purged jobs leave the books).
+type Stats struct {
+	Tenants map[string]*TenantStats `json:"tenants"`
+	Totals  TenantStats             `json:"totals"`
+}
+
+// Stats aggregates the current job table per tenant.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Tenants: map[string]*TenantStats{},
+		Totals:  TenantStats{States: map[string]int{}},
+	}
+	for _, j := range s.jobs {
+		t, ok := st.Tenants[j.Spec.Tenant]
+		if !ok {
+			t = &TenantStats{States: map[string]int{}}
+			st.Tenants[j.Spec.Tenant] = t
+		}
+		t.Jobs++
+		t.States[string(j.State)]++
+		st.Totals.Jobs++
+		st.Totals.States[string(j.State)]++
+		if j.Usage != nil {
+			t.Usage.add(*j.Usage)
+			st.Totals.Usage.add(*j.Usage)
+		}
+	}
+	return st
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// heapSampler watches live-heap growth over one job run: it records
+// HeapAlloc at start and samples max(HeapAlloc) a few times a second
+// until stopped. The figure is process-wide (the Go heap is shared), so
+// concurrent jobs overlap into each other's peaks — documented on
+// Usage.PeakHeapBytes.
+type heapSampler struct {
+	base uint64
+	peak uint64
+	stop chan struct{}
+	done chan struct{}
+}
+
+// startHeapSampler begins sampling. The 250ms cadence keeps the
+// ReadMemStats stop-the-world cost (tens of microseconds per call)
+// invisible next to any real campaign.
+func startHeapSampler() *heapSampler {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h := &heapSampler{
+		base: ms.HeapAlloc,
+		peak: ms.HeapAlloc,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(h.done)
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > h.peak {
+					h.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return h
+}
+
+// Stop ends sampling and returns the observed peak growth in bytes.
+func (h *heapSampler) Stop() uint64 {
+	close(h.stop)
+	<-h.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > h.peak {
+		h.peak = ms.HeapAlloc
+	}
+	if h.peak <= h.base {
+		return 0
+	}
+	return h.peak - h.base
+}
+
+// usageFromSnapshot lifts the work counters a job's own registry
+// accumulated into its usage record.
+func usageFromSnapshot(s obs.Snapshot) (episodes, cells, traces uint64) {
+	return s.Counters["explore.episodes_total"],
+		s.Counters["sweep.cells_total"],
+		s.Counters["campaign.traces_total"]
+}

@@ -33,6 +33,19 @@ type JobRecord = server.Job
 // cancelled).
 type JobState = server.State
 
+// JobUsage is one job's resource accounting (wall/CPU/queue seconds,
+// work counters, peak heap delta), accumulated across attempts and
+// exposed on the job record, in GET /stats aggregates and in the
+// per-attempt job_usage event.
+type JobUsage = server.Usage
+
+// FleetStats is the GET /stats response: per-tenant job counts, state
+// breakdowns and usage aggregates, plus fleet-wide totals.
+type FleetStats = server.Stats
+
+// TenantStats is one tenant's slice of FleetStats.
+type TenantStats = server.TenantStats
+
 // JobServerConfig tunes NewJobServer. Zero values select defaults
 // (2 workers, per-tenant quota = worker count).
 type JobServerConfig struct {
@@ -54,6 +67,14 @@ type JobServerConfig struct {
 // AssessProtectedContext), sweep jobs the exhaustive sweep engine.
 // Close the returned server to stop it; restarting one on the same
 // DataDir resumes interrupted jobs from their engine checkpoints.
+//
+// With Metrics set, the server's /metrics endpoint serves the composed
+// fleet view: scheduler instruments plus every job's own metrics folded
+// under tenant/kind/cipher/fault_model labels, so per-tenant labeled
+// series sum to the unlabeled totals. Per-job cost (JobUsage) appears
+// on GET /jobs/{id}, aggregated per tenant on GET /stats, and as a
+// job_usage event in each job's log for offline fleet reports
+// (obsreport -fleet).
 func NewJobServer(cfg JobServerConfig) (*JobServer, error) {
 	return server.New(server.Config{
 		DataDir:     cfg.DataDir,

@@ -21,22 +21,52 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 	type variant struct {
 		name    string
 		metrics bool
+		labeled bool // labeled families + scrape-time runtime collector
 		events  bool
 		tracing bool
 	}
 	variants := []variant{
 		{name: "off"},
 		{name: "metrics", metrics: true},
+		{name: "labeled+runtime", metrics: true, labeled: true},
 		{name: "metrics+events", metrics: true, events: true},
 		{name: "tracing", tracing: true},
-		{name: "everything", metrics: true, events: true, tracing: true},
+		{name: "everything", metrics: true, labeled: true, events: true, tracing: true},
+	}
+	// newMetrics builds a variant's registry; labeled variants also turn
+	// on the runtime collector and populate labeled families, proving the
+	// fleet-observability configuration is as inert as plain counters.
+	newMetrics := func(v variant) *explorefault.Metrics {
+		m := explorefault.NewMetrics()
+		if v.labeled {
+			m.EnableRuntimeMetrics()
+			m.CounterVec("test.jobs_total", "tenant", "kind").With("t1", "assess").Inc()
+			m.GaugeVec("test.level", "tenant").With("t1").Set(1)
+		}
+		return m
 	}
 	instrument := func(v variant, cfg *explorefault.AssessConfig) {
 		if v.metrics {
-			cfg.Metrics = explorefault.NewMetrics()
+			cfg.Metrics = newMetrics(v)
 		}
 		if v.events {
 			cfg.Events = explorefault.NewEventEmitter(io.Discard)
+		}
+	}
+	// requireLabeled asserts a labeled variant's snapshot (which also
+	// triggers a runtime-collector sample, like a /metrics scrape) carries
+	// the labeled series and the runtime telemetry.
+	requireLabeled := func(t *testing.T, v variant, m *explorefault.Metrics) {
+		t.Helper()
+		if !v.labeled {
+			return
+		}
+		s := m.Snapshot()
+		if s.CounterVecs["test.jobs_total"].Series[`{kind="assess",tenant="t1"}`] != 1 {
+			t.Errorf("%s: labeled series missing from snapshot", v.name)
+		}
+		if _, ok := s.Gauges["runtime.goroutines"]; !ok {
+			t.Errorf("%s: runtime collector enabled but no telemetry sampled", v.name)
 		}
 	}
 	// traceCtx returns the run context of a variant: background, or one
@@ -81,6 +111,7 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 				t.Fatal(err)
 			}
 			requireSpans(t, v, tr)
+			requireLabeled(t, v, cfg.Metrics)
 			bits := math.Float64bits(res.T)
 			if i == 0 {
 				want = bits
@@ -111,6 +142,7 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 					t.Fatal(err)
 				}
 				requireSpans(t, v, tr)
+				requireLabeled(t, v, cfg.Metrics)
 				bits := math.Float64bits(res.T)
 				if i == 0 {
 					want = bits
@@ -137,6 +169,7 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 				t.Fatal(err)
 			}
 			requireSpans(t, v, tr)
+			requireLabeled(t, v, cfg.Metrics)
 			bits := math.Float64bits(res.T)
 			if i == 0 {
 				want = bits
@@ -164,7 +197,7 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 				SkipHarvest: true,
 			}
 			if v.metrics {
-				cfg.Metrics = explorefault.NewMetrics()
+				cfg.Metrics = newMetrics(v)
 			}
 			if v.events {
 				cfg.Events = explorefault.NewEventEmitter(io.Discard)
@@ -175,6 +208,7 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 				t.Fatal(err)
 			}
 			requireSpans(t, v, tr)
+			requireLabeled(t, v, cfg.Metrics)
 			fp := discoverFingerprint(res)
 			if i == 0 {
 				want = fp

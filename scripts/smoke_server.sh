@@ -69,6 +69,40 @@ curl -s "$BASE/metrics" | jq -e '.counters["server.jobs_done_total"] == 1' > /de
     || { echo "FAIL: /metrics missing jobs_done_total"; exit 1; }
 curl -sN --max-time 5 "$BASE/jobs/$ID/events" | grep -q '^event: done' \
     || { echo "FAIL: SSE stream missing done frame"; exit 1; }
+
+# Observability surface. Readiness answers ready while accepting (the
+# 503-while-draining flip is pinned by the Go tests: during a daemon
+# drain the HTTP listener itself is already shut, so it is not
+# observable from here).
+curl -s "$BASE/readyz" | jq -e '.status == "ready"' > /dev/null \
+    || { echo "FAIL: /readyz not ready on an accepting daemon"; exit 1; }
+# /stats aggregates the job's usage record.
+curl -s "$BASE/stats" | jq -e '.totals.jobs == 1 and .totals.usage.attempts == 1 and .totals.usage.wall_seconds > 0' > /dev/null \
+    || { echo "FAIL: /stats totals do not reflect the finished job"; curl -s "$BASE/stats"; exit 1; }
+# The per-job report renders obsreport markdown with the cost line.
+curl -s "$BASE/jobs/$ID/report" | grep -q '^# Run report:' \
+    || { echo "FAIL: /jobs/{id}/report is not an obsreport document"; exit 1; }
+curl -s "$BASE/jobs/$ID/report" | grep -q '^job cost:' \
+    || { echo "FAIL: per-job report missing the job cost line"; exit 1; }
+# Labeled Prometheus scrape: the labeled series of a family must sum to
+# its unlabeled total (here: one anonymous-tenant discover job), both
+# for the scheduler's own counters and for a folded engine counter.
+curl -s "$BASE/metrics?format=prom" > "$DIR/scrape.prom"
+for fam in server_jobs_done_total explore_episodes_total; do
+    awk -v fam="$fam" '
+        $1 == fam { total = $2 }
+        index($1, fam "{") == 1 { labeled += $2 }
+        END {
+            if (total == "" || labeled != total) {
+                printf "FAIL: %s labeled sum %d != unlabeled total %s\n", fam, labeled, total
+                exit 1
+            }
+        }' "$DIR/scrape.prom" || exit 1
+done
+grep -q 'cipher="gift64"' "$DIR/scrape.prom" \
+    || { echo "FAIL: scrape has no cipher-labeled series"; exit 1; }
+grep -q '^runtime_goroutines ' "$DIR/scrape.prom" \
+    || { echo "FAIL: scrape missing runtime telemetry"; exit 1; }
 normalize_events "$DIR/a/$ID.events.jsonl" "$DIR/ref.events"
 kill -TERM "$DPID"; wait "$DPID" || true
 echo "   reference result captured ($(wc -l < "$DIR/ref.events") episodes)"
